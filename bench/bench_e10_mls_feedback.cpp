@@ -1,0 +1,64 @@
+// E10 — Section 4.3 MLS remark: the legal Low->High information flow is a
+// perfect feedback path, so MLS covert channels "are relatively easy to
+// exploit in general and tend to be fast".
+//
+// Regenerates the exfiltration comparison across schedulers and symbol
+// widths: goodput and exactness with vs without the legal-flow exploit,
+// against the theoretical q(1-q) feedback throughput.
+
+#include <cstdio>
+#include <memory>
+
+#include "ccap/core/protocol_analysis.hpp"
+#include "ccap/sched/mls_system.hpp"
+
+int main() {
+    using namespace ccap;
+
+    constexpr std::size_t kSecret = 4000;
+    std::printf("E10: MLS exfiltration with/without legal-flow feedback (%zu symbols)\n\n",
+                kSecret);
+    std::printf("%-14s %-4s %12s %10s %12s %10s %12s\n", "scheduler", "N", "no-fb good",
+                "no-fb ok", "fb goodput", "fb ok", "fb theory");
+
+    struct Sched {
+        const char* label;
+        std::unique_ptr<sched::Scheduler> (*make)();
+        double sender_share;
+    };
+    const Sched schedulers[] = {
+        {"round_robin", sched::make_round_robin, 0.5},
+        {"random", sched::make_random, 0.5},
+        {"lottery", sched::make_lottery, 0.5},
+    };
+
+    for (const auto& s : schedulers) {
+        for (const unsigned n : {1U, 4U}) {
+            sched::MlsConfig base;
+            base.message_len = kSecret;
+            base.bits_per_symbol = n;
+
+            sched::MlsConfig no_fb = base;
+            no_fb.use_legal_feedback = false;
+            const auto raw = sched::run_mls_exfiltration(s.make(), no_fb, 0xE10);
+
+            sched::MlsConfig fb = base;
+            fb.use_legal_feedback = true;
+            const auto ack = sched::run_mls_exfiltration(s.make(), fb, 0xE10);
+
+            // Round-robin alternation delivers one symbol per two quanta; the
+            // memoryless schedulers match the q(1-q) analysis.
+            const double theory = s.make == sched::make_round_robin
+                                      ? 0.5
+                                      : core::handshake_expected_throughput(s.sender_share);
+            std::printf("%-14s %-4u %12.4f %10s %12.4f %10s %12.4f\n", s.label, n,
+                        raw.goodput(), raw.exact ? "exact" : "LOSSY", ack.goodput(),
+                        ack.exact ? "exact" : "LOSSY", theory);
+        }
+    }
+    std::printf("\nShape check: without feedback the correct-prefix goodput collapses and\n"
+                "the secret is corrupted; with the legal upward flow the transfer is\n"
+                "exact at the theoretical feedback rate, independent of symbol width\n"
+                "(wider symbols leak N bits per delivered symbol: multiply accordingly).\n");
+    return 0;
+}

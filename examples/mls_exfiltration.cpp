@@ -1,0 +1,42 @@
+// The Section-4.3 MLS remark, made executable.
+//
+// High wants to leak a secret to Low through a storage covert channel.
+// Bell-LaPadula permits Low to write *up*, so a Low-writable object gives
+// High a perfectly legal feedback path — and with feedback, Theorem 3 says
+// the covert channel runs at the full erasure capacity. This example runs
+// the exfiltration with and without the legal-flow exploit and shows the
+// difference in both reliability and speed.
+//
+// Run:  ./mls_exfiltration [secret_len]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ccap/sched/mls_system.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ccap::sched;
+
+    const std::size_t secret_len = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+
+    std::printf("MLS exfiltration, %zu secret symbols, memoryless scheduler\n\n", secret_len);
+    std::printf("%-34s %10s %12s %8s\n", "configuration", "delivered", "goodput", "exact");
+
+    for (const bool feedback : {false, true}) {
+        MlsConfig cfg;
+        cfg.message_len = secret_len;
+        cfg.use_legal_feedback = feedback;
+        const MlsResult res = run_mls_exfiltration(make_random(), cfg, /*seed=*/2025);
+        std::printf("%-34s %10zu %12.4f %8s\n",
+                    feedback ? "legal Low->High flow as feedback" : "no feedback (naive)",
+                    res.exfiltrated.size(), res.goodput(), res.exact ? "yes" : "NO");
+    }
+
+    std::printf(
+        "\nWithout feedback the secret arrives corrupted (deletions and stale\n"
+        "reads desynchronize the stream almost immediately). With the legal\n"
+        "upward flow exploited as an acknowledgement path, the alternating-bit\n"
+        "protocol of Theorem 3 delivers the secret exactly, at the erasure-\n"
+        "channel rate — covert channels in MLS systems \"tend to be fast\".\n");
+    return 0;
+}

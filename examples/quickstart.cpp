@@ -1,0 +1,52 @@
+// Quickstart: the Section-4.3 practitioner workflow in ~40 lines.
+//
+// You observed a covert channel: you know what the sender pushed and what
+// the receiver sampled. This example (1) simulates such an observation,
+// (2) estimates the deletion/insertion/substitution rates, (3) prints the
+// traditional (synchronous-model) capacity, the paper's corrected capacity
+// C*(1-P_d), the Theorem-5/Theorem-1 band, and a TCSEC-style severity.
+//
+// Run:  ./quickstart [p_d] [p_i] [p_s]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ccap/core/deletion_insertion_channel.hpp"
+#include "ccap/estimate/analyzer.hpp"
+#include "ccap/estimate/report.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ccap;
+
+    core::DiChannelParams truth;
+    truth.p_d = argc > 1 ? std::atof(argv[1]) : 0.15;
+    truth.p_i = argc > 2 ? std::atof(argv[2]) : 0.05;
+    truth.p_s = argc > 3 ? std::atof(argv[3]) : 0.00;
+    truth.bits_per_symbol = 2;
+    truth.validate();
+
+    // --- the part you'd replace with real measurements -------------------
+    util::Rng rng(2025);
+    std::vector<std::uint32_t> sent(8000);
+    for (auto& s : sent) s = static_cast<std::uint32_t>(rng.uniform_below(truth.alphabet()));
+    core::DeletionInsertionChannel channel(truth, /*seed=*/7);
+    const auto observation = channel.transduce(sent);
+    // ----------------------------------------------------------------------
+
+    estimate::AnalyzerConfig config;
+    config.bits_per_symbol = truth.bits_per_symbol;
+    config.uses_per_second = 100.0;  // sender opportunities per second
+
+    const estimate::AnalysisReport report =
+        estimate::analyze_traces(sent, observation.output, config);
+
+    std::printf("ground truth: %s\n\n", truth.to_string().c_str());
+    std::printf("%s\n", estimate::render_report(report, "quickstart storage channel").c_str());
+    std::printf("Interpretation: a traditional synchronous analysis would report %.2f\n"
+                "bits/use; accounting for non-synchronous behaviour (Wang & Lee 2005)\n"
+                "the realistic figure is %.2f bits/use.\n",
+                report.traditional_bits_per_use, report.degraded_bits_per_use);
+    return 0;
+}

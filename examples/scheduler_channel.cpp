@@ -1,0 +1,79 @@
+// The paper's Section-3.1 motivating example, end to end.
+//
+// A covert sender and receiver share a uniprocessor. The scheduler decides
+// the interleaving, which decides how many symbols are deleted (sender ran
+// twice) or duplicated (receiver ran twice). We sweep scheduler policies,
+// measure the induced (P_d, P_i) from the traces, and report the covert
+// capacity each policy admits — "evaluating the effectiveness of candidate
+// system implementations, e.g., the scheduler, in reducing covert channel
+// capacities" (Section 3.2).
+//
+// Run:  ./scheduler_channel [message_len]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "ccap/estimate/analyzer.hpp"
+#include "ccap/sched/covert_pair.hpp"
+
+namespace {
+
+struct Candidate {
+    const char* label;
+    std::unique_ptr<ccap::sched::Scheduler> (*make)();
+};
+
+std::unique_ptr<ccap::sched::Scheduler> fuzzy25() {
+    return ccap::sched::make_fuzzy_round_robin(0.25);
+}
+std::unique_ptr<ccap::sched::Scheduler> fuzzy75() {
+    return ccap::sched::make_fuzzy_round_robin(0.75);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ccap;
+
+    const std::size_t message_len = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6000;
+
+    const Candidate candidates[] = {
+        {"round_robin (deterministic)", sched::make_round_robin},
+        {"fuzzy_rr eps=0.25", fuzzy25},
+        {"fuzzy_rr eps=0.75", fuzzy75},
+        {"random (memoryless)", sched::make_random},
+        {"lottery (1:1 tickets)", sched::make_lottery},
+    };
+
+    std::printf("scheduler policy sweep — naive covert pair, %zu symbols, 1 bit/symbol\n\n",
+                message_len);
+    std::printf("%-28s %8s %8s %10s %12s %10s\n", "policy", "P_d", "P_i", "trad b/use",
+                "corrected", "severity");
+
+    for (const Candidate& c : candidates) {
+        sched::CovertPairConfig cfg;
+        cfg.mode = sched::PairMode::naive;
+        cfg.message_len = message_len;
+        cfg.bits_per_symbol = 1;
+        const auto run = sched::run_covert_pair(c.make(), cfg, /*seed=*/99);
+
+        estimate::AnalyzerConfig acfg;
+        acfg.bits_per_symbol = 1;
+        acfg.uses_per_second = 1000.0;  // a 1 kHz scheduling quantum
+        const auto report = estimate::analyze_traces(run.sent, run.received, acfg);
+
+        std::printf("%-28s %8.4f %8.4f %10.3f %12.3f %10s\n", c.label,
+                    report.params.p_d.value, report.params.p_i.value,
+                    report.traditional_bits_per_use, report.degraded_bits_per_use,
+                    estimate::severity_name(report.severity));
+    }
+
+    std::printf(
+        "\nReading the table: deterministic round-robin keeps the channel\n"
+        "synchronous (fast and dangerous); injecting scheduling randomness\n"
+        "raises P_d/P_i and shrinks the corrected capacity — the scheduler is\n"
+        "an effective covert-channel countermeasure, quantified.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+// A timing covert channel end to end — and the defences that kill it.
+//
+// The sender leaks a passphrase one bit at a time by how long it sleeps
+// between CPU bursts; the receiver's only clock is its own scheduling
+// quantum count (no shared timer — the paper's Section-3.1 point about
+// time references). We then turn the two classic countermeasure knobs —
+// clock coarsening and clock jitter — and watch the leak die.
+//
+// Run:  ./timing_attack [message]
+
+#include <cstdio>
+#include <string>
+
+#include "ccap/sched/timing_channel.hpp"
+
+namespace {
+
+std::string render_bits(const std::vector<std::uint8_t>& bits) {
+    std::string out;
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        char c = 0;
+        for (int b = 0; b < 8; ++b) c = static_cast<char>((c << 1) | bits[i + b]);
+        out.push_back((c >= 32 && c < 127) ? c : '.');
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ccap::sched;
+
+    const std::string secret = argc > 1 ? argv[1] : "LAUNCH CODE 7-7-7";
+
+    TimingChannelConfig cfg;
+    cfg.short_gap = 2;
+    cfg.long_gap = 6;
+    cfg.message_len = secret.size() * 8;
+    // Encode the passphrase as the message via the seed trick: we bypass the
+    // random message and overwrite sent bits below by re-deriving them.
+    std::printf("leaking \"%s\" through a %llu/%llu-quantum timing channel "
+                "(ideal capacity %.3f bits/quantum)\n\n",
+                secret.c_str(), static_cast<unsigned long long>(cfg.short_gap),
+                static_cast<unsigned long long>(cfg.long_gap), ideal_timing_capacity(cfg));
+
+    struct Defence {
+        const char* label;
+        SimTime granularity;
+        SimTime jitter;
+    };
+    const Defence defences[] = {
+        {"no defence (fine clock)", 1, 0},
+        {"clock granularity 4", 4, 0},
+        {"clock granularity 8", 8, 0},
+        {"clock jitter +/-8", 1, 8},
+        {"granularity 8 + jitter 8", 8, 8},
+    };
+
+    std::printf("%-28s %8s %14s  %s\n", "defence", "BER", "bits/quantum", "what Low reads");
+    for (const Defence& d : defences) {
+        TimingChannelConfig run_cfg = cfg;
+        run_cfg.clock_granularity = d.granularity;
+        run_cfg.clock_jitter = d.jitter;
+        auto res = run_timing_channel(make_round_robin(), run_cfg, 2026);
+        // Re-map the random simulation bits onto the passphrase: XOR the
+        // decoded stream with (sent XOR secret_bits) so decoding errors show
+        // up as corrupted characters of the actual secret.
+        std::vector<std::uint8_t> secret_bits;
+        for (char c : secret)
+            for (int b = 7; b >= 0; --b)
+                secret_bits.push_back(static_cast<std::uint8_t>((c >> b) & 1));
+        std::vector<std::uint8_t> leaked(secret_bits.size(), 0);
+        for (std::size_t i = 0; i < leaked.size() && i < res.decoded.size(); ++i)
+            leaked[i] = static_cast<std::uint8_t>(res.decoded[i] ^ res.sent[i] ^ secret_bits[i]);
+        std::printf("%-28s %8.3f %14.4f  \"%s\"\n", d.label, res.bit_error_rate,
+                    res.info_rate_per_quantum(), render_bits(leaked).c_str());
+    }
+
+    std::printf("\nCoarsening the receiver's clock past the gap difference (or jittering\n"
+                "it comparably) destroys the channel without touching the scheduler —\n"
+                "the \"remove time references\" countermeasure the paper mentions,\n"
+                "quantified per defence level.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Sending a real message across a non-synchronous covert channel, three ways.
+//
+// Section 4 of the paper asks: is reliable communication possible *without*
+// synchronization, and what does synchronization buy you? This example
+// moves an actual ASCII message across the same Definition-1 channel via:
+//
+//   1. blind transmission            — no coding, no feedback (garbled);
+//   2. watermark code (Davey-MacKay) — no feedback, reliable, but paying a
+//      heavy rate penalty (the Section-4.1 answer);
+//   3. counter protocol (Appendix A) — perfect feedback, near the
+//      N(1-P_d) erasure bound (the Theorem-5 answer).
+//
+// Run:  ./unsync_messenger [p_d] [p_i]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ccap/coding/watermark.hpp"
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+
+namespace {
+
+std::string render(const ccap::coding::Bits& bits) {
+    std::string out;
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        char c = 0;
+        for (int b = 0; b < 8; ++b) c = static_cast<char>((c << 1) | bits[i + b]);
+        out.push_back((c >= 32 && c < 127) ? c : '.');
+    }
+    return out;
+}
+
+ccap::coding::Bits to_bits(const std::string& text, std::size_t pad_to) {
+    ccap::coding::Bits bits;
+    for (char c : text)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back(static_cast<std::uint8_t>((c >> b) & 1));
+    bits.resize(pad_to, 0);
+    return bits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ccap;
+
+    const double p_d = argc > 1 ? std::atof(argv[1]) : 0.01;
+    const double p_i = argc > 2 ? std::atof(argv[2]) : 0.01;
+    const core::DiChannelParams params{p_d, p_i, 0.0, 1};
+    params.validate();
+    const info::DriftParams drift{p_d, p_i, 0.0, 2, 48, 10};
+
+    const std::string secret = "MEET AT DAWN";
+    std::printf("channel: %s\nsecret : \"%s\"\n\n", params.to_string().c_str(), secret.c_str());
+
+    // --- 1. blind transmission ------------------------------------------
+    {
+        util::Rng rng(1);
+        coding::Bits tx = to_bits(secret, secret.size() * 8);
+        const auto rx = info::simulate_drift_channel(tx, drift, rng);
+        coding::Bits first(rx.begin(),
+                           rx.begin() + static_cast<long>(std::min(rx.size(), tx.size())));
+        first.resize(tx.size(), 0);
+        std::printf("1. blind (no coding, no feedback) -> \"%s\"\n", render(first).c_str());
+    }
+
+    // --- 2. watermark code, still no feedback ----------------------------
+    {
+        coding::WatermarkParams wp;
+        wp.bits_per_symbol = 4;
+        wp.chunk_bits = 6;
+        wp.num_symbols = 48;
+        wp.num_checks = 16;
+        const coding::WatermarkCode code(wp);
+        util::Rng rng(2);
+        const coding::Bits info_bits = to_bits(secret, code.info_bits());
+        const coding::Bits tx = code.encode(info_bits);
+        const auto rx = info::simulate_drift_channel(tx, drift, rng);
+        const auto res = code.decode(rx, drift);
+        std::printf("2. watermark code (no feedback)   -> \"%s\"  [rate %.3f bit/use%s]\n",
+                    render(res.info).c_str(), code.rate(),
+                    res.ldpc_converged ? "" : ", LDPC did not converge");
+    }
+
+    // --- 3. counter protocol with perfect feedback -----------------------
+    {
+        core::DeletionInsertionChannel channel(params, 3);
+        const coding::Bits msg_bits = to_bits(secret, secret.size() * 8);
+        std::vector<std::uint32_t> msg(msg_bits.begin(), msg_bits.end());
+        const auto run = core::run_counter_protocol(channel, msg);
+        coding::Bits as_bits;
+        for (std::uint32_t s : run.received) as_bits.push_back(static_cast<std::uint8_t>(s & 1U));
+        std::printf("3. counter protocol (feedback)    -> \"%s\"  [rate %.3f bit/use, "
+                    "Thm1 bound %.3f]\n",
+                    render(as_bits).c_str(), run.measured_info_rate(1),
+                    core::theorem1_upper_bound(params));
+    }
+
+    std::printf(
+        "\nThe shape the paper predicts: blind transmission fails outright;\n"
+        "unsynchronized coding is reliable but far below the bound; feedback\n"
+        "synchronization closes nearly the whole gap.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+// BCJR (MAP) decoding of terminated convolutional codes.
+//
+// Produces per-information-bit posterior probabilities instead of a single
+// hard path — the soft output needed when a convolutional code sits inside
+// a larger iterative pipeline (e.g. as the outer code over the drift-HMM
+// inner decoder in the coded-transmission experiments).
+#pragma once
+
+#include <vector>
+
+#include "ccap/coding/convolutional.hpp"
+
+namespace ccap::coding {
+
+struct BcjrResult {
+    /// P(info bit = 1 | received), one per information bit.
+    std::vector<double> posterior_one;
+    /// Hard decisions thresholded at 1/2.
+    Bits info;
+};
+
+/// MAP decode from per-code-bit probabilities of being 1. `p_one.size()`
+/// must equal steps * rate_denominator with steps >= K-1 (terminated).
+[[nodiscard]] BcjrResult bcjr_decode(const ConvolutionalCode& code,
+                                     std::span<const double> p_one);
+
+/// Convenience: hard-decision input with crossover probability p
+/// (BSC observation model).
+[[nodiscard]] BcjrResult bcjr_decode_bsc(const ConvolutionalCode& code,
+                                         std::span<const std::uint8_t> received, double p);
+
+}  // namespace ccap::coding

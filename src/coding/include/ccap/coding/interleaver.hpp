@@ -1,0 +1,43 @@
+// Block and pseudo-random interleavers.
+//
+// Synchronization-error decoders concentrate residual errors in bursts
+// around mis-tracked drift; interleaving before an outer code spreads those
+// bursts so the outer decoder sees near-independent errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ccap/coding/bitvec.hpp"
+
+namespace ccap::coding {
+
+class Interleaver {
+public:
+    /// Identity permutation of the given size.
+    explicit Interleaver(std::size_t size);
+
+    /// Rectangular block interleaver: write row-major into rows x cols,
+    /// read column-major. rows*cols must equal size.
+    [[nodiscard]] static Interleaver block(std::size_t rows, std::size_t cols);
+
+    /// Seeded pseudo-random permutation.
+    [[nodiscard]] static Interleaver random(std::size_t size, std::uint64_t seed);
+
+    [[nodiscard]] std::size_t size() const noexcept { return forward_.size(); }
+
+    /// out[i] = in[pi(i)].
+    [[nodiscard]] Bits apply(std::span<const std::uint8_t> in) const;
+    [[nodiscard]] Bits invert(std::span<const std::uint8_t> in) const;
+
+    /// Permuted index (bounds-checked).
+    [[nodiscard]] std::size_t map(std::size_t i) const { return forward_.at(i); }
+
+private:
+    explicit Interleaver(std::vector<std::size_t> forward);
+    std::vector<std::size_t> forward_;
+    std::vector<std::size_t> inverse_;
+};
+
+}  // namespace ccap::coding

@@ -1,0 +1,51 @@
+// Sequential (stack) decoding of convolutional codes over channels with
+// drop-outs and insertions — Zigangirov (Problemy Peredachi Informatsii,
+// 1969), the paper's reference [12] and the original demonstration that
+// coded communication over synchronization-error channels is practical.
+//
+// The decoder explores the code tree best-first. A hypothesis is
+// (trellis step, trellis state, received-stream position); extending it by
+// one input bit emits n coded bits, which the channel may have deleted,
+// transmitted or interleaved with insertions — the branch likelihood over
+// each possible number of consumed received bits comes from a miniature
+// drift forward pass. Metrics are Fano-normalized: each consumed received
+// bit contributes log2 P(rx segment | branch) + bias, with bias = log2(M)
+// (the self-information of a random received symbol), so hypotheses at
+// different received positions are comparable.
+//
+// Hypotheses are deduplicated on (step, state, position); the search stops
+// at the first completed path (best-first ⇒ likelihood-ordered) or when
+// the expansion budget runs out.
+#pragma once
+
+#include <cstdint>
+
+#include "ccap/coding/convolutional.hpp"
+
+namespace ccap::coding {
+
+struct StackDecoderParams {
+    double p_d = 0.0;   ///< channel deletion probability per use
+    double p_i = 0.0;   ///< channel insertion probability per use
+    double p_s = 0.0;   ///< substitution probability given transmission
+    int max_insert_run = 6;          ///< per-coded-bit insertion truncation
+    std::size_t max_expansions = 200000;  ///< node-expansion budget
+
+    void validate() const;
+};
+
+struct StackDecodeResult {
+    Bits info;                   ///< decoded information bits (empty on failure)
+    bool success = false;        ///< a full path reached the end of the trellis
+    std::size_t expansions = 0;  ///< nodes expanded
+    double metric = 0.0;         ///< Fano metric of the winning path
+};
+
+/// Decode `info_len` information bits from `received` (a terminated
+/// codeword passed through the indel channel).
+[[nodiscard]] StackDecodeResult stack_decode(const ConvolutionalCode& code,
+                                             std::span<const std::uint8_t> received,
+                                             std::size_t info_len,
+                                             const StackDecoderParams& params);
+
+}  // namespace ccap::coding

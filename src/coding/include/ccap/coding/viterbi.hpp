@@ -1,0 +1,29 @@
+// Viterbi maximum-likelihood decoding of terminated convolutional codes.
+//
+// Hard-decision decoding takes received bits; soft-decision decoding takes
+// per-bit log-likelihood ratios LLR = log2 P(bit=0)/P(bit=1), which is what
+// the drift-HMM inner decoder naturally produces.
+#pragma once
+
+#include <vector>
+
+#include "ccap/coding/convolutional.hpp"
+
+namespace ccap::coding {
+
+struct ViterbiResult {
+    Bits info;              ///< decoded information bits (terminator removed)
+    double path_metric = 0; ///< winning metric (hamming distance / -sum LLR)
+    bool terminated_ok = false;  ///< survivor ended in state 0 as expected
+};
+
+/// Hard-decision decode. `received.size()` must be a multiple of the code's
+/// rate denominator and correspond to info_len = steps - (K-1) >= 0 bits.
+[[nodiscard]] ViterbiResult viterbi_decode_hard(const ConvolutionalCode& code,
+                                                std::span<const std::uint8_t> received);
+
+/// Soft-decision decode from bit LLRs (positive favours 0).
+[[nodiscard]] ViterbiResult viterbi_decode_soft(const ConvolutionalCode& code,
+                                                std::span<const double> llrs);
+
+}  // namespace ccap::coding

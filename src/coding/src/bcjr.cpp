@@ -1,0 +1,100 @@
+#include "ccap/coding/bcjr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccap::coding {
+
+BcjrResult bcjr_decode(const ConvolutionalCode& code, std::span<const double> p_one) {
+    const unsigned n = code.rate_denominator();
+    const unsigned num_states = code.num_states();
+    const unsigned k = code.constraint_length();
+    if (p_one.size() % n != 0)
+        throw std::invalid_argument("bcjr_decode: length not a multiple of rate");
+    for (double p : p_one)
+        if (p < 0.0 || p > 1.0) throw std::domain_error("bcjr_decode: probability outside [0,1]");
+    const std::size_t steps = p_one.size() / n;
+    if (steps + 1 < static_cast<std::size_t>(k))
+        throw std::invalid_argument("bcjr_decode: sequence shorter than the terminator");
+    const std::size_t info_len = steps - (k - 1);
+
+    const auto branch_prob = [&](std::uint32_t out, std::size_t t) {
+        double p = 1.0;
+        for (unsigned j = 0; j < n; ++j) {
+            const std::uint8_t bit = (out >> (n - 1 - j)) & 1U;
+            const double p1 = p_one[t * n + j];
+            p *= bit ? p1 : (1.0 - p1);
+        }
+        return p;
+    };
+
+    // Forward (alpha) and backward (beta), normalized per step.
+    std::vector<std::vector<double>> alpha(steps + 1, std::vector<double>(num_states, 0.0));
+    std::vector<std::vector<double>> beta(steps + 1, std::vector<double>(num_states, 0.0));
+    alpha[0][0] = 1.0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        const bool forced_zero = t >= info_len;
+        double norm = 0.0;
+        for (std::uint32_t s = 0; s < num_states; ++s) {
+            const double a = alpha[t][s];
+            if (a == 0.0) continue;
+            for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
+                const auto step = code.step(s, bit);
+                const double v = a * branch_prob(step.output, t) * 0.5;
+                alpha[t + 1][step.next_state] += v;
+                norm += v;
+            }
+        }
+        if (norm > 0.0)
+            for (double& v : alpha[t + 1]) v /= norm;
+    }
+    beta[steps][0] = 1.0;  // terminated: must end in state 0
+    for (std::size_t t = steps; t-- > 0;) {
+        const bool forced_zero = t >= info_len;
+        double norm = 0.0;
+        for (std::uint32_t s = 0; s < num_states; ++s) {
+            double acc = 0.0;
+            for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
+                const auto step = code.step(s, bit);
+                acc += branch_prob(step.output, t) * 0.5 * beta[t + 1][step.next_state];
+            }
+            beta[t][s] = acc;
+            norm += acc;
+        }
+        if (norm > 0.0)
+            for (double& v : beta[t]) v /= norm;
+    }
+
+    BcjrResult res;
+    res.posterior_one.resize(info_len);
+    res.info.resize(info_len);
+    for (std::size_t t = 0; t < info_len; ++t) {
+        double w0 = 0.0, w1 = 0.0;
+        for (std::uint32_t s = 0; s < num_states; ++s) {
+            const double a = alpha[t][s];
+            if (a == 0.0) continue;
+            for (std::uint8_t bit = 0; bit <= 1; ++bit) {
+                const auto step = code.step(s, bit);
+                const double v = a * branch_prob(step.output, t) * beta[t + 1][step.next_state];
+                (bit ? w1 : w0) += v;
+            }
+        }
+        const double total = w0 + w1;
+        const double p1 = total > 0.0 ? w1 / total : 0.5;
+        res.posterior_one[t] = p1;
+        res.info[t] = static_cast<std::uint8_t>(p1 > 0.5);
+    }
+    return res;
+}
+
+BcjrResult bcjr_decode_bsc(const ConvolutionalCode& code, std::span<const std::uint8_t> received,
+                           double p) {
+    check_bits(received, "bcjr_decode_bsc");
+    if (p < 0.0 || p > 1.0) throw std::domain_error("bcjr_decode_bsc: p outside [0,1]");
+    std::vector<double> p_one(received.size());
+    for (std::size_t i = 0; i < received.size(); ++i)
+        p_one[i] = received[i] ? 1.0 - p : p;
+    return bcjr_decode(code, p_one);
+}
+
+}  // namespace ccap::coding

@@ -1,0 +1,50 @@
+#include "ccap/coding/convolutional.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ccap::coding {
+
+ConvolutionalCode::ConvolutionalCode(std::vector<std::uint32_t> generators,
+                                     unsigned constraint_length)
+    : generators_(std::move(generators)), k_(constraint_length) {
+    if (generators_.empty())
+        throw std::invalid_argument("ConvolutionalCode: need at least one generator");
+    if (k_ < 2 || k_ > 16)
+        throw std::invalid_argument("ConvolutionalCode: constraint length must be in [2,16]");
+    for (std::uint32_t g : generators_) {
+        if (g == 0) throw std::invalid_argument("ConvolutionalCode: zero generator");
+        if (g >= (1U << k_))
+            throw std::invalid_argument("ConvolutionalCode: generator wider than constraint length");
+    }
+}
+
+ConvolutionalCode::Step ConvolutionalCode::step(std::uint32_t state, std::uint8_t bit) const noexcept {
+    // Shift register: bit enters as the most recent (LSB position 0 of the
+    // register window); `state` holds the k-1 previous bits.
+    const std::uint32_t window = (state << 1) | bit;  // k bits of history, newest in LSB
+    std::uint32_t out = 0;
+    for (std::uint32_t g : generators_)
+        out = (out << 1) | static_cast<std::uint32_t>(std::popcount(window & g) & 1);
+    const std::uint32_t next_state = window & ((1U << (k_ - 1)) - 1U);
+    return {next_state, out};
+}
+
+Bits ConvolutionalCode::encode(std::span<const std::uint8_t> info) const {
+    check_bits(info, "ConvolutionalCode::encode");
+    const unsigned n = rate_denominator();
+    Bits out;
+    out.reserve((info.size() + k_ - 1) * n);
+    std::uint32_t state = 0;
+    const auto push = [&](std::uint8_t bit) {
+        const Step s = step(state, bit);
+        state = s.next_state;
+        for (unsigned j = 0; j < n; ++j)
+            out.push_back(static_cast<std::uint8_t>((s.output >> (n - 1 - j)) & 1U));
+    };
+    for (std::uint8_t b : info) push(b);
+    for (unsigned i = 0; i < k_ - 1; ++i) push(0);  // terminate to state 0
+    return out;
+}
+
+}  // namespace ccap::coding

@@ -1,0 +1,60 @@
+#include "ccap/coding/interleaver.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "ccap/util/rng.hpp"
+
+namespace ccap::coding {
+
+Interleaver::Interleaver(std::size_t size) {
+    forward_.resize(size);
+    std::iota(forward_.begin(), forward_.end(), std::size_t{0});
+    inverse_ = forward_;
+}
+
+Interleaver::Interleaver(std::vector<std::size_t> forward) : forward_(std::move(forward)) {
+    inverse_.assign(forward_.size(), 0);
+    std::vector<bool> seen(forward_.size(), false);
+    for (std::size_t i = 0; i < forward_.size(); ++i) {
+        const std::size_t j = forward_[i];
+        if (j >= forward_.size() || seen[j])
+            throw std::invalid_argument("Interleaver: not a permutation");
+        seen[j] = true;
+        inverse_[j] = i;
+    }
+}
+
+Interleaver Interleaver::block(std::size_t rows, std::size_t cols) {
+    if (rows == 0 || cols == 0) throw std::invalid_argument("Interleaver::block: zero dimension");
+    std::vector<std::size_t> fwd(rows * cols);
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < cols; ++c)
+        for (std::size_t r = 0; r < rows; ++r) fwd[k++] = r * cols + c;
+    return Interleaver(std::move(fwd));
+}
+
+Interleaver Interleaver::random(std::size_t size, std::uint64_t seed) {
+    std::vector<std::size_t> fwd(size);
+    std::iota(fwd.begin(), fwd.end(), std::size_t{0});
+    util::Rng rng(seed);
+    rng.shuffle(fwd);
+    return Interleaver(std::move(fwd));
+}
+
+Bits Interleaver::apply(std::span<const std::uint8_t> in) const {
+    if (in.size() != forward_.size()) throw std::invalid_argument("Interleaver::apply: size mismatch");
+    Bits out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[forward_[i]];
+    return out;
+}
+
+Bits Interleaver::invert(std::span<const std::uint8_t> in) const {
+    if (in.size() != inverse_.size())
+        throw std::invalid_argument("Interleaver::invert: size mismatch");
+    Bits out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[inverse_[i]];
+    return out;
+}
+
+}  // namespace ccap::coding

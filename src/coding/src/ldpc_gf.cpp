@@ -1,0 +1,251 @@
+#include "ccap/coding/ldpc_gf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "ccap/util/rng.hpp"
+
+namespace ccap::coding {
+
+NbLdpcCode::NbLdpcCode(NbLdpcParams params) : params_(params), gf_(params.field_m) {
+    if (params_.n < 2) throw std::invalid_argument("NbLdpcCode: n too small");
+    if (params_.num_checks == 0 || params_.num_checks >= params_.n)
+        throw std::invalid_argument("NbLdpcCode: need 0 < num_checks < n");
+    if (params_.var_degree < 2 || params_.var_degree > params_.num_checks)
+        throw std::invalid_argument("NbLdpcCode: var_degree out of range");
+    // Retry construction until H has full rank (random regular graphs very
+    // rarely fail, but encoding requires it).
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        build_graph(params_.seed + static_cast<std::uint64_t>(attempt) * 0x9E37);
+        gaussian_eliminate();
+        if (rref_.size() == params_.num_checks) return;
+    }
+    throw std::runtime_error("NbLdpcCode: could not build a full-rank parity matrix");
+}
+
+void NbLdpcCode::build_graph(std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t n = params_.n;
+    const std::size_t m = params_.num_checks;
+    const std::size_t num_edges = n * params_.var_degree;
+
+    // Check sockets distributed as evenly as possible, then shuffled.
+    std::vector<std::uint32_t> sockets(num_edges);
+    for (std::size_t e = 0; e < num_edges; ++e)
+        sockets[e] = static_cast<std::uint32_t>(e % m);
+    rng.shuffle(sockets);
+
+    // Resolve duplicate (var, chk) pairs by swapping sockets forward.
+    const auto has_dup = [&](std::size_t v) {
+        const std::size_t base = v * params_.var_degree;
+        for (std::size_t i = 0; i < params_.var_degree; ++i)
+            for (std::size_t j = i + 1; j < params_.var_degree; ++j)
+                if (sockets[base + i] == sockets[base + j]) return true;
+        return false;
+    };
+    for (std::size_t v = 0; v < n; ++v) {
+        for (int tries = 0; tries < 512 && has_dup(v); ++tries) {
+            const std::size_t base = v * params_.var_degree;
+            const std::size_t i = base + rng.uniform_below(params_.var_degree);
+            const std::size_t j = rng.uniform_below(num_edges);
+            std::swap(sockets[i], sockets[j]);
+        }
+    }
+
+    edges_.clear();
+    edges_.reserve(num_edges);
+    var_edges_.assign(n, {});
+    chk_edges_.assign(m, {});
+    for (std::size_t v = 0; v < n; ++v) {
+        for (unsigned d = 0; d < params_.var_degree; ++d) {
+            Edge e;
+            e.var = static_cast<std::uint32_t>(v);
+            e.chk = sockets[v * params_.var_degree + d];
+            e.coeff = static_cast<std::uint16_t>(1 + rng.uniform_below(gf_.size() - 1));
+            const auto id = static_cast<std::uint32_t>(edges_.size());
+            var_edges_[v].push_back(id);
+            chk_edges_[e.chk].push_back(id);
+            edges_.push_back(e);
+        }
+    }
+}
+
+void NbLdpcCode::gaussian_eliminate() {
+    const std::size_t n = params_.n;
+    const std::size_t m = params_.num_checks;
+    // Dense H from the edge list (duplicate edges would have been resolved;
+    // if any remain their coefficients add in GF).
+    std::vector<std::vector<std::uint16_t>> h(m, std::vector<std::uint16_t>(n, 0));
+    for (const Edge& e : edges_) h[e.chk][e.var] = gf_.add(h[e.chk][e.var], e.coeff);
+
+    pivot_cols_.clear();
+    std::vector<bool> is_pivot(n, false);
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < n && rank < m; ++col) {
+        std::size_t pivot_row = rank;
+        while (pivot_row < m && h[pivot_row][col] == 0) ++pivot_row;
+        if (pivot_row == m) continue;
+        std::swap(h[rank], h[pivot_row]);
+        // Scale pivot row to make the pivot 1.
+        const std::uint16_t inv = gf_.inv(h[rank][col]);
+        for (std::size_t c = 0; c < n; ++c) h[rank][c] = gf_.mul(h[rank][c], inv);
+        // Eliminate the column everywhere else.
+        for (std::size_t r = 0; r < m; ++r) {
+            if (r == rank || h[r][col] == 0) continue;
+            const std::uint16_t f = h[r][col];
+            for (std::size_t c = 0; c < n; ++c)
+                h[r][c] = gf_.sub(h[r][c], gf_.mul(f, h[rank][c]));
+        }
+        pivot_cols_.push_back(static_cast<std::uint32_t>(col));
+        is_pivot[col] = true;
+        ++rank;
+    }
+    rref_.assign(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(rank));
+    info_cols_.clear();
+    for (std::size_t c = 0; c < n; ++c)
+        if (!is_pivot[c]) info_cols_.push_back(static_cast<std::uint32_t>(c));
+}
+
+std::vector<std::uint16_t> NbLdpcCode::encode(std::span<const std::uint16_t> info) const {
+    if (info.size() != info_cols_.size())
+        throw std::invalid_argument("NbLdpcCode::encode: expected k() info symbols");
+    for (std::uint16_t s : info)
+        if (s >= gf_.size()) throw std::out_of_range("NbLdpcCode::encode: symbol out of field");
+    std::vector<std::uint16_t> word(params_.n, 0);
+    for (std::size_t i = 0; i < info.size(); ++i) word[info_cols_[i]] = info[i];
+    // Each pivot row r reads: x[pivot_r] + sum_{c in info} h[r][c] x[c] = 0.
+    for (std::size_t r = 0; r < rref_.size(); ++r) {
+        std::uint16_t acc = 0;
+        for (std::uint32_t c : info_cols_)
+            acc = gf_.add(acc, gf_.mul(rref_[r][c], word[c]));
+        word[pivot_cols_[r]] = acc;  // -acc == acc in characteristic 2
+    }
+    return word;
+}
+
+std::vector<std::uint16_t> NbLdpcCode::extract_info(
+    std::span<const std::uint16_t> codeword) const {
+    if (codeword.size() != params_.n)
+        throw std::invalid_argument("NbLdpcCode::extract_info: wrong length");
+    std::vector<std::uint16_t> info(info_cols_.size());
+    for (std::size_t i = 0; i < info_cols_.size(); ++i) info[i] = codeword[info_cols_[i]];
+    return info;
+}
+
+bool NbLdpcCode::check(std::span<const std::uint16_t> word) const {
+    if (word.size() != params_.n) return false;
+    for (std::uint16_t s : word)
+        if (s >= gf_.size()) return false;
+    std::vector<std::uint16_t> syndrome(params_.num_checks, 0);
+    for (const Edge& e : edges_)
+        syndrome[e.chk] = gf_.add(syndrome[e.chk], gf_.mul(e.coeff, word[e.var]));
+    return std::all_of(syndrome.begin(), syndrome.end(), [](std::uint16_t s) { return s == 0; });
+}
+
+NbLdpcDecodeResult NbLdpcCode::decode(const util::Matrix& likelihoods,
+                                      int max_iterations) const {
+    const std::size_t n = params_.n;
+    const unsigned q = gf_.size();
+    if (likelihoods.rows() != n || likelihoods.cols() != q)
+        throw std::invalid_argument("NbLdpcCode::decode: likelihood matrix must be n x q");
+
+    constexpr double kFloor = 1e-12;
+    // Row-normalized channel likelihoods.
+    util::Matrix chan(n, q);
+    for (std::size_t v = 0; v < n; ++v) {
+        double norm = 0.0;
+        for (unsigned s = 0; s < q; ++s) {
+            const double val = std::max(likelihoods(v, s), 0.0) + kFloor;
+            chan(v, s) = val;
+            norm += val;
+        }
+        for (unsigned s = 0; s < q; ++s) chan(v, s) /= norm;
+    }
+
+    const std::size_t num_edges = edges_.size();
+    // msg_vc[e], msg_cv[e]: length-q distributions per edge.
+    std::vector<std::vector<double>> msg_vc(num_edges, std::vector<double>(q));
+    std::vector<std::vector<double>> msg_cv(num_edges, std::vector<double>(q, 1.0 / q));
+    for (std::size_t e = 0; e < num_edges; ++e)
+        for (unsigned s = 0; s < q; ++s) msg_vc[e][s] = chan(edges_[e].var, s);
+
+    NbLdpcDecodeResult res;
+    res.symbols.assign(n, 0);
+
+    std::vector<double> tilted(q), acc(q), tmp(q);
+    for (int iter = 1; iter <= max_iterations; ++iter) {
+        // ---- check-node update: XOR-convolution with prefix/suffix products.
+        for (std::size_t c = 0; c < chk_edges_.size(); ++c) {
+            const auto& eids = chk_edges_[c];
+            const std::size_t deg = eids.size();
+            if (deg == 0) continue;
+            // Tilt each incoming message by its coefficient: T_e[h*s] = msg[s].
+            std::vector<std::vector<double>> t(deg, std::vector<double>(q, 0.0));
+            for (std::size_t i = 0; i < deg; ++i) {
+                const Edge& e = edges_[eids[i]];
+                for (unsigned s = 0; s < q; ++s)
+                    t[i][gf_.mul(e.coeff, static_cast<std::uint16_t>(s))] = msg_vc[eids[i]][s];
+            }
+            // prefix[i] = conv(t_0..t_{i-1}); suffix[i] = conv(t_{i+1}..).
+            std::vector<std::vector<double>> prefix(deg + 1, std::vector<double>(q, 0.0));
+            std::vector<std::vector<double>> suffix(deg + 1, std::vector<double>(q, 0.0));
+            prefix[0][0] = 1.0;
+            suffix[deg][0] = 1.0;
+            const auto xor_conv = [&](const std::vector<double>& f, const std::vector<double>& g,
+                                      std::vector<double>& out) {
+                std::fill(out.begin(), out.end(), 0.0);
+                for (unsigned u = 0; u < q; ++u) {
+                    if (f[u] == 0.0) continue;
+                    for (unsigned v2 = 0; v2 < q; ++v2) out[u ^ v2] += f[u] * g[v2];
+                }
+            };
+            for (std::size_t i = 0; i < deg; ++i) xor_conv(prefix[i], t[i], prefix[i + 1]);
+            for (std::size_t i = deg; i-- > 0;) xor_conv(suffix[i + 1], t[i], suffix[i]);
+            for (std::size_t i = 0; i < deg; ++i) {
+                xor_conv(prefix[i], suffix[i + 1], tmp);  // distribution of sum w/o edge i
+                // Constraint sum == 0  =>  t_i must equal the partial sum.
+                const Edge& e = edges_[eids[i]];
+                auto& out = msg_cv[eids[i]];
+                double norm = 0.0;
+                for (unsigned s = 0; s < q; ++s) {
+                    out[s] = tmp[gf_.mul(e.coeff, static_cast<std::uint16_t>(s))] + kFloor;
+                    norm += out[s];
+                }
+                for (unsigned s = 0; s < q; ++s) out[s] /= norm;
+            }
+        }
+
+        // ---- variable-node update + posterior hard decision.
+        for (std::size_t v = 0; v < n; ++v) {
+            for (unsigned s = 0; s < q; ++s) acc[s] = chan(v, s);
+            for (std::uint32_t eid : var_edges_[v])
+                for (unsigned s = 0; s < q; ++s) acc[s] *= msg_cv[eid][s];
+            // Posterior decision.
+            unsigned best = 0;
+            for (unsigned s = 1; s < q; ++s)
+                if (acc[s] > acc[best]) best = s;
+            res.symbols[v] = static_cast<std::uint16_t>(best);
+            // Extrinsic messages.
+            for (std::uint32_t eid : var_edges_[v]) {
+                auto& out = msg_vc[eid];
+                double norm = 0.0;
+                for (unsigned s = 0; s < q; ++s) {
+                    const double denom = std::max(msg_cv[eid][s], kFloor);
+                    out[s] = acc[s] / denom + kFloor;
+                    norm += out[s];
+                }
+                for (unsigned s = 0; s < q; ++s) out[s] /= norm;
+            }
+        }
+
+        res.iterations = iter;
+        if (check(res.symbols)) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+}  // namespace ccap::coding

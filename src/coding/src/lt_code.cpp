@@ -1,0 +1,132 @@
+#include "ccap/coding/lt_code.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ccap/util/rng.hpp"
+
+namespace ccap::coding {
+
+void LtParams::validate() const {
+    if (k < 2) throw std::invalid_argument("LtParams: k must be >= 2");
+    if (!(c > 0.0)) throw std::domain_error("LtParams: c must be > 0");
+    if (!(delta > 0.0) || delta >= 1.0)
+        throw std::domain_error("LtParams: delta must be in (0,1)");
+}
+
+LtCode::LtCode(LtParams params) : params_(params) {
+    params_.validate();
+    const auto k = static_cast<double>(params_.k);
+    // Ideal soliton rho(d), spike tau(d) at k/R, normalized (robust soliton).
+    const double r = params_.c * std::log(k / params_.delta) * std::sqrt(k);
+    const auto spike = static_cast<std::size_t>(
+        std::clamp(std::round(k / std::max(1.0, r)), 1.0, k));
+    degree_pmf_.assign(params_.k, 0.0);
+    degree_pmf_[0] = 1.0 / k;  // rho(1)
+    for (std::size_t d = 2; d <= params_.k; ++d)
+        degree_pmf_[d - 1] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+    // tau
+    for (std::size_t d = 1; d < spike; ++d)
+        degree_pmf_[d - 1] += r / (static_cast<double>(d) * k);
+    if (spike >= 1 && spike <= params_.k)
+        degree_pmf_[spike - 1] += r * std::log(r / params_.delta) / k;
+    double norm = 0.0;
+    for (double& p : degree_pmf_) {
+        p = std::max(p, 0.0);
+        norm += p;
+    }
+    for (double& p : degree_pmf_) p /= norm;
+    degree_cdf_.resize(params_.k);
+    double acc = 0.0;
+    for (std::size_t d = 0; d < params_.k; ++d) {
+        acc += degree_pmf_[d];
+        degree_cdf_[d] = acc;
+    }
+    degree_cdf_.back() = 1.0;
+}
+
+std::vector<std::size_t> LtCode::neighbors(std::uint64_t index) const {
+    // Deterministic per-index stream derived from the shared seed.
+    util::Rng rng(params_.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(degree_cdf_.begin(), degree_cdf_.end(), u);
+    std::size_t degree = static_cast<std::size_t>(it - degree_cdf_.begin()) + 1;
+    degree = std::min(degree, params_.k);
+    // Sample `degree` distinct source indices (Floyd's algorithm flavour:
+    // repeated draws with rejection — degree << k in expectation).
+    std::vector<std::size_t> picked;
+    picked.reserve(degree);
+    while (picked.size() < degree) {
+        const std::size_t cand = rng.uniform_below(params_.k);
+        if (std::find(picked.begin(), picked.end(), cand) == picked.end())
+            picked.push_back(cand);
+    }
+    std::sort(picked.begin(), picked.end());
+    return picked;
+}
+
+std::uint32_t LtCode::encode_symbol(std::uint64_t index,
+                                    std::span<const std::uint32_t> source) const {
+    if (source.size() != params_.k)
+        throw std::invalid_argument("LtCode::encode_symbol: source size != k");
+    std::uint32_t v = 0;
+    for (std::size_t i : neighbors(index)) v ^= source[i];
+    return v;
+}
+
+LtDecoder::LtDecoder(const LtCode& code)
+    : code_(&code), source_(code.k()), by_source_(code.k()) {}
+
+void LtDecoder::resolve(std::size_t source_index, std::uint32_t value) {
+    // BFS peeling: resolving one source symbol may release others.
+    std::vector<std::pair<std::size_t, std::uint32_t>> queue = {{source_index, value}};
+    while (!queue.empty()) {
+        const auto [si, val] = queue.back();
+        queue.pop_back();
+        if (source_[si]) continue;
+        source_[si] = val;
+        ++decoded_count_;
+        for (std::size_t pid : by_source_[si]) {
+            Pending& p = pending_[pid];
+            const auto it = std::find(p.remaining.begin(), p.remaining.end(), si);
+            if (it == p.remaining.end()) continue;
+            p.remaining.erase(it);
+            p.value ^= val;
+            if (p.remaining.size() == 1) {
+                const std::size_t last = p.remaining.front();
+                p.remaining.clear();
+                if (!source_[last]) queue.emplace_back(last, p.value);
+            }
+        }
+        by_source_[si].clear();
+    }
+}
+
+bool LtDecoder::add_symbol(std::uint64_t index, std::uint32_t value) {
+    if (complete()) return true;
+    if (std::find(seen_indices_.begin(), seen_indices_.end(), index) != seen_indices_.end())
+        return complete();
+    seen_indices_.push_back(index);
+    ++consumed_;
+
+    Pending p;
+    p.value = value;
+    for (std::size_t si : code_->neighbors(index)) {
+        if (source_[si])
+            p.value ^= *source_[si];
+        else
+            p.remaining.push_back(si);
+    }
+    if (p.remaining.empty()) return complete();  // redundant symbol
+    if (p.remaining.size() == 1) {
+        resolve(p.remaining.front(), p.value);
+        return complete();
+    }
+    const std::size_t pid = pending_.size();
+    for (std::size_t si : p.remaining) by_source_[si].push_back(pid);
+    pending_.push_back(std::move(p));
+    return complete();
+}
+
+}  // namespace ccap::coding

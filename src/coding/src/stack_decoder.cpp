@@ -1,0 +1,202 @@
+#include "ccap/coding/stack_decoder.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ccap::coding {
+
+void StackDecoderParams::validate() const {
+    if (p_d < 0.0 || p_i < 0.0 || p_s < 0.0 || p_s > 1.0)
+        throw std::domain_error("StackDecoderParams: negative probability");
+    if (p_d + p_i >= 1.0)
+        throw std::domain_error("StackDecoderParams: p_d + p_i must be < 1");
+    if (max_insert_run < 1)
+        throw std::domain_error("StackDecoderParams: max_insert_run must be >= 1");
+    if (max_expansions == 0)
+        throw std::domain_error("StackDecoderParams: zero expansion budget");
+}
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Branch likelihoods: probabilities of producing exactly k received bits
+/// from the `bits` coded in one trellis step, for k = 0..k_max.
+/// Micro drift forward, identical generative model to info::DriftHmm.
+class BranchModel {
+public:
+    BranchModel(const StackDecoderParams& p, unsigned bits_per_branch)
+        : p_t_(1.0 - p.p_d - p.p_i),
+          p_d_(p.p_d),
+          p_s_(p.p_s),
+          max_ins_(p.max_insert_run),
+          n_(bits_per_branch),
+          k_max_(bits_per_branch + static_cast<unsigned>(p.max_insert_run)) {
+        half_pi_ = 0.5 * p.p_i;  // insertion emits a uniform bit
+        ins_pow_.resize(static_cast<std::size_t>(max_ins_) + 1);
+        ins_pow_[0] = 1.0;
+        for (std::size_t g = 1; g < ins_pow_.size(); ++g)
+            ins_pow_[g] = ins_pow_[g - 1] * half_pi_;
+    }
+
+    [[nodiscard]] unsigned k_max() const noexcept { return k_max_; }
+
+    /// out[k] = P(rx_window[0..k) | branch bits). rx_window may be shorter
+    /// than k_max (end of stream); entries beyond its length stay 0.
+    void likelihoods(std::uint32_t branch_output, std::span<const std::uint8_t> rx_window,
+                     std::vector<double>& out) const {
+        out.assign(k_max_ + 1, 0.0);
+        // forward[j] over consumed counts; process the n branch bits.
+        std::vector<double> cur(k_max_ + 1, 0.0), next(k_max_ + 1, 0.0);
+        cur[0] = 1.0;
+        for (unsigned i = 0; i < n_; ++i) {
+            const auto bit = static_cast<std::uint8_t>((branch_output >> (n_ - 1 - i)) & 1U);
+            std::fill(next.begin(), next.end(), 0.0);
+            for (unsigned j = 0; j <= k_max_; ++j) {
+                const double mass = cur[j];
+                if (mass == 0.0) continue;
+                for (int g = 0; g <= max_ins_; ++g) {
+                    const unsigned consumed_del = j + static_cast<unsigned>(g);
+                    // deletion after g insertions
+                    if (consumed_del <= k_max_ && consumed_del <= rx_window.size())
+                        next[consumed_del] += mass * ins_pow_[static_cast<std::size_t>(g)] * p_d_;
+                    // transmission after g insertions (consumes one more)
+                    const unsigned consumed_tx = consumed_del + 1;
+                    if (consumed_tx <= k_max_ && consumed_tx <= rx_window.size()) {
+                        const std::uint8_t r = rx_window[consumed_tx - 1];
+                        const double emit = r == bit ? 1.0 - p_s_ : p_s_;
+                        next[consumed_tx] +=
+                            mass * ins_pow_[static_cast<std::size_t>(g)] * p_t_ * emit;
+                    }
+                }
+            }
+            cur.swap(next);
+        }
+        out = cur;
+    }
+
+private:
+    double p_t_, p_d_, p_s_, half_pi_;
+    int max_ins_;
+    unsigned n_;
+    unsigned k_max_;
+    std::vector<double> ins_pow_;
+};
+
+struct Node {
+    double metric = 0.0;
+    std::uint32_t id = 0;  // arena index
+};
+struct Worse {
+    bool operator()(const Node& a, const Node& b) const noexcept { return a.metric < b.metric; }
+};
+
+struct Hypothesis {
+    std::uint32_t parent = 0;
+    std::uint32_t state = 0;
+    std::uint32_t step = 0;
+    std::uint32_t rx_pos = 0;
+    std::uint8_t bit = 0;
+};
+
+[[nodiscard]] std::uint64_t key_of(std::uint32_t step, std::uint32_t state,
+                                   std::uint32_t rx_pos) noexcept {
+    return (static_cast<std::uint64_t>(step) << 40) ^
+           (static_cast<std::uint64_t>(state) << 24) ^ rx_pos;
+}
+
+}  // namespace
+
+StackDecodeResult stack_decode(const ConvolutionalCode& code,
+                               std::span<const std::uint8_t> received, std::size_t info_len,
+                               const StackDecoderParams& params) {
+    params.validate();
+    check_bits(received, "stack_decode");
+    const unsigned n = code.rate_denominator();
+    const unsigned k = code.constraint_length();
+    const std::size_t steps = info_len + k - 1;
+    const auto m = static_cast<std::uint32_t>(received.size());
+
+    const BranchModel branch(params, n);
+    // Massey/Fano metric: each consumed received bit contributes
+    // log2 P(y|x) - log2 P(y) - R, i.e. a bias of (1 - R) per consumed bit
+    // with R = 1/n the code rate. This makes the expected increment positive
+    // on the correct path and firmly negative on wrong ones.
+    const double kBias = 1.0 - 1.0 / static_cast<double>(n);
+    const double log_one_minus_pi = std::log2(1.0 - params.p_i);
+    const double log_trail_step = std::log2(0.5 * params.p_i);  // per trailing insertion
+
+    std::vector<Hypothesis> arena;
+    arena.reserve(4096);
+    arena.push_back({});  // root: step 0, state 0, rx 0
+    std::priority_queue<Node, std::vector<Node>, Worse> stack;
+    stack.push({0.0, 0});
+    std::unordered_map<std::uint64_t, double> best_metric;
+    best_metric[key_of(0, 0, 0)] = 0.0;
+
+    StackDecodeResult result;
+    std::vector<double> like;
+    while (!stack.empty() && result.expansions < params.max_expansions) {
+        const Node node = stack.top();
+        stack.pop();
+        const Hypothesis hyp = arena[node.id];
+        const auto it = best_metric.find(key_of(hyp.step, hyp.state, hyp.rx_pos));
+        if (it != best_metric.end() && node.metric < it->second - 1e-12) continue;  // stale
+        ++result.expansions;
+
+        if (hyp.step == steps) {
+            // Terminal nodes carry their *final* metric (trailing-insertion
+            // tail included at push time), so the first one popped is the
+            // best complete hypothesis currently known.
+            result.success = true;
+            result.metric = node.metric;
+            // Trace back the input bits.
+            Bits all(steps, 0);
+            std::uint32_t cursor = node.id;
+            for (std::size_t t = steps; t-- > 0;) {
+                all[t] = arena[cursor].bit;
+                cursor = arena[cursor].parent;
+            }
+            result.info.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(info_len));
+            return result;
+        }
+
+        const bool forced_zero = hyp.step >= info_len;  // terminator region
+        for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
+            const auto step = code.step(hyp.state, bit);
+            const std::size_t window_len =
+                std::min<std::size_t>(branch.k_max(), m - hyp.rx_pos);
+            branch.likelihoods(step.output, received.subspan(hyp.rx_pos, window_len), like);
+            for (std::uint32_t consumed = 0; consumed < like.size(); ++consumed) {
+                const double p = like[consumed];
+                if (p <= 0.0) continue;
+                double metric =
+                    node.metric + std::log2(p) + kBias * static_cast<double>(consumed);
+                const std::uint32_t rx_pos = hyp.rx_pos + consumed;
+                if (hyp.step + 1 == steps) {
+                    // Fold in the trailing-insertion tail so terminal nodes
+                    // compete on their true final likelihood.
+                    const std::uint32_t rest = m - rx_pos;
+                    metric += log_one_minus_pi;
+                    if (rest > 0)
+                        metric += static_cast<double>(rest) * (log_trail_step + kBias);
+                    if (!std::isfinite(metric)) continue;
+                }
+                const std::uint64_t key = key_of(hyp.step + 1, step.next_state, rx_pos);
+                auto [slot, inserted] = best_metric.try_emplace(key, metric);
+                if (!inserted && slot->second >= metric) continue;
+                slot->second = metric;
+                arena.push_back(
+                    {node.id, step.next_state, hyp.step + 1, rx_pos, bit});
+                stack.push({metric, static_cast<std::uint32_t>(arena.size() - 1)});
+            }
+        }
+    }
+    return result;  // budget exhausted
+}
+
+}  // namespace ccap::coding

@@ -1,0 +1,113 @@
+#include "ccap/coding/viterbi.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ccap::coding {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared trellis sweep; branch_cost(step_output_bits, trellis_step) returns
+/// the additive cost of emitting those n bits at that step.
+template <typename CostFn>
+ViterbiResult run_viterbi(const ConvolutionalCode& code, std::size_t steps, CostFn&& branch_cost) {
+    const unsigned num_states = code.num_states();
+    const unsigned k = code.constraint_length();
+    if (steps + 1 < static_cast<std::size_t>(k))
+        throw std::invalid_argument("viterbi: sequence shorter than the terminator");
+    const std::size_t info_len = steps - (k - 1);
+
+    std::vector<double> metric(num_states, kInf), next_metric(num_states, kInf);
+    metric[0] = 0.0;
+    // survivor[t][s] = input bit and predecessor state.
+    struct Back {
+        std::uint32_t prev = 0;
+        std::uint8_t bit = 0;
+    };
+    std::vector<std::vector<Back>> survivor(steps, std::vector<Back>(num_states));
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        std::fill(next_metric.begin(), next_metric.end(), kInf);
+        const bool forced_zero = t >= info_len;  // terminator region
+        for (std::uint32_t s = 0; s < num_states; ++s) {
+            if (metric[s] == kInf) continue;
+            for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
+                const auto step = code.step(s, bit);
+                const double m = metric[s] + branch_cost(step.output, t);
+                if (m < next_metric[step.next_state]) {
+                    next_metric[step.next_state] = m;
+                    survivor[t][step.next_state] = {s, bit};
+                }
+            }
+        }
+        metric.swap(next_metric);
+    }
+
+    ViterbiResult res;
+    std::uint32_t state = 0;  // terminated codes end in the zero state
+    res.terminated_ok = metric[0] != kInf;
+    if (!res.terminated_ok) {
+        // Fall back to the best ending state (e.g. truncated input).
+        double best = kInf;
+        for (std::uint32_t s = 0; s < num_states; ++s)
+            if (metric[s] < best) {
+                best = metric[s];
+                state = s;
+            }
+    }
+    res.path_metric = metric[state];
+    Bits all(steps);
+    for (std::size_t t = steps; t-- > 0;) {
+        const Back& b = survivor[t][state];
+        all[t] = b.bit;
+        state = b.prev;
+    }
+    res.info.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(info_len));
+    return res;
+}
+
+}  // namespace
+
+ViterbiResult viterbi_decode_hard(const ConvolutionalCode& code,
+                                  std::span<const std::uint8_t> received) {
+    check_bits(received, "viterbi_decode_hard");
+    const unsigned n = code.rate_denominator();
+    if (received.size() % n != 0)
+        throw std::invalid_argument("viterbi_decode_hard: length not a multiple of rate");
+    const std::size_t steps = received.size() / n;
+    return run_viterbi(code, steps, [&](std::uint32_t out, std::size_t t) {
+        double cost = 0.0;
+        for (unsigned j = 0; j < n; ++j) {
+            const std::uint8_t expect = (out >> (n - 1 - j)) & 1U;
+            cost += (expect != received[t * n + j]) ? 1.0 : 0.0;
+        }
+        return cost;
+    });
+}
+
+ViterbiResult viterbi_decode_soft(const ConvolutionalCode& code, std::span<const double> llrs) {
+    const unsigned n = code.rate_denominator();
+    if (llrs.size() % n != 0)
+        throw std::invalid_argument("viterbi_decode_soft: length not a multiple of rate");
+    const std::size_t steps = llrs.size() / n;
+    return run_viterbi(code, steps, [&](std::uint32_t out, std::size_t t) {
+        // Cost of a bit b given LLR L = log2(P0/P1): choose -log2 P(b), which
+        // up to a per-step constant equals (b==1 ? L : 0) ... use the exact
+        // softplus form for numerical sanity.
+        double cost = 0.0;
+        for (unsigned j = 0; j < n; ++j) {
+            const std::uint8_t expect = (out >> (n - 1 - j)) & 1U;
+            const double l = llrs[t * n + j];
+            // -log2 P(expect): log2(1 + 2^{-|l|}) when the sign agrees,
+            // log2(1 + 2^{|l|}) when it disagrees.
+            const bool agrees = (expect == 0) == (l >= 0.0);
+            const double a = std::abs(l);
+            cost += agrees ? std::log2(1.0 + std::exp2(-a)) : (a + std::log2(1.0 + std::exp2(-a)));
+        }
+        return cost;
+    });
+}
+
+}  // namespace ccap::coding

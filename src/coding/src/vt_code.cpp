@@ -1,0 +1,152 @@
+#include "ccap/coding/vt_code.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ccap::coding {
+namespace {
+
+[[nodiscard]] bool is_power_of_two(unsigned v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+VtCode::VtCode(unsigned n, unsigned a) : n_(n), a_(a) {
+    if (n < 2) throw std::invalid_argument("VtCode: block length must be >= 2");
+    if (a > n) throw std::invalid_argument("VtCode: residue must be in [0, n]");
+}
+
+unsigned VtCode::data_bits() const noexcept {
+    // Parity positions are the powers of two <= n: floor(log2(n)) + 1 of them.
+    const unsigned parity = std::bit_width(n_);
+    return n_ - parity;
+}
+
+unsigned VtCode::checksum(std::span<const std::uint8_t> word) const {
+    if (word.size() != n_) throw std::invalid_argument("VtCode::checksum: wrong length");
+    check_bits(word, "VtCode::checksum");
+    unsigned s = 0;
+    for (unsigned i = 0; i < n_; ++i)
+        if (word[i]) s = (s + i + 1) % (n_ + 1);
+    return s;
+}
+
+bool VtCode::is_codeword(std::span<const std::uint8_t> word) const {
+    return word.size() == n_ && checksum(word) == a_;
+}
+
+Bits VtCode::encode(std::span<const std::uint8_t> info) const {
+    if (info.size() != data_bits())
+        throw std::invalid_argument("VtCode::encode: expected exactly data_bits() info bits");
+    check_bits(info, "VtCode::encode");
+    Bits word(n_, 0);
+    std::size_t next_info = 0;
+    unsigned data_sum = 0;
+    for (unsigned pos = 1; pos <= n_; ++pos) {
+        if (is_power_of_two(pos)) continue;
+        const std::uint8_t b = info[next_info++];
+        word[pos - 1] = b;
+        if (b) data_sum = (data_sum + pos) % (n_ + 1);
+    }
+    // Deficiency d in [0, n]; its binary representation uses only powers of
+    // two <= n (since d <= n < 2*bit_width), so parity bits realize it.
+    unsigned d = (a_ + (n_ + 1) - data_sum) % (n_ + 1);
+    for (unsigned pos = 1; pos <= n_; pos <<= 1) {
+        if (d & pos) word[pos - 1] = 1;
+    }
+    return word;
+}
+
+Bits VtCode::extract_info(std::span<const std::uint8_t> codeword) const {
+    if (codeword.size() != n_)
+        throw std::invalid_argument("VtCode::extract_info: wrong length");
+    Bits info;
+    info.reserve(data_bits());
+    for (unsigned pos = 1; pos <= n_; ++pos)
+        if (!is_power_of_two(pos)) info.push_back(codeword[pos - 1]);
+    return info;
+}
+
+Bits VtCode::correct_deletion(std::span<const std::uint8_t> received) const {
+    // Levenshtein's O(n) rule. Let w = weight(received) and
+    // s = (a - checksum(received under original positions)) mod (n+1).
+    //   s <= w : the deleted bit was 0; reinsert it with exactly s ones to
+    //            its right.
+    //   s >  w : the deleted bit was 1; reinsert it with exactly s - w - 1
+    //            zeros to its left.
+    unsigned partial = 0;
+    unsigned w = 0;
+    for (unsigned i = 0; i < received.size(); ++i)
+        if (received[i]) {
+            partial = (partial + i + 1) % (n_ + 1);
+            ++w;
+        }
+    const unsigned s = (a_ + (n_ + 1) - partial) % (n_ + 1);
+
+    Bits word(received.begin(), received.end());
+    if (s <= w) {
+        // Insert 0 with s ones to its right: walk from the end counting ones.
+        unsigned ones_right = 0;
+        std::size_t pos = word.size();
+        while (pos > 0 && ones_right < s) {
+            --pos;
+            if (word[pos]) ++ones_right;
+        }
+        word.insert(word.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+    } else {
+        // Insert 1 with (s - w - 1) zeros to its left.
+        const unsigned zeros_left = s - w - 1;
+        unsigned zeros = 0;
+        std::size_t pos = 0;
+        while (pos < word.size() && zeros < zeros_left) {
+            if (!word[pos]) ++zeros;
+            ++pos;
+        }
+        // Skip any further ones so exactly zeros_left zeros precede.
+        while (pos < word.size() && word[pos] == 1) ++pos;
+        word.insert(word.begin() + static_cast<std::ptrdiff_t>(pos), 1);
+    }
+    return word;
+}
+
+VtDecodeResult VtCode::decode(std::span<const std::uint8_t> received) const {
+    check_bits(received, "VtCode::decode");
+    VtDecodeResult res;
+    if (received.size() == n_) {
+        if (checksum(received) == a_) {
+            res.status = VtStatus::ok;
+            res.codeword.assign(received.begin(), received.end());
+        } else {
+            res.status = VtStatus::detected_failure;
+            return res;
+        }
+    } else if (received.size() + 1 == n_) {
+        res.codeword = correct_deletion(received);
+        res.status = is_codeword(res.codeword) ? VtStatus::ok : VtStatus::detected_failure;
+        if (res.status != VtStatus::ok) return res;
+    } else if (received.size() == n_ + 1U) {
+        // One insertion: deleting the right position restores the unique
+        // codeword (Levenshtein). Try each distinct deletion.
+        Bits candidate(received.begin(), received.end());
+        res.status = VtStatus::detected_failure;
+        for (std::size_t i = 0; i < received.size(); ++i) {
+            if (i > 0 && received[i] == received[i - 1]) continue;  // same string
+            Bits trial;
+            trial.reserve(n_);
+            for (std::size_t j = 0; j < received.size(); ++j)
+                if (j != i) trial.push_back(received[j]);
+            if (is_codeword(trial)) {
+                res.codeword = std::move(trial);
+                res.status = VtStatus::ok;
+                break;
+            }
+        }
+        if (res.status != VtStatus::ok) return res;
+    } else {
+        res.status = VtStatus::bad_length;
+        return res;
+    }
+    res.info = extract_info(res.codeword);
+    return res;
+}
+
+}  // namespace ccap::coding

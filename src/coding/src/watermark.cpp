@@ -1,0 +1,116 @@
+#include "ccap/coding/watermark.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ccap::coding {
+
+std::vector<std::vector<std::uint8_t>> sparse_codebook(unsigned q, unsigned chunk_bits) {
+    if (chunk_bits == 0 || chunk_bits > 20)
+        throw std::invalid_argument("sparse_codebook: chunk_bits out of range");
+    if (q == 0 || q > (1U << chunk_bits))
+        throw std::invalid_argument("sparse_codebook: q exceeds 2^chunk_bits");
+    std::vector<std::uint32_t> all(1U << chunk_bits);
+    for (std::uint32_t v = 0; v < all.size(); ++v) all[v] = v;
+    std::stable_sort(all.begin(), all.end(), [](std::uint32_t a, std::uint32_t b) {
+        const int wa = std::popcount(a), wb = std::popcount(b);
+        return wa != wb ? wa < wb : a < b;
+    });
+    std::vector<std::vector<std::uint8_t>> book(q);
+    for (unsigned i = 0; i < q; ++i) {
+        book[i].resize(chunk_bits);
+        for (unsigned j = 0; j < chunk_bits; ++j)
+            book[i][j] = static_cast<std::uint8_t>((all[i] >> (chunk_bits - 1 - j)) & 1U);
+    }
+    return book;
+}
+
+WatermarkCode::WatermarkCode(WatermarkParams params)
+    : params_(params),
+      ldpc_({params.bits_per_symbol, params.num_symbols, params.num_checks,
+             params.ldpc_var_degree, params.ldpc_seed}) {
+    if (params_.chunk_bits < params_.bits_per_symbol)
+        throw std::invalid_argument("WatermarkCode: chunk_bits must be >= bits_per_symbol");
+    const unsigned q = 1U << params_.bits_per_symbol;
+    codebook_ = sparse_codebook(q, params_.chunk_bits);
+    watermark_ = random_bits(channel_bits(), params_.watermark_seed);
+    std::size_t ones = 0;
+    for (const auto& chunk : codebook_)
+        for (std::uint8_t b : chunk) ones += b;
+    density_ = static_cast<double>(ones) /
+               static_cast<double>(codebook_.size() * params_.chunk_bits);
+}
+
+Bits WatermarkCode::encode(std::span<const std::uint8_t> info) const {
+    check_bits(info, "WatermarkCode::encode");
+    if (info.size() != info_bits())
+        throw std::invalid_argument("WatermarkCode::encode: expected info_bits() bits");
+    // Pack info bits into GF(q) symbols.
+    std::vector<std::uint16_t> symbols(ldpc_.k());
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        std::uint16_t v = 0;
+        for (unsigned b = 0; b < params_.bits_per_symbol; ++b)
+            v = static_cast<std::uint16_t>((v << 1) | info[s * params_.bits_per_symbol + b]);
+        symbols[s] = v;
+    }
+    const std::vector<std::uint16_t> codeword = ldpc_.encode(symbols);
+    // Sparsify and add the watermark.
+    Bits tx(channel_bits());
+    for (std::size_t t = 0; t < codeword.size(); ++t) {
+        const auto& chunk = codebook_[codeword[t]];
+        for (unsigned j = 0; j < params_.chunk_bits; ++j) {
+            const std::size_t pos = t * params_.chunk_bits + j;
+            tx[pos] = chunk[j] ^ watermark_[pos];
+        }
+    }
+    return tx;
+}
+
+WatermarkCode::DecodeResult WatermarkCode::decode(std::span<const std::uint8_t> received,
+                                                  const info::DriftParams& channel,
+                                                  int ldpc_iterations) const {
+    check_bits(received, "WatermarkCode::decode");
+    const std::size_t n = channel_bits();
+    const unsigned q = 1U << params_.bits_per_symbol;
+
+    // Per-transmitted-bit priors: the sparse bit is 1 with prob density, so
+    // tx differs from the watermark bit with prob density.
+    util::Matrix priors(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p_match = 1.0 - density_;
+        priors(i, watermark_[i]) = p_match;
+        priors(i, 1 - watermark_[i]) = 1.0 - p_match;
+    }
+
+    // Candidates per segment: codebook entries XORed with the watermark.
+    std::vector<std::vector<std::uint8_t>> seg_candidates(q,
+                                                          std::vector<std::uint8_t>(
+                                                              params_.chunk_bits));
+    const info::DriftHmm hmm(channel);
+    const auto provider =
+        [&](std::size_t t) -> std::span<const std::vector<std::uint8_t>> {
+        for (unsigned c = 0; c < q; ++c)
+            for (unsigned j = 0; j < params_.chunk_bits; ++j)
+                seg_candidates[c][j] =
+                    codebook_[c][j] ^ watermark_[t * params_.chunk_bits + j];
+        return seg_candidates;
+    };
+    const util::Matrix likelihoods =
+        hmm.segment_likelihoods(priors, received, params_.chunk_bits, q, provider);
+
+    const NbLdpcDecodeResult ldpc_res = ldpc_.decode(likelihoods, ldpc_iterations);
+
+    DecodeResult out;
+    out.ldpc_converged = ldpc_res.converged;
+    out.ldpc_iterations = ldpc_res.iterations;
+    const std::vector<std::uint16_t> info_syms = ldpc_.extract_info(ldpc_res.symbols);
+    out.info.reserve(info_bits());
+    for (std::uint16_t v : info_syms)
+        for (unsigned b = 0; b < params_.bits_per_symbol; ++b)
+            out.info.push_back(
+                static_cast<std::uint8_t>((v >> (params_.bits_per_symbol - 1 - b)) & 1U));
+    return out;
+}
+
+}  // namespace ccap::coding

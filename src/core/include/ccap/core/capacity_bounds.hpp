@@ -1,0 +1,66 @@
+// The paper's capacity results (Section 4 and Appendix A), plus an
+// independent exact analysis of the Appendix-A protocol used to
+// cross-check the OCR-reconstructed alpha (see DESIGN.md §1).
+//
+// All rates are in bits per channel use. N = bits_per_symbol, M = 2^N.
+#pragma once
+
+#include "ccap/core/channel_params.hpp"
+
+namespace ccap::core {
+
+/// Theorem 1 / eq (1): upper bound of the deletion-insertion channel
+/// capacity — the capacity of the matched erasure channel, N(1 - P_d).
+[[nodiscard]] double theorem1_upper_bound(const DiChannelParams& p);
+
+/// Theorem 2/3: the capacity of a deletion channel (P_i = 0) with perfect
+/// feedback equals the erasure capacity N(1 - P_d); achieved by
+/// resend-until-acknowledged (see StopAndWaitProtocol).
+[[nodiscard]] double theorem3_feedback_capacity(const DiChannelParams& p);
+
+/// Theorem 4: upper bound of the deletion-insertion channel with perfect
+/// feedback — the extended-erasure capacity, again N(1 - P_d).
+[[nodiscard]] double theorem4_upper_bound(const DiChannelParams& p);
+
+/// eq (4) as reconstructed in DESIGN.md: the effective-error tilt
+/// alpha = (1 - P_d) / (1 - P_i).
+[[nodiscard]] double theorem5_alpha(const DiChannelParams& p);
+
+/// eq (3): capacity of the converted channel (Fig. 5) — an M-ary symmetric
+/// DMC with error probability alpha * P_i:
+///   C_conv = N - alpha*P_i*log2(2^N - 1) - H(alpha*P_i).
+[[nodiscard]] double converted_channel_capacity(const DiChannelParams& p);
+
+/// Theorem 5 / eq (2): achievable rate (capacity lower bound) of the
+/// deletion-insertion channel with perfect feedback under the Appendix-A
+/// counter protocol:
+///   C_lower = (1 - P_d)/(1 - P_i) * C_conv.
+[[nodiscard]] double theorem5_lower_bound(const DiChannelParams& p);
+
+/// Our independent exact analysis of the same protocol (DESIGN.md §1):
+/// symbols arrive at rate (1 - P_d) per use; a received position carries an
+/// inserted (uniform-random) symbol with probability q = P_i/(1 - P_d),
+/// i.e. an M-ary substitution with probability q*(M-1)/M:
+///   C_exact = (1 - P_d) * [ N - H_M(q*(M-1)/M) ].
+/// Noise substitutions (P_s) compose with the insertion garbage.
+[[nodiscard]] double counter_protocol_exact_rate(const DiChannelParams& p);
+
+/// eqs (6)-(7): the ratio C_lower / C_upper at P_i = P_d, which tends to 1
+/// as N grows — non-synchronous feedback communication is asymptotically
+/// as good as the erasure bound.
+[[nodiscard]] double theorem5_convergence_ratio(double p_d, unsigned bits_per_symbol);
+
+/// Section 4.3 recipe: degrade a traditional (synchronous-model) capacity
+/// estimate C by the non-synchronous effect:  C_real ~= C * (1 - P_d).
+[[nodiscard]] double degraded_capacity(double traditional_capacity, const DiChannelParams& p);
+
+struct CapacityBand {
+    double lower = 0.0;  ///< Theorem 5
+    double exact_protocol = 0.0;  ///< our exact protocol analysis
+    double upper = 0.0;  ///< Theorem 1/4
+};
+
+/// All three bounds at once (validated, ordered lower <= upper).
+[[nodiscard]] CapacityBand capacity_band(const DiChannelParams& p);
+
+}  // namespace ccap::core

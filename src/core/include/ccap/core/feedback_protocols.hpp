@@ -1,0 +1,106 @@
+// Executable synchronization protocols over the Definition-1 channel.
+//
+//  * StopAndWaitProtocol — Theorem 3's constructive proof: with perfect
+//    feedback the sender resends each symbol until it is received, so no
+//    drop-outs occur and the rate approaches N(1 - P_d) bits/use.
+//  * CounterProtocol — Appendix A: the receiver counts every symbol it
+//    believes it received (insertions included) and feeds the count back;
+//    the sender skips message symbols to stay aligned. The result is a
+//    synchronous M-ary symmetric "converted channel" (Fig. 5) whose
+//    measured garbage fraction and goodput validate eq (2)-(5).
+//  * Quantum-level simulations of Fig. 1 (two synchronization variables)
+//    and Fig. 3 (common event source) under Bernoulli CPU scheduling, used
+//    by benches E3/E8 to compare synchronization mechanisms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccap/core/deletion_insertion_channel.hpp"
+
+namespace ccap::core {
+
+struct ProtocolRun {
+    std::size_t message_len = 0;        ///< symbols delivered (all of them)
+    std::vector<std::uint32_t> received;  ///< the receiver's final stream
+    std::uint64_t channel_uses = 0;
+    std::size_t garbage_positions = 0;  ///< receiver positions filled by insertions
+    std::size_t symbol_errors = 0;      ///< received[i] != message[i]
+    bool reliable = false;              ///< every position matches
+
+    /// Raw symbols moved per channel use.
+    [[nodiscard]] double symbols_per_use() const noexcept {
+        return channel_uses == 0
+                   ? 0.0
+                   : static_cast<double>(message_len) / static_cast<double>(channel_uses);
+    }
+    /// Measured information rate in bits/use: symbols_per_use times the
+    /// M-ary symmetric capacity at the *measured* symbol error rate.
+    [[nodiscard]] double measured_info_rate(unsigned bits_per_symbol) const;
+};
+
+/// Theorem 3: resend-until-received. Requires P_i == 0 (pure deletion
+/// channel); throws otherwise.
+[[nodiscard]] ProtocolRun run_stop_and_wait(SymbolChannel& channel,
+                                            std::span<const std::uint32_t> message);
+
+/// Appendix A counter protocol over a full deletion-insertion channel.
+[[nodiscard]] ProtocolRun run_counter_protocol(SymbolChannel& channel,
+                                               std::span<const std::uint32_t> message);
+
+// ---------------------------------------------------------------------------
+// Imperfect feedback (extension; the paper assumes the feedback path is
+// perfect and instantaneous — "this simplifies the analysis"). These
+// protocols quantify the cost of a feedback delay of D channel uses on a
+// pure deletion channel (P_i must be 0; throws otherwise).
+// ---------------------------------------------------------------------------
+
+/// Stop-and-wait that idles `delay` uses after every attempt before the
+/// outcome arrives: expected rate N(1 - P_d)/(1 + delay).
+[[nodiscard]] ProtocolRun run_delayed_stop_and_wait(SymbolChannel& channel,
+                                                    std::span<const std::uint32_t> message,
+                                                    std::uint64_t delay);
+
+/// Go-back-N pipelining: the sender streams continuously and learns each
+/// use's outcome `delay` uses later; a discovered deletion rewinds to the
+/// lost symbol (the receiver discards out-of-order arrivals). Expected rate
+/// N(1 - P_d)/(1 + P_d * delay) — pipelining recovers most of the delay
+/// penalty that stop-and-wait pays.
+[[nodiscard]] ProtocolRun run_go_back_n(SymbolChannel& channel,
+                                        std::span<const std::uint32_t> message,
+                                        std::uint64_t delay);
+
+// ---------------------------------------------------------------------------
+// Quantum-level synchronization-mechanism simulations (Figs. 1, 3).
+// Each CPU quantum goes to the sender with probability sender_share, else to
+// the receiver — the memoryless scheduler abstraction of Section 3.1.
+// ---------------------------------------------------------------------------
+
+struct SyncSimConfig {
+    std::size_t message_len = 2000;
+    double sender_share = 0.5;     ///< P(quantum goes to the sender)
+    unsigned bits_per_symbol = 1;
+    std::uint64_t seed = 1;
+};
+
+struct SyncSimResult {
+    std::size_t delivered = 0;
+    std::uint64_t quanta = 0;
+    bool reliable = false;
+    [[nodiscard]] double symbols_per_quantum() const noexcept {
+        return quanta == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(quanta);
+    }
+};
+
+/// Fig. 1: two synchronization variables (data-ready / ack) — feedback.
+[[nodiscard]] SyncSimResult simulate_two_variable_handshake(const SyncSimConfig& config);
+
+/// Fig. 3(a): a common event source E emits a tick every `slot_len` quanta;
+/// odd slots belong to the sender, even slots to the receiver. A symbol is
+/// delivered each (send,receive) slot pair in which both parties got at
+/// least one quantum in their slot; otherwise it is lost (no feedback to
+/// recover it), so delivery here counts only *successful* pairs.
+[[nodiscard]] SyncSimResult simulate_common_event_sync(const SyncSimConfig& config,
+                                                       unsigned slot_len);
+
+}  // namespace ccap::core

@@ -1,0 +1,72 @@
+// Closed-form expected performance of the synchronization mechanisms,
+// cross-checked against the executable simulations in feedback_protocols
+// (integration tests) and used by benches E3/E8 to draw the paper-shaped
+// comparison curves without Monte-Carlo noise.
+//
+// Scheduling abstraction: each CPU quantum is granted to the sender with
+// probability q (the "sender share"), independently — the memoryless
+// scheduler of Section 3.1.
+#pragma once
+
+#include <cstdint>
+
+#include "ccap/core/channel_params.hpp"
+
+namespace ccap::core {
+
+/// Fig. 1 two-variable handshake: a symbol needs one sender quantum (send)
+/// followed by one receiver quantum (read+ack); expected quanta per symbol
+/// is 1/q + 1/(1-q), so throughput = q(1-q) symbols/quantum.
+[[nodiscard]] double handshake_expected_throughput(double sender_share);
+
+/// Fig. 3(a) common-event sync with slot length L quanta: a slot pair costs
+/// 2L quanta and delivers a fresh symbol with probability
+/// (1-(1-q)^L)(1-q^L); throughput = that / (2L) symbols/quantum.
+[[nodiscard]] double common_event_expected_throughput(double sender_share, unsigned slot_len);
+
+/// Best slot length for the common-event mechanism (searches L in [1, max]).
+struct CommonEventOptimum {
+    unsigned slot_len = 1;
+    double throughput = 0.0;
+};
+[[nodiscard]] CommonEventOptimum common_event_best_throughput(double sender_share,
+                                                              unsigned max_slot_len = 64);
+
+/// Section 4.2.2 reduction, as a checkable statement: for every sender
+/// share, the best common-event throughput does not beat the feedback
+/// handshake throughput. Returns the (nonnegative) margin
+/// handshake - best_common_event.
+[[nodiscard]] double feedback_advantage(double sender_share, unsigned max_slot_len = 64);
+
+/// Expected channel uses for the Theorem-3 stop-and-wait protocol to move
+/// `message_len` symbols across a deletion channel: message_len / (1 - P_d).
+[[nodiscard]] double stop_and_wait_expected_uses(const DiChannelParams& p,
+                                                 std::size_t message_len);
+
+/// Expected fraction of receiver positions filled by insertion garbage
+/// under the Appendix-A counter protocol: P_i / (1 - P_d).
+[[nodiscard]] double counter_protocol_garbage_fraction(const DiChannelParams& p);
+
+/// Expected rate of stop-and-wait when the feedback outcome arrives D
+/// channel uses late (sender idles meanwhile): N(1 - P_d)/(1 + D).
+[[nodiscard]] double delayed_stop_and_wait_rate(const DiChannelParams& p, std::uint64_t delay);
+
+/// Expected rate of go-back-N pipelining under the same delayed feedback:
+/// N(1 - P_d)/(1 + P_d * D) — each loss costs the D-slot pipeline flush.
+[[nodiscard]] double go_back_n_rate(const DiChannelParams& p, std::uint64_t delay);
+
+/// Definition-1 parameters induced by the *naive* covert pair (sender
+/// writes every quantum it gets, receiver believes every sample) under a
+/// memoryless scheduler granting the sender each quantum with probability
+/// q. Classifying consecutive quantum pairs:
+///   S,S -> deletion        (probability q^2)
+///   S,R -> transmission    (q(1-q))
+///   R,R -> insertion       ((1-q)^2)
+///   R,S -> no channel event,
+/// so per channel use P_d = q^2/(1-q+q^2), P_i = (1-q)^2/(1-q+q^2).
+/// Validated against the scheduler simulation + MLE estimator in the
+/// integration tests.
+[[nodiscard]] DiChannelParams naive_scheduler_channel_params(double sender_share,
+                                                             unsigned bits_per_symbol);
+
+}  // namespace ccap::core

@@ -1,0 +1,75 @@
+#include "ccap/core/bursty_channel.hpp"
+
+#include <stdexcept>
+
+namespace ccap::core {
+
+void BurstyChannelParams::validate() const {
+    good.validate();
+    bad.validate();
+    if (good.bits_per_symbol != bad.bits_per_symbol)
+        throw std::invalid_argument("BurstyChannelParams: states must share bits_per_symbol");
+    if (p_good_to_bad <= 0.0 || p_good_to_bad >= 1.0 || p_bad_to_good <= 0.0 ||
+        p_bad_to_good >= 1.0)
+        throw std::domain_error("BurstyChannelParams: switch probabilities must be in (0,1)");
+}
+
+DiChannelParams BurstyChannelParams::average() const {
+    const double pb = stationary_bad();
+    DiChannelParams avg;
+    avg.p_d = (1.0 - pb) * good.p_d + pb * bad.p_d;
+    avg.p_i = (1.0 - pb) * good.p_i + pb * bad.p_i;
+    avg.p_s = (1.0 - pb) * good.p_s + pb * bad.p_s;
+    avg.bits_per_symbol = good.bits_per_symbol;
+    return avg;
+}
+
+MarkovModulatedChannel::MarkovModulatedChannel(BurstyChannelParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+    params_.validate();
+    average_ = params_.average();
+    // Start in the stationary distribution so short runs are unbiased.
+    bad_state_ = rng_.bernoulli(params_.stationary_bad());
+}
+
+double MarkovModulatedChannel::measured_bad_fraction() const noexcept {
+    return uses_ == 0 ? 0.0
+                      : static_cast<double>(bad_uses_) / static_cast<double>(uses_);
+}
+
+ChannelUseOutcome MarkovModulatedChannel::use(std::uint32_t queued) {
+    const DiChannelParams& active = bad_state_ ? params_.bad : params_.good;
+    if (queued >= active.alphabet())
+        throw std::out_of_range("MarkovModulatedChannel::use: symbol out of alphabet");
+    ++uses_;
+    if (bad_state_) ++bad_uses_;
+
+    ChannelUseOutcome out;
+    const double u = rng_.uniform();
+    if (u < active.p_i) {
+        out.kind = ChannelEvent::insertion;
+        out.delivered = static_cast<std::uint32_t>(rng_.uniform_below(active.alphabet()));
+        out.consumed = false;
+    } else if (u < active.p_i + active.p_d) {
+        out.kind = ChannelEvent::deletion;
+        out.consumed = true;
+    } else {
+        out.kind = ChannelEvent::transmission;
+        std::uint32_t s = queued;
+        if (active.p_s > 0.0 && rng_.bernoulli(active.p_s)) {
+            auto r = static_cast<std::uint32_t>(rng_.uniform_below(active.alphabet() - 1));
+            s = r >= s ? r + 1 : r;
+        }
+        out.delivered = s;
+        out.consumed = true;
+    }
+    // State transition after the use.
+    if (bad_state_) {
+        if (rng_.bernoulli(params_.p_bad_to_good)) bad_state_ = false;
+    } else {
+        if (rng_.bernoulli(params_.p_good_to_bad)) bad_state_ = true;
+    }
+    return out;
+}
+
+}  // namespace ccap::core

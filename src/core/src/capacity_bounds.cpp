@@ -1,0 +1,104 @@
+#include "ccap/core/capacity_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ccap/info/entropy.hpp"
+
+namespace ccap::core {
+namespace {
+
+double n_bits(const DiChannelParams& p) { return static_cast<double>(p.bits_per_symbol); }
+
+/// Capacity of the M-ary symmetric channel with total symbol-error
+/// probability e, clamped into its meaningful range (0 beyond the
+/// zero-capacity error rate and for e outside [0,1]).
+double msc_capacity_clamped(double e, std::uint32_t m) {
+    if (e <= 0.0) return std::log2(static_cast<double>(m));
+    if (e >= 1.0) return 0.0;
+    return std::max(0.0, info::mary_symmetric_capacity(e, m));
+}
+
+}  // namespace
+
+double theorem1_upper_bound(const DiChannelParams& p) {
+    p.validate();
+    return n_bits(p) * (1.0 - p.p_d);
+}
+
+double theorem3_feedback_capacity(const DiChannelParams& p) {
+    p.validate();
+    if (p.p_i != 0.0)
+        throw std::domain_error("theorem3_feedback_capacity: Theorem 3 is for pure deletion "
+                                "channels (P_i = 0); use theorem5_lower_bound instead");
+    return n_bits(p) * (1.0 - p.p_d);
+}
+
+double theorem4_upper_bound(const DiChannelParams& p) {
+    p.validate();
+    return n_bits(p) * (1.0 - p.p_d);
+}
+
+double theorem5_alpha(const DiChannelParams& p) {
+    p.validate();
+    if (p.p_i >= 1.0) throw std::domain_error("theorem5_alpha: P_i must be < 1");
+    return (1.0 - p.p_d) / (1.0 - p.p_i);
+}
+
+double converted_channel_capacity(const DiChannelParams& p) {
+    const double e = theorem5_alpha(p) * p.p_i;  // effective M-ary error probability
+    return msc_capacity_clamped(e, p.alphabet());
+}
+
+double theorem5_lower_bound(const DiChannelParams& p) {
+    const double coeff = (1.0 - p.p_d) / (1.0 - p.p_i);
+    const double raw = coeff * converted_channel_capacity(p);
+    // The published expression can exceed the Theorem-1/4 erasure bound for
+    // large P_d (an artifact of its approximations; see EXPERIMENTS.md E3).
+    // A capacity lower bound can never sit above a capacity upper bound, so
+    // clamp into [0, Thm1].
+    return std::clamp(raw, 0.0, theorem1_upper_bound(p));
+}
+
+double counter_protocol_exact_rate(const DiChannelParams& p) {
+    p.validate();
+    if (p.p_d >= 1.0) return 0.0;
+    const double m = static_cast<double>(p.alphabet());
+    // Fraction of received positions that are insertion garbage.
+    const double q = p.p_i / (1.0 - p.p_d);
+    // Garbage is uniform over M (matches by luck 1/M); genuine symbols are
+    // substituted with probability P_s.
+    const double e = std::min(1.0, q * (m - 1.0) / m + (1.0 - q) * p.p_s);
+    return std::max(0.0, (1.0 - p.p_d) * msc_capacity_clamped(e, p.alphabet()));
+}
+
+double theorem5_convergence_ratio(double p_d, unsigned bits_per_symbol) {
+    if (p_d < 0.0 || p_d > 1.0)
+        throw std::domain_error("theorem5_convergence_ratio: p_d outside [0,1]");
+    // eq (6)-(7) set P_i = P_d; past p_d = 1/2 that is no longer a channel
+    // (P_t would be negative) and the transmission probability hits zero at
+    // exactly 1/2, so the ratio is 0 throughout [1/2, 1].
+    if (p_d >= 0.5) return 0.0;
+    DiChannelParams p{p_d, p_d, 0.0, bits_per_symbol};
+    const double upper = theorem1_upper_bound(p);
+    if (upper <= 0.0) return 0.0;
+    return theorem5_lower_bound(p) / upper;
+}
+
+double degraded_capacity(double traditional_capacity, const DiChannelParams& p) {
+    p.validate();
+    if (traditional_capacity < 0.0)
+        throw std::domain_error("degraded_capacity: negative capacity estimate");
+    return traditional_capacity * (1.0 - p.p_d);
+}
+
+CapacityBand capacity_band(const DiChannelParams& p) {
+    CapacityBand band;
+    band.lower = theorem5_lower_bound(p);
+    band.exact_protocol = counter_protocol_exact_rate(p);
+    band.upper = theorem1_upper_bound(p);
+    return band;
+}
+
+}  // namespace ccap::core

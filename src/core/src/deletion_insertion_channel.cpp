@@ -1,0 +1,78 @@
+#include "ccap/core/deletion_insertion_channel.hpp"
+
+#include <stdexcept>
+
+namespace ccap::core {
+
+DeletionInsertionChannel::DeletionInsertionChannel(DiChannelParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+    params_.validate();
+}
+
+std::uint32_t DeletionInsertionChannel::random_symbol() noexcept {
+    return static_cast<std::uint32_t>(rng_.uniform_below(params_.alphabet()));
+}
+
+std::uint32_t DeletionInsertionChannel::substitute(std::uint32_t s) noexcept {
+    if (params_.p_s <= 0.0 || !rng_.bernoulli(params_.p_s)) return s;
+    auto r = static_cast<std::uint32_t>(rng_.uniform_below(params_.alphabet() - 1));
+    return r >= s ? r + 1 : r;
+}
+
+DeletionInsertionChannel::UseOutcome DeletionInsertionChannel::use(std::uint32_t queued) {
+    if (queued >= params_.alphabet())
+        throw std::out_of_range("DeletionInsertionChannel::use: symbol out of alphabet");
+    ++uses_;
+    const double u = rng_.uniform();
+    UseOutcome out;
+    if (u < params_.p_i) {
+        out.kind = ChannelEvent::insertion;
+        out.delivered = random_symbol();
+        out.consumed = false;
+    } else if (u < params_.p_i + params_.p_d) {
+        out.kind = ChannelEvent::deletion;
+        out.consumed = true;
+    } else {
+        out.kind = ChannelEvent::transmission;
+        out.delivered = substitute(queued);
+        out.consumed = true;
+    }
+    return out;
+}
+
+DeletionInsertionChannel::Transduction DeletionInsertionChannel::transduce(
+    std::span<const std::uint32_t> message, bool trailing_insertions) {
+    Transduction t;
+    t.output.reserve(message.size());
+    for (std::uint32_t symbol : message) {
+        for (;;) {
+            const UseOutcome out = use(symbol);
+            ++t.channel_uses;
+            EventRecord rec;
+            rec.kind = out.kind;
+            rec.offered = symbol;
+            if (out.delivered) {
+                rec.delivered = *out.delivered;
+                rec.substituted =
+                    out.kind == ChannelEvent::transmission && *out.delivered != symbol;
+                t.output.push_back(*out.delivered);
+            }
+            t.events.push_back(rec);
+            if (out.consumed) break;
+        }
+    }
+    if (trailing_insertions) {
+        while (rng_.bernoulli(params_.p_i)) {
+            ++uses_;
+            ++t.channel_uses;
+            EventRecord rec;
+            rec.kind = ChannelEvent::insertion;
+            rec.delivered = random_symbol();
+            t.output.push_back(rec.delivered);
+            t.events.push_back(rec);
+        }
+    }
+    return t;
+}
+
+}  // namespace ccap::core

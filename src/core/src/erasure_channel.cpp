@@ -1,0 +1,34 @@
+#include "ccap/core/erasure_channel.hpp"
+
+#include <stdexcept>
+
+namespace ccap::core {
+
+ErasureView erasure_view(const DeletionInsertionChannel::Transduction& t) {
+    ErasureView view;
+    view.channel_uses = t.channel_uses;
+    view.symbols.reserve(t.events.size());
+    for (const EventRecord& e : t.events) {
+        switch (e.kind) {
+            case ChannelEvent::deletion:
+                view.symbols.emplace_back(std::nullopt);
+                break;
+            case ChannelEvent::transmission:
+                view.symbols.emplace_back(e.delivered);
+                break;
+            case ChannelEvent::insertion:
+                ++view.insertions_discarded;
+                break;
+        }
+    }
+    return view;
+}
+
+double erasure_view_information_bits(const ErasureView& view, unsigned bits_per_symbol) {
+    if (bits_per_symbol == 0)
+        throw std::invalid_argument("erasure_view_information_bits: zero-bit symbols");
+    const std::size_t delivered = view.symbols.size() - view.erasures();
+    return static_cast<double>(delivered) * static_cast<double>(bits_per_symbol);
+}
+
+}  // namespace ccap::core

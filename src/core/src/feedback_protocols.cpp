@@ -1,0 +1,252 @@
+#include "ccap/core/feedback_protocols.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "ccap/info/entropy.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace ccap::core {
+
+double ProtocolRun::measured_info_rate(unsigned bits_per_symbol) const {
+    if (message_len == 0 || channel_uses == 0) return 0.0;
+    const auto m = static_cast<unsigned>(1U << bits_per_symbol);
+    const double ser =
+        static_cast<double>(symbol_errors) / static_cast<double>(message_len);
+    const double per_symbol =
+        ser >= 1.0 ? 0.0 : std::max(0.0, info::mary_symmetric_capacity(ser, m));
+    return symbols_per_use() * per_symbol;
+}
+
+ProtocolRun run_stop_and_wait(SymbolChannel& channel,
+                              std::span<const std::uint32_t> message) {
+    if (channel.params().p_i != 0.0)
+        throw std::domain_error("run_stop_and_wait: Theorem 3 protocol requires P_i == 0");
+    ProtocolRun run;
+    run.message_len = message.size();
+    std::vector<std::uint32_t> received;
+    received.reserve(message.size());
+    for (std::uint32_t symbol : message) {
+        // Perfect feedback: the sender learns after each use whether the
+        // receiver got the symbol, and resends until it did.
+        for (;;) {
+            const auto out = channel.use(symbol);
+            ++run.channel_uses;
+            if (out.delivered) {
+                received.push_back(*out.delivered);
+                break;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < message.size(); ++i)
+        if (received[i] != message[i]) ++run.symbol_errors;
+    run.reliable = run.symbol_errors == 0;
+    run.received = std::move(received);
+    return run;
+}
+
+ProtocolRun run_counter_protocol(SymbolChannel& channel,
+                                 std::span<const std::uint32_t> message) {
+    ProtocolRun run;
+    run.message_len = message.size();
+    std::vector<std::uint32_t> received;     // the receiver's belief stream
+    std::vector<bool> was_insertion;         // ground truth per received position
+    received.reserve(message.size());
+    was_insertion.reserve(message.size());
+
+    // Appendix A: the receiver counts every symbol it believes it received
+    // and reports the count over the perfect feedback path. Before each
+    // use, the sender aligns its own counter (symbols sent *or skipped*)
+    // with the receiver's count — a jump means insertions happened and the
+    // corresponding message symbols are skipped; equality means the next
+    // symbol can go out.
+    while (received.size() < message.size()) {
+        const std::size_t receiver_count = received.size();
+        // Sender aligns: everything up to receiver_count is settled; the
+        // next message symbol to offer is message[receiver_count].
+        const std::uint32_t queued = message[receiver_count];
+        const auto out = channel.use(queued);
+        ++run.channel_uses;
+        if (out.delivered) {
+            received.push_back(*out.delivered);
+            was_insertion.push_back(out.kind == ChannelEvent::insertion);
+        }
+        // Deletions leave the counters unequal (receiver_count stays below
+        // the sender's offer), so the same symbol is re-offered next use —
+        // "the sender then does nothing and waits for the next opportunity"
+        // collapses to a retry here because feedback is instantaneous.
+    }
+
+    for (std::size_t i = 0; i < message.size(); ++i) {
+        if (was_insertion[i]) ++run.garbage_positions;
+        if (received[i] != message[i]) ++run.symbol_errors;
+    }
+    run.reliable = run.symbol_errors == 0;
+    run.received = std::move(received);
+    return run;
+}
+
+ProtocolRun run_delayed_stop_and_wait(SymbolChannel& channel,
+                                      std::span<const std::uint32_t> message,
+                                      std::uint64_t delay) {
+    if (channel.params().p_i != 0.0)
+        throw std::domain_error("run_delayed_stop_and_wait: requires P_i == 0");
+    ProtocolRun run;
+    run.message_len = message.size();
+    run.received.reserve(message.size());
+    for (std::uint32_t symbol : message) {
+        for (;;) {
+            const auto out = channel.use(symbol);
+            // The attempt plus the idle slots spent waiting for its outcome.
+            run.channel_uses += 1 + delay;
+            if (out.delivered) {
+                run.received.push_back(*out.delivered);
+                break;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < message.size(); ++i)
+        if (run.received[i] != message[i]) ++run.symbol_errors;
+    run.reliable = run.symbol_errors == 0;
+    return run;
+}
+
+ProtocolRun run_go_back_n(SymbolChannel& channel,
+                          std::span<const std::uint32_t> message, std::uint64_t delay) {
+    if (channel.params().p_i != 0.0)
+        throw std::domain_error("run_go_back_n: requires P_i == 0");
+    ProtocolRun run;
+    run.message_len = message.size();
+    run.received.reserve(message.size());
+
+    struct SlotOutcome {
+        std::size_t idx = 0;
+        bool sent = false;
+        bool accepted = false;
+    };
+    std::deque<SlotOutcome> in_flight;  // outcomes become known `delay` slots later
+    std::size_t send_ptr = 0;
+    std::size_t recv_next = 0;
+    while (recv_next < message.size()) {
+        ++run.channel_uses;
+        SlotOutcome slot;
+        if (send_ptr < message.size()) {
+            slot.idx = send_ptr;
+            slot.sent = true;
+            const auto out = channel.use(message[send_ptr]);
+            ++send_ptr;
+            if (out.delivered) {
+                // The receiver accepts only the next in-order symbol and
+                // silently discards everything after a gap.
+                if (slot.idx == recv_next) {
+                    run.received.push_back(*out.delivered);
+                    ++recv_next;
+                    slot.accepted = true;
+                }
+            }
+        }
+        in_flight.push_back(slot);
+        if (in_flight.size() > delay) {
+            const SlotOutcome past = in_flight.front();
+            in_flight.pop_front();
+            // Cumulative-NACK rewind: learning that `past.idx` was not
+            // accepted sends the window back there. Stale negatives from
+            // the same loss burst have idx >= the rewound position and are
+            // ignored by the guard.
+            if (past.sent && !past.accepted && send_ptr > past.idx) send_ptr = past.idx;
+        }
+    }
+    for (std::size_t i = 0; i < message.size(); ++i)
+        if (run.received[i] != message[i]) ++run.symbol_errors;
+    run.reliable = run.symbol_errors == 0;
+    return run;
+}
+
+SyncSimResult simulate_two_variable_handshake(const SyncSimConfig& config) {
+    if (config.sender_share <= 0.0 || config.sender_share >= 1.0)
+        throw std::domain_error("simulate_two_variable_handshake: sender_share in (0,1)");
+    util::Rng rng(config.seed);
+    util::Rng msg_rng(config.seed ^ 0x5151);
+    const std::uint64_t alphabet = 1ULL << config.bits_per_symbol;
+
+    std::vector<std::uint32_t> message(config.message_len);
+    for (auto& s : message) s = static_cast<std::uint32_t>(msg_rng.uniform_below(alphabet));
+
+    SyncSimResult res;
+    std::vector<std::uint32_t> received;
+    received.reserve(message.size());
+    std::uint32_t cell = 0;
+    bool data_ready = false;  // SYNC-1: sender sets, receiver clears (via ack)
+    std::size_t next = 0;
+    while (received.size() < message.size()) {
+        ++res.quanta;
+        if (rng.bernoulli(config.sender_share)) {
+            // Sender quantum: "sends the next symbol once the last symbol
+            // has been received".
+            if (!data_ready && next < message.size()) {
+                cell = message[next++];
+                data_ready = true;
+            }
+        } else {
+            // Receiver quantum: "checks the SYNC-1 variable and reads the
+            // symbol when ready ... then makes a change on SYNC-2".
+            if (data_ready) {
+                received.push_back(cell);
+                data_ready = false;  // ack
+            }
+        }
+    }
+    res.delivered = received.size();
+    res.reliable = received == message;
+    return res;
+}
+
+SyncSimResult simulate_common_event_sync(const SyncSimConfig& config, unsigned slot_len) {
+    if (slot_len == 0) throw std::invalid_argument("simulate_common_event_sync: slot_len == 0");
+    if (config.sender_share <= 0.0 || config.sender_share >= 1.0)
+        throw std::domain_error("simulate_common_event_sync: sender_share in (0,1)");
+    util::Rng rng(config.seed);
+    util::Rng msg_rng(config.seed ^ 0x5151);
+    const std::uint64_t alphabet = 1ULL << config.bits_per_symbol;
+
+    std::vector<std::uint32_t> message(config.message_len);
+    for (auto& s : message) s = static_cast<std::uint32_t>(msg_rng.uniform_below(alphabet));
+
+    SyncSimResult res;
+    std::vector<std::uint32_t> received;
+    std::uint32_t cell = 0;
+    std::size_t next = 0;
+    bool cell_fresh = false;
+    // Slot pairs: sender writes during the first slot_len quanta, receiver
+    // reads during the next slot_len. The common event source E is the slot
+    // boundary both sides can observe; there is no feedback.
+    while (next < message.size()) {
+        bool sender_acted = false;
+        for (unsigned q = 0; q < slot_len; ++q) {
+            ++res.quanta;
+            if (!sender_acted && rng.bernoulli(config.sender_share)) {
+                cell = message[next++];
+                cell_fresh = true;
+                sender_acted = true;
+            }
+        }
+        bool receiver_acted = false;
+        for (unsigned q = 0; q < slot_len; ++q) {
+            ++res.quanta;
+            if (!receiver_acted && !rng.bernoulli(config.sender_share)) {
+                received.push_back(cell);  // may be stale: an insertion
+                receiver_acted = true;
+            }
+        }
+        if (sender_acted && receiver_acted && cell_fresh && received.back() == cell)
+            ++res.delivered;
+        if (receiver_acted) cell_fresh = false;
+    }
+    // Reliability requires the receiver's stream to be exactly the message —
+    // stale reads (insertions) and missed reads (deletions) both break it.
+    res.reliable = received == message;
+    return res;
+}
+
+}  // namespace ccap::core

@@ -1,0 +1,91 @@
+#include "ccap/core/protocol_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ccap::core {
+namespace {
+
+void check_share(double q, const char* who) {
+    if (q <= 0.0 || q >= 1.0) throw std::domain_error(std::string(who) + ": share must be in (0,1)");
+}
+
+}  // namespace
+
+double handshake_expected_throughput(double sender_share) {
+    check_share(sender_share, "handshake_expected_throughput");
+    return sender_share * (1.0 - sender_share);
+}
+
+double common_event_expected_throughput(double sender_share, unsigned slot_len) {
+    check_share(sender_share, "common_event_expected_throughput");
+    if (slot_len == 0)
+        throw std::invalid_argument("common_event_expected_throughput: slot_len == 0");
+    const double q = sender_share;
+    const double l = static_cast<double>(slot_len);
+    const double p_send = 1.0 - std::pow(1.0 - q, l);
+    const double p_recv = 1.0 - std::pow(q, l);
+    return p_send * p_recv / (2.0 * l);
+}
+
+CommonEventOptimum common_event_best_throughput(double sender_share, unsigned max_slot_len) {
+    if (max_slot_len == 0)
+        throw std::invalid_argument("common_event_best_throughput: max_slot_len == 0");
+    CommonEventOptimum best;
+    for (unsigned l = 1; l <= max_slot_len; ++l) {
+        const double t = common_event_expected_throughput(sender_share, l);
+        if (t > best.throughput) {
+            best.throughput = t;
+            best.slot_len = l;
+        }
+    }
+    return best;
+}
+
+double feedback_advantage(double sender_share, unsigned max_slot_len) {
+    const double fb = handshake_expected_throughput(sender_share);
+    const double ce = common_event_best_throughput(sender_share, max_slot_len).throughput;
+    return fb - ce;
+}
+
+double stop_and_wait_expected_uses(const DiChannelParams& p, std::size_t message_len) {
+    p.validate();
+    if (p.p_d >= 1.0)
+        throw std::domain_error("stop_and_wait_expected_uses: P_d must be < 1");
+    return static_cast<double>(message_len) / (1.0 - p.p_d);
+}
+
+double counter_protocol_garbage_fraction(const DiChannelParams& p) {
+    p.validate();
+    if (p.p_d >= 1.0)
+        throw std::domain_error("counter_protocol_garbage_fraction: P_d must be < 1");
+    return p.p_i / (1.0 - p.p_d);
+}
+
+double delayed_stop_and_wait_rate(const DiChannelParams& p, std::uint64_t delay) {
+    p.validate();
+    return static_cast<double>(p.bits_per_symbol) * (1.0 - p.p_d) /
+           (1.0 + static_cast<double>(delay));
+}
+
+double go_back_n_rate(const DiChannelParams& p, std::uint64_t delay) {
+    p.validate();
+    return static_cast<double>(p.bits_per_symbol) * (1.0 - p.p_d) /
+           (1.0 + p.p_d * static_cast<double>(delay));
+}
+
+DiChannelParams naive_scheduler_channel_params(double sender_share, unsigned bits_per_symbol) {
+    check_share(sender_share, "naive_scheduler_channel_params");
+    const double q = sender_share;
+    const double events = 1.0 - q * (1.0 - q);  // q^2 + q(1-q) + (1-q)^2
+    DiChannelParams p;
+    p.p_d = q * q / events;
+    p.p_i = (1.0 - q) * (1.0 - q) / events;
+    p.p_s = 0.0;
+    p.bits_per_symbol = bits_per_symbol;
+    p.validate();
+    return p;
+}
+
+}  // namespace ccap::core

@@ -1,0 +1,48 @@
+// Edit-distance alignment of sent vs. received symbol traces.
+//
+// A practitioner measuring a real covert channel observes two streams: what
+// the sender pushed and what the receiver sampled. To apply the paper's
+// capacity corrections they need (P_d, P_i, P_s), which requires deciding
+// which received symbol corresponds to which sent one. We use Levenshtein
+// alignment (unit costs for deletion/insertion/substitution, 0 for match)
+// with full traceback; ties are broken to prefer matches, then
+// substitutions, making the classification deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccap::estimate {
+
+enum class EditOp : std::uint8_t { match, substitution, deletion, insertion };
+
+struct EditStep {
+    EditOp op = EditOp::match;
+    /// Index into the sent trace (valid except for insertions).
+    std::size_t sent_index = 0;
+    /// Index into the received trace (valid except for deletions).
+    std::size_t received_index = 0;
+};
+
+struct Alignment {
+    std::vector<EditStep> steps;
+    std::size_t distance = 0;  ///< Levenshtein distance
+
+    [[nodiscard]] std::size_t count(EditOp op) const noexcept;
+    /// "MMSDI"-style compact rendering for logs and tests.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Align two symbol traces. O(|sent| * |received|) time and memory; traces
+/// beyond ~20k symbols should be aligned blockwise (see
+/// param_estimator.hpp).
+[[nodiscard]] Alignment align(std::span<const std::uint32_t> sent,
+                              std::span<const std::uint32_t> received);
+
+/// Levenshtein distance only (linear memory), for large traces.
+[[nodiscard]] std::size_t edit_distance(std::span<const std::uint32_t> sent,
+                                        std::span<const std::uint32_t> received);
+
+}  // namespace ccap::estimate

@@ -1,0 +1,48 @@
+// Non-stationarity tooling: windowed channel-parameter estimates and a
+// single-changepoint detector.
+//
+// The paper's recipe assumes stationary (P_d, P_i, P_s). Real scheduler
+// channels drift — load changes, the defender flips a mitigation on, the
+// exploit adapts. Before trusting one global estimate, slice the traces
+// into windows, estimate per window, and test whether the deletion rate
+// jumped; if it did, analyze the segments separately.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ccap/estimate/param_estimator.hpp"
+
+namespace ccap::estimate {
+
+struct WindowedRates {
+    std::vector<double> p_d;  ///< one entry per window
+    std::vector<double> p_i;
+    std::vector<double> p_s;
+    std::size_t window_len = 0;  ///< sent symbols per window
+};
+
+/// Blockwise-aligned per-window rates. Windows are consecutive runs of
+/// `window_len` sent symbols; the received stream is carved along the same
+/// alignment boundaries as estimate_params uses.
+[[nodiscard]] WindowedRates windowed_rates(std::span<const std::uint32_t> sent,
+                                           std::span<const std::uint32_t> received,
+                                           std::size_t window_len);
+
+struct ChangePoint {
+    std::size_t index = 0;    ///< first window of the "after" regime
+    double mean_before = 0.0;
+    double mean_after = 0.0;
+    double z_score = 0.0;     ///< standardized jump size
+};
+
+/// Single changepoint by binary segmentation on a rate series: the split
+/// maximizing the standardized mean difference. Returns nullopt when no
+/// split reaches `z_threshold` (or the series is too short to split with
+/// at least two windows per side).
+[[nodiscard]] std::optional<ChangePoint> detect_rate_change(std::span<const double> series,
+                                                            double z_threshold = 4.0);
+
+}  // namespace ccap::estimate

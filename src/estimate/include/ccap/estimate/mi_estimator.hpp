@@ -1,0 +1,29 @@
+// Empirical mutual-information estimation from paired samples.
+//
+// Used to measure the information actually moving through a simulated
+// covert channel (bench E1 compares the measured MI of the synchronous
+// portion of a DI channel against the Theorem-1 bound), and by the analyzer
+// when only a paired trace — not a channel model — is available.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ccap::estimate {
+
+struct MiResult {
+    double plug_in = 0.0;       ///< naive plug-in estimate (biased upward)
+    double miller_madow = 0.0;  ///< plug-in minus the Miller-Madow bias term
+    std::size_t samples = 0;
+};
+
+/// Estimate I(X;Y) in bits from paired symbol samples. `x` and `y` must
+/// have equal, nonzero length; alphabet sizes are inferred from the data.
+[[nodiscard]] MiResult estimate_mutual_information(std::span<const std::uint32_t> x,
+                                                   std::span<const std::uint32_t> y);
+
+/// Empirical entropy (bits) of one symbol stream, with the same two
+/// estimators applied.
+[[nodiscard]] MiResult estimate_entropy(std::span<const std::uint32_t> x);
+
+}  // namespace ccap::estimate

@@ -1,0 +1,76 @@
+// Kemmerer's Shared Resource Matrix methodology (TOCS 1983) — the paper's
+// reference [1] and the canonical covert channel *identification* step that
+// precedes capacity estimation.
+//
+// Model: shared resources have attributes; system operations Read (R) or
+// Modify (M) attributes. An attribute is a potential covert channel medium
+// when some operation modifies it and another reads it, and the two
+// operations are available to differently-cleared subjects. Indirect flows
+// (operation O reads attribute A and modifies attribute B, so A's value can
+// reach B's readers) are found by transitive closure over the matrix.
+//
+// The output feeds this library's pipeline: each identified channel is a
+// candidate to measure (sched::covert_pair), estimate (param_estimator) and
+// bound (core::capacity_bounds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccap::estimate {
+
+class SharedResourceMatrix {
+public:
+    /// Register an attribute (e.g. "file.lock", "disk.arm_position").
+    /// Returns its index; re-registering a name returns the existing index.
+    std::size_t add_attribute(const std::string& name);
+
+    /// Register an operation with the sets of attributes it reads and
+    /// modifies (attribute names are auto-registered).
+    void add_operation(const std::string& name, const std::vector<std::string>& reads,
+                       const std::vector<std::string>& modifies);
+
+    [[nodiscard]] std::size_t num_attributes() const noexcept { return attributes_.size(); }
+    [[nodiscard]] std::size_t num_operations() const noexcept { return operations_.size(); }
+    [[nodiscard]] const std::vector<std::string>& attributes() const noexcept {
+        return attributes_;
+    }
+
+    /// True if `op` reads/modifies `attribute` (directly).
+    [[nodiscard]] bool reads(const std::string& op, const std::string& attribute) const;
+    [[nodiscard]] bool modifies(const std::string& op, const std::string& attribute) const;
+
+    struct Channel {
+        std::string attribute;    ///< the shared medium
+        std::string sender_op;    ///< modifies the attribute
+        std::string receiver_op;  ///< reads it (possibly via indirect flow)
+        bool indirect = false;    ///< receiver senses it through a derived attribute
+    };
+
+    /// Direct candidates: (attribute, modifier, reader) triples with
+    /// modifier != reader.
+    [[nodiscard]] std::vector<Channel> direct_channels() const;
+
+    /// Candidates including indirect flows: the transitive closure where an
+    /// operation that reads A and modifies B propagates A's information
+    /// into B ("A flows to B"), so reading B senses A.
+    [[nodiscard]] std::vector<Channel> all_channels() const;
+
+    /// Attribute-to-attribute information-flow closure: flow(a, b) iff some
+    /// operation chain carries a's value into b (reflexive).
+    [[nodiscard]] std::vector<std::vector<bool>> flow_closure() const;
+
+private:
+    struct Operation {
+        std::string name;
+        std::vector<std::size_t> reads;
+        std::vector<std::size_t> modifies;
+    };
+    [[nodiscard]] std::size_t attribute_index(const std::string& name) const;
+
+    std::vector<std::string> attributes_;
+    std::vector<Operation> operations_;
+};
+
+}  // namespace ccap::estimate

@@ -1,0 +1,33 @@
+// Plain-text trace files: the interchange format between real covert
+// channel measurements and this library's estimators.
+//
+// Format: one non-negative integer symbol per line; blank lines and lines
+// starting with '#' are ignored. This is deliberately the simplest thing a
+// measurement script can emit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccap::estimate {
+
+/// Parse a trace from a stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+[[nodiscard]] std::vector<std::uint32_t> read_trace(std::istream& in);
+
+/// Parse a trace file. Throws std::runtime_error if unreadable/malformed.
+[[nodiscard]] std::vector<std::uint32_t> read_trace_file(const std::string& path);
+
+/// Write a trace with a descriptive header comment.
+void write_trace(std::ostream& out, std::span<const std::uint32_t> trace,
+                 const std::string& comment = "");
+
+/// Write a trace file. Throws std::runtime_error when the file can't be
+/// created.
+void write_trace_file(const std::string& path, std::span<const std::uint32_t> trace,
+                      const std::string& comment = "");
+
+}  // namespace ccap::estimate

@@ -1,0 +1,96 @@
+#include "ccap/estimate/alignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccap::estimate {
+
+std::size_t Alignment::count(EditOp op) const noexcept {
+    std::size_t c = 0;
+    for (const EditStep& s : steps)
+        if (s.op == op) ++c;
+    return c;
+}
+
+std::string Alignment::to_string() const {
+    std::string s;
+    s.reserve(steps.size());
+    for (const EditStep& step : steps) {
+        switch (step.op) {
+            case EditOp::match: s.push_back('M'); break;
+            case EditOp::substitution: s.push_back('S'); break;
+            case EditOp::deletion: s.push_back('D'); break;
+            case EditOp::insertion: s.push_back('I'); break;
+        }
+    }
+    return s;
+}
+
+Alignment align(std::span<const std::uint32_t> sent, std::span<const std::uint32_t> received) {
+    const std::size_t n = sent.size();
+    const std::size_t m = received.size();
+    // Guard against quadratic blowup; callers with huge traces use the
+    // blockwise estimator.
+    if (n * m > 400'000'000ULL)
+        throw std::invalid_argument("align: traces too long for full traceback alignment");
+
+    // dp[i][j] = distance between sent[0..i) and received[0..j).
+    std::vector<std::vector<std::uint32_t>> dp(n + 1, std::vector<std::uint32_t>(m + 1, 0));
+    for (std::size_t i = 0; i <= n; ++i) dp[i][0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 0; j <= m; ++j) dp[0][j] = static_cast<std::uint32_t>(j);
+    for (std::size_t i = 1; i <= n; ++i)
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::uint32_t sub =
+                dp[i - 1][j - 1] + (sent[i - 1] == received[j - 1] ? 0U : 1U);
+            const std::uint32_t del = dp[i - 1][j] + 1U;
+            const std::uint32_t ins = dp[i][j - 1] + 1U;
+            dp[i][j] = std::min({sub, del, ins});
+        }
+
+    Alignment out;
+    out.distance = dp[n][m];
+    // Traceback, preferring match > substitution > deletion > insertion.
+    std::size_t i = n, j = m;
+    std::vector<EditStep> rev;
+    rev.reserve(std::max(n, m));
+    while (i > 0 || j > 0) {
+        if (i > 0 && j > 0) {
+            const bool is_match = sent[i - 1] == received[j - 1];
+            const std::uint32_t diag = dp[i - 1][j - 1] + (is_match ? 0U : 1U);
+            if (diag == dp[i][j]) {
+                rev.push_back({is_match ? EditOp::match : EditOp::substitution, i - 1, j - 1});
+                --i;
+                --j;
+                continue;
+            }
+        }
+        if (i > 0 && dp[i - 1][j] + 1U == dp[i][j]) {
+            rev.push_back({EditOp::deletion, i - 1, 0});
+            --i;
+            continue;
+        }
+        rev.push_back({EditOp::insertion, 0, j - 1});
+        --j;
+    }
+    out.steps.assign(rev.rbegin(), rev.rend());
+    return out;
+}
+
+std::size_t edit_distance(std::span<const std::uint32_t> sent,
+                          std::span<const std::uint32_t> received) {
+    const std::size_t n = sent.size();
+    const std::size_t m = received.size();
+    std::vector<std::uint32_t> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<std::uint32_t>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<std::uint32_t>(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::uint32_t sub = prev[j - 1] + (sent[i - 1] == received[j - 1] ? 0U : 1U);
+            cur[j] = std::min({sub, prev[j] + 1U, cur[j - 1] + 1U});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+}  // namespace ccap::estimate

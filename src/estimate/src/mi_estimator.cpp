@@ -1,0 +1,74 @@
+#include "ccap/estimate/mi_estimator.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace ccap::estimate {
+namespace {
+
+double xlog2x(double v) { return v > 0.0 ? v * std::log2(v) : 0.0; }
+
+struct Counted {
+    double entropy = 0.0;      // plug-in entropy
+    std::size_t support = 0;   // number of nonzero cells
+};
+
+template <typename Key>
+Counted entropy_of_counts(const std::map<Key, std::size_t>& counts, std::size_t n) {
+    Counted out;
+    for (const auto& [key, c] : counts) {
+        (void)key;
+        const double p = static_cast<double>(c) / static_cast<double>(n);
+        out.entropy -= xlog2x(p);
+        ++out.support;
+    }
+    return out;
+}
+
+}  // namespace
+
+MiResult estimate_mutual_information(std::span<const std::uint32_t> x,
+                                     std::span<const std::uint32_t> y) {
+    if (x.size() != y.size())
+        throw std::invalid_argument("estimate_mutual_information: length mismatch");
+    if (x.empty()) throw std::invalid_argument("estimate_mutual_information: empty samples");
+    const std::size_t n = x.size();
+
+    std::map<std::uint32_t, std::size_t> cx, cy;
+    std::map<std::uint64_t, std::size_t> cxy;
+    for (std::size_t i = 0; i < n; ++i) {
+        ++cx[x[i]];
+        ++cy[y[i]];
+        ++cxy[(static_cast<std::uint64_t>(x[i]) << 32) | y[i]];
+    }
+    const Counted hx = entropy_of_counts(cx, n);
+    const Counted hy = entropy_of_counts(cy, n);
+    const Counted hxy = entropy_of_counts(cxy, n);
+
+    MiResult res;
+    res.samples = n;
+    res.plug_in = std::max(0.0, hx.entropy + hy.entropy - hxy.entropy);
+    // Miller-Madow: H_mm = H_plug + (support-1)/(2n ln 2) per entropy term.
+    const double corr = 1.0 / (2.0 * static_cast<double>(n) * std::log(2.0));
+    const double hx_mm = hx.entropy + corr * static_cast<double>(hx.support - 1);
+    const double hy_mm = hy.entropy + corr * static_cast<double>(hy.support - 1);
+    const double hxy_mm = hxy.entropy + corr * static_cast<double>(hxy.support - 1);
+    res.miller_madow = std::max(0.0, hx_mm + hy_mm - hxy_mm);
+    return res;
+}
+
+MiResult estimate_entropy(std::span<const std::uint32_t> x) {
+    if (x.empty()) throw std::invalid_argument("estimate_entropy: empty samples");
+    std::map<std::uint32_t, std::size_t> cx;
+    for (std::uint32_t v : x) ++cx[v];
+    const Counted hx = entropy_of_counts(cx, x.size());
+    MiResult res;
+    res.samples = x.size();
+    res.plug_in = hx.entropy;
+    res.miller_madow = hx.entropy + static_cast<double>(hx.support - 1) /
+                                        (2.0 * static_cast<double>(x.size()) * std::log(2.0));
+    return res;
+}
+
+}  // namespace ccap::estimate

@@ -1,0 +1,54 @@
+#include "ccap/estimate/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccap::estimate {
+
+std::vector<std::uint32_t> read_trace(std::istream& in) {
+    std::vector<std::uint32_t> trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Trim whitespace.
+        const auto begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos) continue;
+        const auto end = line.find_last_not_of(" \t\r");
+        const std::string_view body(line.data() + begin, end - begin + 1);
+        if (body.front() == '#') continue;
+        std::uint32_t value = 0;
+        const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+        if (ec != std::errc{} || ptr != body.data() + body.size()) {
+            std::ostringstream msg;
+            msg << "trace parse error on line " << line_no << ": '" << body << "'";
+            throw std::runtime_error(msg.str());
+        }
+        trace.push_back(value);
+    }
+    return trace;
+}
+
+std::vector<std::uint32_t> read_trace_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open trace file: " + path);
+    return read_trace(in);
+}
+
+void write_trace(std::ostream& out, std::span<const std::uint32_t> trace,
+                 const std::string& comment) {
+    if (!comment.empty()) out << "# " << comment << "\n";
+    for (std::uint32_t s : trace) out << s << "\n";
+}
+
+void write_trace_file(const std::string& path, std::span<const std::uint32_t> trace,
+                      const std::string& comment) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot create trace file: " + path);
+    write_trace(out, trace, comment);
+    if (!out) throw std::runtime_error("error writing trace file: " + path);
+}
+
+}  // namespace ccap::estimate

@@ -1,0 +1,84 @@
+// Capacity bounds for channels with synchronization errors (no feedback).
+//
+// The paper's Section 4.1 observes that the exact capacity of a
+// deletion-insertion channel is unknown (Dobrushin 1967 proved the coding
+// theorem; Vvedenskaya & Dobrushin 1968 and Dolgopolov 1990 computed
+// numerical bounds). This module provides:
+//
+//   * the trivial erasure upper bound         C <= N (1 - P_d)  (Theorem 1),
+//   * Gallager's iid lower bound for the binary deletion channel
+//                                             C >= 1 - H(p_d),
+//   * the Kanoria-Montanari small-p asymptotic expansion (informative only),
+//   * a Monte-Carlo *achievable-rate* estimator for the general
+//     deletion-insertion-substitution channel: for blocks of iid uniform
+//     inputs, I(X;Y)/n is computed exactly per sampled block via the drift
+//     lattice (log2 P(Y|X) by a point-prior forward pass, log2 P(Y) by a
+//     uniform-prior forward pass), then averaged. This is the modern
+//     equivalent of the Vvedenskaya-Dobrushin computation the paper cites.
+#pragma once
+
+#include <cstddef>
+
+#include "ccap/info/drift_hmm.hpp"
+#include "ccap/util/rng.hpp"
+#include "ccap/util/stats.hpp"
+
+namespace ccap::info {
+
+/// Erasure-channel upper bound on any deletion(-insertion) channel with
+/// symbol alphabet 2^bits_per_symbol: bits_per_symbol * (1 - p_d).
+[[nodiscard]] double erasure_upper_bound(double p_d, unsigned bits_per_symbol = 1);
+
+/// Gallager's lower bound for the binary deletion channel:
+/// max(0, 1 - H(p)) for p <= 1/2 (0 beyond, where the argument breaks).
+[[nodiscard]] double gallager_deletion_lower_bound(double p_d);
+
+/// Mitzenmacher & Drinea's universal lower bound C >= (1 - p)/9, valid for
+/// every deletion rate (the best simple bound in the p > 1/2 regime).
+[[nodiscard]] double mitzenmacher_drinea_lower_bound(double p_d);
+
+/// Kanoria-Montanari small-deletion-rate expansion for the binary deletion
+/// channel: C ~ 1 + p*log2(p) - A*p, A ~= 1.15416377. Only meaningful for
+/// small p (<~ 0.1); clamped at 0.
+[[nodiscard]] double small_p_deletion_expansion(double p_d);
+
+/// Sample a transmission through the Definition-1 generative channel
+/// (geometric insertion runs, deletions, substitutions, trailing inserts).
+/// Matches DriftHmm's model exactly (without truncation).
+[[nodiscard]] std::vector<std::uint8_t> simulate_drift_channel(
+    std::span<const std::uint8_t> transmitted, const DriftParams& params, util::Rng& rng);
+
+struct MiEstimate {
+    double rate = 0.0;        ///< mean achievable rate, bits per input symbol
+    double sem = 0.0;         ///< standard error of the mean
+    std::size_t blocks = 0;   ///< blocks averaged
+    std::size_t block_len = 0;
+};
+
+/// Monte-Carlo achievable rate of the deletion-insertion(-substitution)
+/// channel with iid uniform inputs: E[log2 P(Y|X) - log2 P(Y)] / block_len.
+/// This lower-bounds the true (no-feedback) capacity up to O(1/block_len)
+/// edge effects and the lattice truncations (both only push the estimate
+/// down). Deterministic given `rng` state.
+[[nodiscard]] MiEstimate iid_mutual_information_rate(const DriftParams& params,
+                                                     std::size_t block_len,
+                                                     std::size_t num_blocks, util::Rng& rng);
+
+/// Sample a sequence from a first-order Markov source.
+[[nodiscard]] std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source,
+                                                               unsigned alphabet,
+                                                               std::size_t length,
+                                                               util::Rng& rng);
+
+/// Monte-Carlo achievable rate with a first-order Markov input process —
+/// the Davey-MacKay observation that run-length-biased inputs beat iid on
+/// deletion channels, quantified. The marginal log2 P(Y) runs over the
+/// joint (drift, previous-symbol) lattice. With MarkovSource::uniform this
+/// reduces (statistically) to iid_mutual_information_rate.
+[[nodiscard]] MiEstimate markov_mutual_information_rate(const DriftParams& params,
+                                                        const MarkovSource& source,
+                                                        std::size_t block_len,
+                                                        std::size_t num_blocks,
+                                                        util::Rng& rng);
+
+}  // namespace ccap::info

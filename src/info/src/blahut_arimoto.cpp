@@ -1,0 +1,135 @@
+#include "ccap/info/blahut_arimoto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ccap/info/entropy.hpp"
+
+namespace ccap::info {
+namespace {
+
+/// Relative-entropy "distance" D_x = sum_y W(y|x) log2(W(y|x)/q(y)).
+/// If W(y|x) > 0 while q(y) == 0 the value is +inf; with a strictly positive
+/// starting distribution q(y)=0 implies column y is all-zero, so this cannot
+/// trigger for reachable outputs.
+std::vector<double> divergence_to_output(const util::Matrix& w, std::span<const double> q) {
+    std::vector<double> d(w.rows(), 0.0);
+    for (std::size_t x = 0; x < w.rows(); ++x) {
+        double acc = 0.0;
+        for (std::size_t y = 0; y < w.cols(); ++y) {
+            const double wxy = w(x, y);
+            if (wxy > 0.0) acc += wxy * std::log2(wxy / q[y]);
+        }
+        d[x] = acc;
+    }
+    return d;
+}
+
+std::vector<double> output_dist(const util::Matrix& w, std::span<const double> p) {
+    std::vector<double> q(w.cols(), 0.0);
+    for (std::size_t x = 0; x < w.rows(); ++x) {
+        if (p[x] == 0.0) continue;
+        for (std::size_t y = 0; y < w.cols(); ++y) q[y] += p[x] * w(x, y);
+    }
+    return q;
+}
+
+}  // namespace
+
+BlahutArimotoResult blahut_arimoto(const Dmc& channel, const BlahutArimotoOptions& opts) {
+    const util::Matrix& w = channel.matrix();
+    const std::size_t nx = w.rows();
+    BlahutArimotoResult res;
+    res.optimal_input.assign(nx, 1.0 / static_cast<double>(nx));
+
+    for (int it = 0; it < opts.max_iterations; ++it) {
+        const std::vector<double> q = output_dist(w, res.optimal_input);
+        const std::vector<double> d = divergence_to_output(w, q);
+
+        double lower = 0.0;                                        // I(p) at current p
+        double upper = -std::numeric_limits<double>::infinity();   // max_x D_x
+        for (std::size_t x = 0; x < nx; ++x) {
+            lower += res.optimal_input[x] * d[x];
+            upper = std::max(upper, d[x]);
+        }
+        res.lower_bound = std::max(0.0, lower);
+        res.upper_bound = upper;
+        res.iterations = it + 1;
+        if (upper - lower < opts.tolerance) {
+            res.converged = true;
+            break;
+        }
+        // p'(x) proportional to p(x) * 2^{D_x}; subtract max for stability.
+        double z = 0.0;
+        for (std::size_t x = 0; x < nx; ++x) {
+            res.optimal_input[x] *= std::exp2(d[x] - upper);
+            z += res.optimal_input[x];
+        }
+        for (double& v : res.optimal_input) v /= z;
+    }
+    // With convergence the sandwich midpoint is within tolerance/2 of C;
+    // without convergence report the rigorous lower bound.
+    res.capacity = res.converged ? 0.5 * (res.lower_bound + res.upper_bound) : res.lower_bound;
+    return res;
+}
+
+PerCostResult capacity_per_unit_cost(const Dmc& channel, std::span<const double> costs,
+                                     const BlahutArimotoOptions& opts) {
+    const util::Matrix& w = channel.matrix();
+    const std::size_t nx = w.rows();
+    if (costs.size() != nx)
+        throw std::invalid_argument("capacity_per_unit_cost: costs size mismatch");
+    for (double c : costs)
+        if (!(c > 0.0)) throw std::domain_error("capacity_per_unit_cost: costs must be > 0");
+
+    // Dinkelbach iteration: given lambda, maximize I(p) - lambda * E_p[cost]
+    // by cost-tilted Blahut-Arimoto; update lambda = I(p*) / E_{p*}[cost].
+    PerCostResult out;
+    std::vector<double> p(nx, 1.0 / static_cast<double>(nx));
+    double lambda = 0.0;
+
+    const auto rate_and_cost = [&](std::span<const double> dist) {
+        const double mi = mutual_information(dist, w);
+        double cost = 0.0;
+        for (std::size_t x = 0; x < nx; ++x) cost += dist[x] * costs[x];
+        return std::pair{mi, cost};
+    };
+
+    for (int outer = 0; outer < 200; ++outer) {
+        // Inner tilted Blahut-Arimoto for max_p I(p) - lambda * E[cost].
+        for (int it = 0; it < opts.max_iterations; ++it) {
+            const std::vector<double> q = output_dist(w, p);
+            const std::vector<double> d = divergence_to_output(w, q);
+            double best = -std::numeric_limits<double>::infinity();
+            for (std::size_t x = 0; x < nx; ++x)
+                best = std::max(best, d[x] - lambda * costs[x]);
+            double z = 0.0;
+            double gap = 0.0;
+            for (std::size_t x = 0; x < nx; ++x) {
+                const double score = d[x] - lambda * costs[x];
+                gap += p[x] * (best - score);
+                p[x] *= std::exp2(score - best);
+                z += p[x];
+            }
+            for (double& v : p) v /= z;
+            if (gap < opts.tolerance) break;
+        }
+        const auto [mi, cost] = rate_and_cost(p);
+        const double new_lambda = mi / cost;
+        out.outer_iterations = outer + 1;
+        if (std::abs(new_lambda - lambda) < opts.tolerance * std::max(1.0, new_lambda)) {
+            lambda = new_lambda;
+            out.converged = true;
+            break;
+        }
+        lambda = new_lambda;
+    }
+    out.lambda = lambda;
+    out.capacity_per_cost = lambda;
+    out.optimal_input = std::move(p);
+    return out;
+}
+
+}  // namespace ccap::info

@@ -1,0 +1,149 @@
+#include "ccap/info/deletion_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ccap/info/entropy.hpp"
+
+namespace ccap::info {
+
+double erasure_upper_bound(double p_d, unsigned bits_per_symbol) {
+    if (p_d < 0.0 || p_d > 1.0) throw std::domain_error("erasure_upper_bound: p_d outside [0,1]");
+    if (bits_per_symbol == 0) throw std::invalid_argument("erasure_upper_bound: zero-bit symbols");
+    return static_cast<double>(bits_per_symbol) * (1.0 - p_d);
+}
+
+double gallager_deletion_lower_bound(double p_d) {
+    if (p_d < 0.0 || p_d > 1.0)
+        throw std::domain_error("gallager_deletion_lower_bound: p_d outside [0,1]");
+    // The random-coding argument behind 1 - H(p) only applies for p <= 1/2;
+    // past that point the expression rises again and would cross the
+    // erasure upper bound, so we report 0 there.
+    if (p_d > 0.5) return 0.0;
+    return std::max(0.0, 1.0 - binary_entropy(p_d));
+}
+
+double mitzenmacher_drinea_lower_bound(double p_d) {
+    if (p_d < 0.0 || p_d > 1.0)
+        throw std::domain_error("mitzenmacher_drinea_lower_bound: p_d outside [0,1]");
+    return (1.0 - p_d) / 9.0;
+}
+
+double small_p_deletion_expansion(double p_d) {
+    if (p_d < 0.0 || p_d > 1.0)
+        throw std::domain_error("small_p_deletion_expansion: p_d outside [0,1]");
+    if (p_d == 0.0) return 1.0;
+    constexpr double kA = 1.15416377;  // Kanoria & Montanari (2013)
+    return std::max(0.0, 1.0 + p_d * std::log2(p_d) - kA * p_d);
+}
+
+std::vector<std::uint8_t> simulate_drift_channel(std::span<const std::uint8_t> transmitted,
+                                                 const DriftParams& params, util::Rng& rng) {
+    params.validate();
+    const unsigned m = params.alphabet;
+    for (std::uint8_t s : transmitted)
+        if (s >= m) throw std::out_of_range("simulate_drift_channel: symbol out of alphabet");
+
+    std::vector<std::uint8_t> received;
+    received.reserve(transmitted.size() + 8);
+    const auto random_symbol = [&] {
+        return static_cast<std::uint8_t>(rng.uniform_below(m));
+    };
+    const auto substitute = [&](std::uint8_t s) {
+        if (params.p_s <= 0.0 || !rng.bernoulli(params.p_s)) return s;
+        // Uniform over the other m-1 symbols.
+        auto r = static_cast<std::uint8_t>(rng.uniform_below(m - 1));
+        return static_cast<std::uint8_t>(r >= s ? r + 1 : r);
+    };
+
+    for (std::uint8_t s : transmitted) {
+        for (;;) {
+            const double u = rng.uniform();
+            if (u < params.p_i) {
+                received.push_back(random_symbol());  // insertion, symbol stays queued
+            } else if (u < params.p_i + params.p_d) {
+                break;  // deletion consumes the queued symbol silently
+            } else {
+                received.push_back(substitute(s));  // transmission
+                break;
+            }
+        }
+    }
+    // Trailing insertions after the queue empties.
+    while (rng.bernoulli(params.p_i)) received.push_back(random_symbol());
+    return received;
+}
+
+std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source, unsigned alphabet,
+                                                 std::size_t length, util::Rng& rng) {
+    source.validate(alphabet);
+    std::vector<std::uint8_t> out(length);
+    if (length == 0) return out;
+    std::size_t s = rng.categorical(source.initial);
+    if (s >= alphabet) s = alphabet - 1;
+    out[0] = static_cast<std::uint8_t>(s);
+    for (std::size_t i = 1; i < length; ++i) {
+        std::size_t nxt = rng.categorical(source.transition.row(out[i - 1]));
+        if (nxt >= alphabet) nxt = alphabet - 1;
+        out[i] = static_cast<std::uint8_t>(nxt);
+    }
+    return out;
+}
+
+MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
+                                          std::size_t block_len, std::size_t num_blocks,
+                                          util::Rng& rng) {
+    params.validate();
+    source.validate(params.alphabet);
+    if (block_len == 0 || num_blocks == 0)
+        throw std::invalid_argument("markov_mutual_information_rate: empty experiment");
+
+    const DriftHmm hmm(params);
+    util::RunningStats stats;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        const std::vector<std::uint8_t> tx =
+            simulate_markov_source(source, params.alphabet, block_len, rng);
+        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
+        const double log_cond = hmm.log2_likelihood(tx, rx);
+        const double log_marg = hmm.log2_markov_marginal(source, block_len, rx);
+        if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
+            stats.add(0.0);  // outside the truncation: score zero information
+            continue;
+        }
+        stats.add((log_cond - log_marg) / static_cast<double>(block_len));
+    }
+    return {std::max(0.0, stats.mean()), stats.sem(), num_blocks, block_len};
+}
+
+MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t block_len,
+                                       std::size_t num_blocks, util::Rng& rng) {
+    params.validate();
+    if (block_len == 0 || num_blocks == 0)
+        throw std::invalid_argument("iid_mutual_information_rate: empty experiment");
+
+    const DriftHmm hmm(params);
+    const unsigned m = params.alphabet;
+    util::Matrix uniform_priors(block_len, m, 1.0 / static_cast<double>(m));
+
+    util::RunningStats stats;
+    std::vector<std::uint8_t> tx(block_len);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(m));
+        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
+
+        const double log_cond = hmm.log2_likelihood(tx, rx);
+        double log_marg = 0.0;
+        (void)hmm.posteriors(uniform_priors, rx, &log_marg);
+        if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
+            // Block fell outside the lattice truncation; score it zero
+            // information, preserving the lower-bound semantics.
+            stats.add(0.0);
+            continue;
+        }
+        stats.add((log_cond - log_marg) / static_cast<double>(block_len));
+    }
+    return {std::max(0.0, stats.mean()), stats.sem(), num_blocks, block_len};
+}
+
+}  // namespace ccap::info

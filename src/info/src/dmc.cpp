@@ -1,0 +1,110 @@
+#include "ccap/info/dmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ccap/info/entropy.hpp"
+
+namespace ccap::info {
+
+Dmc::Dmc(util::Matrix transition, std::string name)
+    : w_(std::move(transition)), name_(std::move(name)) {
+    if (w_.rows() == 0 || w_.cols() == 0) throw std::invalid_argument("Dmc: empty matrix");
+    if (!w_.is_row_stochastic(1e-9)) throw std::invalid_argument("Dmc: matrix not row-stochastic");
+    w_.normalize_rows();  // remove the 1e-9 slack exactly
+}
+
+std::vector<double> Dmc::output_distribution(std::span<const double> input) const {
+    if (input.size() != w_.rows())
+        throw std::invalid_argument("Dmc::output_distribution: input size mismatch");
+    return w_.transpose_vec(input);
+}
+
+std::size_t Dmc::sample(std::size_t x, util::Rng& rng) const {
+    if (x >= w_.rows()) throw std::out_of_range("Dmc::sample: input symbol out of range");
+    const std::size_t y = rng.categorical(w_.row(x));
+    return y < w_.cols() ? y : w_.cols() - 1;
+}
+
+std::vector<std::size_t> Dmc::transduce(std::span<const std::size_t> inputs,
+                                        util::Rng& rng) const {
+    std::vector<std::size_t> out;
+    out.reserve(inputs.size());
+    for (std::size_t x : inputs) out.push_back(sample(x, rng));
+    return out;
+}
+
+namespace {
+void check_prob(double p, const char* who) {
+    if (p < 0.0 || p > 1.0) throw std::domain_error(std::string(who) + ": probability outside [0,1]");
+}
+}  // namespace
+
+Dmc make_bsc(double p) {
+    check_prob(p, "make_bsc");
+    return Dmc(util::Matrix{{1.0 - p, p}, {p, 1.0 - p}}, "bsc");
+}
+
+Dmc make_bec(double e) {
+    check_prob(e, "make_bec");
+    return Dmc(util::Matrix{{1.0 - e, 0.0, e}, {0.0, 1.0 - e, e}}, "bec");
+}
+
+Dmc make_mary_symmetric(unsigned m, double p) {
+    if (m < 2) throw std::invalid_argument("make_mary_symmetric: m < 2");
+    check_prob(p, "make_mary_symmetric");
+    util::Matrix w(m, m, p / (static_cast<double>(m) - 1.0));
+    for (unsigned i = 0; i < m; ++i) w(i, i) = 1.0 - p;
+    return Dmc(std::move(w), "mary_symmetric");
+}
+
+Dmc make_z_channel(double p) {
+    check_prob(p, "make_z_channel");
+    return Dmc(util::Matrix{{1.0, 0.0}, {p, 1.0 - p}}, "z_channel");
+}
+
+Dmc make_mary_erasure(unsigned m, double e) {
+    if (m < 2) throw std::invalid_argument("make_mary_erasure: m < 2");
+    check_prob(e, "make_mary_erasure");
+    util::Matrix w(m, m + 1);
+    for (unsigned i = 0; i < m; ++i) {
+        w(i, i) = 1.0 - e;
+        w(i, m) = e;
+    }
+    return Dmc(std::move(w), "mary_erasure");
+}
+
+Dmc make_noiseless(unsigned m) {
+    if (m < 1) throw std::invalid_argument("make_noiseless: m < 1");
+    util::Matrix w(m, m);
+    for (unsigned i = 0; i < m; ++i) w(i, i) = 1.0;
+    return Dmc(std::move(w), "noiseless");
+}
+
+double bsc_capacity(double p) {
+    check_prob(p, "bsc_capacity");
+    return 1.0 - binary_entropy(p);
+}
+
+double bec_capacity(double e) {
+    check_prob(e, "bec_capacity");
+    return 1.0 - e;
+}
+
+double z_channel_capacity(double p) {
+    check_prob(p, "z_channel_capacity");
+    if (p >= 1.0) return 0.0;
+    // C = log2(1 + (1-p) * p^{p/(1-p)})
+    const double q = 1.0 - p;
+    return std::log2(1.0 + q * std::pow(p, p / q));
+}
+
+double mary_erasure_capacity(unsigned m, double e) {
+    if (m < 2) throw std::invalid_argument("mary_erasure_capacity: m < 2");
+    check_prob(e, "mary_erasure_capacity");
+    return std::log2(static_cast<double>(m)) * (1.0 - e);
+}
+
+}  // namespace ccap::info

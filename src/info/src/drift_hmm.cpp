@@ -1,0 +1,574 @@
+#include "ccap/info/drift_hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ccap::info {
+
+void MarkovSource::validate(unsigned alphabet) const {
+    if (initial.size() != alphabet || transition.rows() != alphabet ||
+        transition.cols() != alphabet)
+        throw std::invalid_argument("MarkovSource: dimensions do not match alphabet");
+    double sum = 0.0;
+    for (double p : initial) {
+        if (p < 0.0) throw std::domain_error("MarkovSource: negative initial probability");
+        sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+        throw std::domain_error("MarkovSource: initial distribution does not sum to 1");
+    if (!transition.is_row_stochastic(1e-9))
+        throw std::domain_error("MarkovSource: transition matrix not row-stochastic");
+}
+
+MarkovSource MarkovSource::binary_repeat(double stay) {
+    if (stay < 0.0 || stay > 1.0)
+        throw std::domain_error("MarkovSource::binary_repeat: stay outside [0,1]");
+    MarkovSource s;
+    s.initial = {0.5, 0.5};
+    s.transition = util::Matrix{{stay, 1.0 - stay}, {1.0 - stay, stay}};
+    return s;
+}
+
+MarkovSource MarkovSource::uniform(unsigned alphabet) {
+    if (alphabet < 2) throw std::invalid_argument("MarkovSource::uniform: alphabet < 2");
+    MarkovSource s;
+    s.initial.assign(alphabet, 1.0 / alphabet);
+    s.transition = util::Matrix(alphabet, alphabet, 1.0 / alphabet);
+    return s;
+}
+
+void DriftParams::validate() const {
+    if (p_d < 0.0 || p_i < 0.0 || p_s < 0.0 || p_s > 1.0)
+        throw std::domain_error("DriftParams: negative probability");
+    if (p_d + p_i >= 1.0 + 1e-12)
+        throw std::domain_error("DriftParams: p_d + p_i must be < 1");
+    if (alphabet < 2) throw std::domain_error("DriftParams: alphabet < 2");
+    if (max_drift < 1 || max_insert_run < 1)
+        throw std::domain_error("DriftParams: truncation bounds must be >= 1");
+}
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Slices {
+    // Row j holds the (normalized) probability over drift in [-D, D];
+    // log2_scale[j] accumulates the normalization taken out of rows 0..j.
+    std::vector<std::vector<double>> rows;
+    std::vector<double> log2_scale;
+};
+
+}  // namespace
+
+struct DriftHmm::Lattice {
+    const DriftParams& p;
+    std::span<const std::uint8_t> rx;
+    std::size_t n;                 // transmitted length
+    std::size_t m;                 // received length
+    int d_max;                     // drift clamp
+    std::size_t width;             // 2*d_max + 1
+    double inv_m_alpha;            // 1/M emission prob of an insertion
+    std::vector<double> ins_pow;   // (p_i / M)^g for g = 0..max_insert_run
+
+    Lattice(const DriftParams& params, std::span<const std::uint8_t> received, std::size_t tx_len)
+        : p(params),
+          rx(received),
+          n(tx_len),
+          m(received.size()),
+          d_max(params.max_drift),
+          width(static_cast<std::size_t>(2 * params.max_drift + 1)),
+          inv_m_alpha(1.0 / static_cast<double>(params.alphabet)) {
+        ins_pow.resize(static_cast<std::size_t>(p.max_insert_run) + 1);
+        ins_pow[0] = 1.0;
+        for (std::size_t g = 1; g < ins_pow.size(); ++g)
+            ins_pow[g] = ins_pow[g - 1] * p.p_i * inv_m_alpha;
+    }
+
+    [[nodiscard]] std::size_t idx(int d) const noexcept {
+        return static_cast<std::size_t>(d + d_max);
+    }
+    [[nodiscard]] bool drift_ok(std::size_t j, int d) const noexcept {
+        if (d < -d_max || d > d_max) return false;
+        const long long r = static_cast<long long>(j) + d;
+        return r >= 0 && r <= static_cast<long long>(m);
+    }
+
+    /// P(received symbol r | transmitted symbol s).
+    [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const noexcept {
+        if (r == s) return 1.0 - p.p_s;
+        return p.p_s / (static_cast<double>(p.alphabet) - 1.0);
+    }
+
+    /// Emission averaged over a prior q(s) for received symbol r.
+    [[nodiscard]] double emit_prior(std::uint8_t r, std::span<const double> q) const noexcept {
+        double e = 0.0;
+        for (std::size_t s = 0; s < q.size(); ++s)
+            e += q[s] * emit(r, static_cast<std::uint8_t>(s));
+        return e;
+    }
+
+    /// Trailing-insertion factor at final drift d (exact, no truncation).
+    [[nodiscard]] double trailing(int d) const noexcept {
+        const long long k = static_cast<long long>(m) - (static_cast<long long>(n) + d);
+        if (k < 0) return 0.0;
+        return std::pow(p.p_i * inv_m_alpha, static_cast<double>(k)) * (1.0 - p.p_i);
+    }
+
+    /// Forward pass. `prior_row(j)` must return a span of M prior
+    /// probabilities for transmitted position j (0-based).
+    template <typename PriorFn>
+    Slices forward(PriorFn&& prior_row) const {
+        Slices a;
+        a.rows.assign(n + 1, std::vector<double>(width, 0.0));
+        a.log2_scale.assign(n + 1, 0.0);
+        a.rows[0][idx(0)] = 1.0;
+
+        for (std::size_t j = 1; j <= n; ++j) {
+            const auto q = prior_row(j - 1);
+            auto& cur = a.rows[j];
+            const auto& prev = a.rows[j - 1];
+            for (int dp = -d_max; dp <= d_max; ++dp) {
+                if (!drift_ok(j - 1, dp)) continue;
+                const double ap = prev[idx(dp)];
+                if (ap == 0.0) continue;
+                const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+                for (int g = 0; g <= p.max_insert_run; ++g) {
+                    const int d = dp + g - 1;
+                    if (!drift_ok(j, d)) continue;
+                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);  // received consumed
+                    if (r1 > m) break;
+                    double w = 0.0;
+                    // deletion after g insertions
+                    w += ins_pow[static_cast<std::size_t>(g)] * p.p_d;
+                    // transmission after g-1 insertions
+                    if (g >= 1)
+                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
+                             emit_prior(rx[r1 - 1], q);
+                    cur[idx(d)] += ap * w;
+                }
+            }
+            double norm = 0.0;
+            for (double v : cur) norm += v;
+            if (norm <= 0.0) {
+                a.log2_scale[j] = kNegInf;
+                continue;  // dead lattice; downstream sees zero evidence
+            }
+            for (double& v : cur) v /= norm;
+            a.log2_scale[j] = a.log2_scale[j - 1] + std::log2(norm);
+        }
+        return a;
+    }
+
+    /// Backward pass, symmetric to forward.
+    template <typename PriorFn>
+    Slices backward(PriorFn&& prior_row) const {
+        Slices b;
+        b.rows.assign(n + 1, std::vector<double>(width, 0.0));
+        b.log2_scale.assign(n + 1, 0.0);
+        {
+            auto& last = b.rows[n];
+            double norm = 0.0;
+            for (int d = -d_max; d <= d_max; ++d) {
+                if (!drift_ok(n, d)) continue;
+                last[idx(d)] = trailing(d);
+                norm += last[idx(d)];
+            }
+            if (norm > 0.0) {
+                for (double& v : last) v /= norm;
+                b.log2_scale[n] = std::log2(norm);
+            } else {
+                b.log2_scale[n] = kNegInf;
+            }
+        }
+        for (std::size_t j = n; j-- > 0;) {
+            const auto q = prior_row(j);
+            auto& cur = b.rows[j];
+            const auto& next = b.rows[j + 1];
+            for (int dp = -d_max; dp <= d_max; ++dp) {
+                if (!drift_ok(j, dp)) continue;
+                const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j) + dp);
+                double acc = 0.0;
+                for (int g = 0; g <= p.max_insert_run; ++g) {
+                    const int d = dp + g - 1;
+                    if (!drift_ok(j + 1, d)) continue;
+                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                    if (r1 > m) break;
+                    double w = ins_pow[static_cast<std::size_t>(g)] * p.p_d;
+                    if (g >= 1)
+                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
+                             emit_prior(rx[r1 - 1], q);
+                    acc += w * next[idx(d)];
+                }
+                cur[idx(dp)] = acc;
+            }
+            double norm = 0.0;
+            for (double v : cur) norm += v;
+            if (norm <= 0.0) {
+                b.log2_scale[j] = kNegInf;
+                continue;
+            }
+            for (double& v : cur) v /= norm;
+            b.log2_scale[j] = b.log2_scale[j + 1] + std::log2(norm);
+        }
+        return b;
+    }
+};
+
+DriftHmm::DriftHmm(DriftParams params) : params_(params) { params_.validate(); }
+
+double DriftHmm::log2_likelihood(std::span<const std::uint8_t> transmitted,
+                                 std::span<const std::uint8_t> received) const {
+    const unsigned m_alpha = params_.alphabet;
+    for (std::uint8_t s : transmitted)
+        if (s >= m_alpha) throw std::out_of_range("DriftHmm: transmitted symbol out of alphabet");
+    for (std::uint8_t s : received)
+        if (s >= m_alpha) throw std::out_of_range("DriftHmm: received symbol out of alphabet");
+
+    Lattice lat(params_, received, transmitted.size());
+    // Point-mass priors at the actual transmitted symbols.
+    std::vector<double> point(m_alpha, 0.0);
+    const auto prior = [&](std::size_t j) -> std::span<const double> {
+        std::fill(point.begin(), point.end(), 0.0);
+        point[transmitted[j]] = 1.0;
+        return point;
+    };
+    const Slices a = lat.forward(prior);
+    if (a.log2_scale.back() == kNegInf) return kNegInf;
+
+    double tail = 0.0;
+    for (int d = -params_.max_drift; d <= params_.max_drift; ++d)
+        if (lat.drift_ok(transmitted.size(), d))
+            tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
+    if (tail <= 0.0) return kNegInf;
+    return a.log2_scale.back() + std::log2(tail);
+}
+
+util::Matrix DriftHmm::posteriors(const util::Matrix& priors,
+                                  std::span<const std::uint8_t> received,
+                                  double* log2_evidence) const {
+    const std::size_t n = priors.rows();
+    const unsigned m_alpha = params_.alphabet;
+    if (priors.cols() != m_alpha)
+        throw std::invalid_argument("DriftHmm::posteriors: priors cols != alphabet");
+    if (!priors.is_row_stochastic(1e-6) && n > 0)
+        throw std::invalid_argument("DriftHmm::posteriors: priors not row-stochastic");
+    for (std::uint8_t s : received)
+        if (s >= m_alpha) throw std::out_of_range("DriftHmm: received symbol out of alphabet");
+
+    Lattice lat(params_, received, n);
+    const auto prior = [&](std::size_t j) { return priors.row(j); };
+    const Slices a = lat.forward(prior);
+    const Slices b = lat.backward(prior);
+
+    if (log2_evidence != nullptr) {
+        double tail = 0.0;
+        for (int d = -params_.max_drift; d <= params_.max_drift; ++d)
+            if (lat.drift_ok(n, d)) tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
+        *log2_evidence =
+            (tail > 0.0 && a.log2_scale.back() != kNegInf)
+                ? a.log2_scale.back() + std::log2(tail)
+                : kNegInf;
+    }
+
+    util::Matrix post(n, m_alpha);
+    std::vector<double> w(m_alpha, 0.0);
+    for (std::size_t j = 1; j <= n; ++j) {
+        std::fill(w.begin(), w.end(), 0.0);
+        double w_del = 0.0;
+        for (int dp = -params_.max_drift; dp <= params_.max_drift; ++dp) {
+            if (!lat.drift_ok(j - 1, dp)) continue;
+            const double ap = a.rows[j - 1][lat.idx(dp)];
+            if (ap == 0.0) continue;
+            const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+            for (int g = 0; g <= params_.max_insert_run; ++g) {
+                const int d = dp + g - 1;
+                if (!lat.drift_ok(j, d)) continue;
+                const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                if (r1 > lat.m) break;
+                const double beta = b.rows[j][lat.idx(d)];
+                if (beta == 0.0) continue;
+                w_del += ap * lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta;
+                if (g >= 1) {
+                    const double base = ap * lat.ins_pow[static_cast<std::size_t>(g - 1)] *
+                                        params_.p_t() * beta;
+                    const std::uint8_t r = received[r1 - 1];
+                    for (unsigned s = 0; s < m_alpha; ++s)
+                        w[s] += base * lat.emit(r, static_cast<std::uint8_t>(s));
+                }
+            }
+        }
+        double norm = 0.0;
+        for (unsigned s = 0; s < m_alpha; ++s) {
+            const double v = priors(j - 1, s) * (w[s] + w_del);
+            post(j - 1, s) = v;
+            norm += v;
+        }
+        if (norm > 0.0) {
+            for (unsigned s = 0; s < m_alpha; ++s) post(j - 1, s) /= norm;
+        } else {
+            // Unreachable position under the truncations: fall back to prior.
+            for (unsigned s = 0; s < m_alpha; ++s) post(j - 1, s) = priors(j - 1, s);
+        }
+    }
+    return post;
+}
+
+DriftHmm::EventExpectations DriftHmm::expected_events(
+    std::span<const std::uint8_t> transmitted, std::span<const std::uint8_t> received) const {
+    const unsigned m_alpha = params_.alphabet;
+    for (std::uint8_t s : transmitted)
+        if (s >= m_alpha) throw std::out_of_range("expected_events: transmitted symbol");
+    for (std::uint8_t s : received)
+        if (s >= m_alpha) throw std::out_of_range("expected_events: received symbol");
+
+    const std::size_t n = transmitted.size();
+    Lattice lat(params_, received, n);
+    std::vector<double> point(m_alpha, 0.0);
+    const auto prior = [&](std::size_t j) -> std::span<const double> {
+        std::fill(point.begin(), point.end(), 0.0);
+        point[transmitted[j]] = 1.0;
+        return point;
+    };
+    const Slices a = lat.forward(prior);
+    const Slices b = lat.backward(prior);
+
+    EventExpectations out;
+    // Total evidence (forward route).
+    double tail = 0.0;
+    for (int d = -lat.d_max; d <= lat.d_max; ++d)
+        if (lat.drift_ok(n, d)) tail += a.rows[n][lat.idx(d)] * lat.trailing(d);
+    if (tail <= 0.0 || a.log2_scale[n] == kNegInf) {
+        out.log2_likelihood = kNegInf;
+        return out;
+    }
+    const double log2_evidence = a.log2_scale[n] + std::log2(tail);
+    out.log2_likelihood = log2_evidence;
+
+    for (std::size_t j = 1; j <= n; ++j) {
+        // Per-position scale correction: the normalized slices hide
+        // 2^{a_scale[j-1] + b_scale[j]}, which must be re-expressed
+        // relative to the total evidence.
+        const double log2_factor = a.log2_scale[j - 1] + b.log2_scale[j] - log2_evidence;
+        if (log2_factor < -300.0) continue;  // numerically dead position
+        const double factor = std::exp2(log2_factor);
+        const std::uint8_t sym = transmitted[j - 1];
+        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
+            if (!lat.drift_ok(j - 1, dp)) continue;
+            const double alpha = a.rows[j - 1][lat.idx(dp)];
+            if (alpha == 0.0) continue;
+            const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+            for (int g = 0; g <= params_.max_insert_run; ++g) {
+                const int d = dp + g - 1;
+                if (!lat.drift_ok(j, d)) continue;
+                const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                if (r1 > lat.m) break;
+                const double beta = b.rows[j][lat.idx(d)];
+                if (beta == 0.0) continue;
+                const double w_del =
+                    alpha * lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta *
+                    factor;
+                if (w_del > 0.0) {
+                    out.deletions += w_del;
+                    out.insertions += w_del * static_cast<double>(g);
+                }
+                if (g >= 1) {
+                    const std::uint8_t r = received[r1 - 1];
+                    const double w_tx = alpha *
+                                        lat.ins_pow[static_cast<std::size_t>(g - 1)] *
+                                        params_.p_t() * lat.emit(r, sym) * beta * factor;
+                    if (w_tx > 0.0) {
+                        out.transmissions += w_tx;
+                        out.insertions += w_tx * static_cast<double>(g - 1);
+                        if (r != sym) out.substitutions += w_tx;
+                    }
+                }
+            }
+        }
+    }
+    // Trailing insertions: posterior over the final drift.
+    for (int d = -lat.d_max; d <= lat.d_max; ++d) {
+        if (!lat.drift_ok(n, d)) continue;
+        const double w = a.rows[n][lat.idx(d)] * lat.trailing(d) / tail;
+        const long long rest = static_cast<long long>(lat.m) - (static_cast<long long>(n) + d);
+        if (w > 0.0 && rest > 0) out.insertions += w * static_cast<double>(rest);
+    }
+    return out;
+}
+
+double DriftHmm::log2_markov_marginal(const MarkovSource& source, std::size_t tx_len,
+                                      std::span<const std::uint8_t> received) const {
+    const unsigned m_alpha = params_.alphabet;
+    source.validate(m_alpha);
+    for (std::uint8_t s : received)
+        if (s >= m_alpha) throw std::out_of_range("log2_markov_marginal: received symbol");
+
+    Lattice lat(params_, received, tx_len);
+    const std::size_t width = lat.width;
+
+    // Joint forward state: (drift, value of the just-consumed symbol).
+    // Row-major [drift][symbol]; per-slice normalization with a log2 scale.
+    std::vector<double> cur(width * m_alpha, 0.0), next(width * m_alpha, 0.0);
+    double log2_scale = 0.0;
+
+    std::vector<double> pre(width * m_alpha, 0.0);
+    const auto step_into = [&](std::size_t j, auto&& weight_of_prev) {
+        // Pre-aggregate the Markov-weighted mass arriving at each
+        // (previous-drift, new-symbol) pair, once per step.
+        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp)
+            for (unsigned s = 0; s < m_alpha; ++s)
+                pre[lat.idx(dp) * m_alpha + s] =
+                    lat.drift_ok(j - 1, dp) ? weight_of_prev(dp, s) : 0.0;
+        std::fill(next.begin(), next.end(), 0.0);
+        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
+            if (!lat.drift_ok(j - 1, dp)) continue;
+            const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+            for (int g = 0; g <= params_.max_insert_run; ++g) {
+                const int d = dp + g - 1;
+                if (!lat.drift_ok(j, d)) continue;
+                const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                if (r1 > lat.m) break;
+                const double w_del = lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
+                for (unsigned s = 0; s < m_alpha; ++s) {
+                    double w = w_del;
+                    if (g >= 1)
+                        w += lat.ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
+                             lat.emit(received[r1 - 1], static_cast<std::uint8_t>(s));
+                    if (w == 0.0) continue;
+                    const double mass = pre[lat.idx(dp) * m_alpha + s];
+                    if (mass > 0.0) next[lat.idx(d) * m_alpha + s] += mass * w;
+                }
+            }
+        }
+        double norm = 0.0;
+        for (double v : next) norm += v;
+        if (norm <= 0.0) return false;
+        for (double& v : next) v /= norm;
+        log2_scale += std::log2(norm);
+        cur.swap(next);
+        return true;
+    };
+
+    if (tx_len >= 1) {
+        // First symbol: drawn from the initial distribution, drift starts 0.
+        const bool ok = step_into(1, [&](int dp, unsigned s) {
+            return dp == 0 ? source.initial[s] : 0.0;
+        });
+        if (!ok) return kNegInf;
+    }
+    for (std::size_t j = 2; j <= tx_len; ++j) {
+        const bool ok = step_into(j, [&](int dp, unsigned s) {
+            double mass = 0.0;
+            for (unsigned sp = 0; sp < m_alpha; ++sp)
+                mass += cur[lat.idx(dp) * m_alpha + sp] * source.transition(sp, s);
+            return mass;
+        });
+        if (!ok) return kNegInf;
+    }
+
+    double tail = 0.0;
+    if (tx_len == 0) {
+        tail = lat.trailing(0);
+    } else {
+        for (int d = -lat.d_max; d <= lat.d_max; ++d) {
+            if (!lat.drift_ok(tx_len, d)) continue;
+            for (unsigned s = 0; s < m_alpha; ++s)
+                tail += cur[lat.idx(d) * m_alpha + s] * lat.trailing(d);
+        }
+    }
+    if (tail <= 0.0) return kNegInf;
+    return log2_scale + std::log2(tail);
+}
+
+util::Matrix DriftHmm::segment_likelihoods(
+    const util::Matrix& priors, std::span<const std::uint8_t> received, std::size_t seg_len,
+    const std::vector<std::vector<std::uint8_t>>& candidates) const {
+    return segment_likelihoods(priors, received, seg_len, candidates.size(),
+                               [&](std::size_t) -> std::span<const std::vector<std::uint8_t>> {
+                                   return candidates;
+                               });
+}
+
+util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
+                                           std::span<const std::uint8_t> received,
+                                           std::size_t seg_len, std::size_t num_candidates,
+                                           const CandidateFn& candidates_for) const {
+    const std::size_t n = priors.rows();
+    const unsigned m_alpha = params_.alphabet;
+    if (seg_len == 0 || n % seg_len != 0)
+        throw std::invalid_argument("segment_likelihoods: n must be a positive multiple of seg_len");
+    if (num_candidates == 0)
+        throw std::invalid_argument("segment_likelihoods: no candidates");
+    if (priors.cols() != m_alpha)
+        throw std::invalid_argument("segment_likelihoods: priors cols != alphabet");
+
+    Lattice lat(params_, received, n);
+    const auto prior = [&](std::size_t j) { return priors.row(j); };
+    const Slices a = lat.forward(prior);
+    const Slices b = lat.backward(prior);
+
+    const std::size_t num_segments = n / seg_len;
+    util::Matrix out(num_segments, num_candidates);
+    const std::size_t width = lat.width;
+
+    std::vector<double> cur(width), next(width);
+    std::vector<double> point(m_alpha, 0.0);
+    for (std::size_t t = 0; t < num_segments; ++t) {
+        const std::span<const std::vector<std::uint8_t>> candidates = candidates_for(t);
+        if (candidates.size() != num_candidates)
+            throw std::invalid_argument("segment_likelihoods: candidate count changed");
+        for (const auto& c : candidates) {
+            if (c.size() != seg_len)
+                throw std::invalid_argument("segment_likelihoods: candidate length != seg_len");
+            for (std::uint8_t s : c)
+                if (s >= m_alpha) throw std::out_of_range("segment_likelihoods: candidate symbol");
+        }
+        const std::size_t j0 = t * seg_len;
+        double row_norm = 0.0;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            // Propagate the forward slice at j0 through the segment with the
+            // candidate's exact bits, then close with the backward slice.
+            cur.assign(a.rows[j0].begin(), a.rows[j0].end());
+            for (std::size_t l = 0; l < seg_len; ++l) {
+                const std::size_t j = j0 + l + 1;
+                std::fill(point.begin(), point.end(), 0.0);
+                point[candidates[ci][l]] = 1.0;
+                std::fill(next.begin(), next.end(), 0.0);
+                for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
+                    if (!lat.drift_ok(j - 1, dp)) continue;
+                    const double ap = cur[lat.idx(dp)];
+                    if (ap == 0.0) continue;
+                    const std::size_t r0 =
+                        static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+                    for (int g = 0; g <= params_.max_insert_run; ++g) {
+                        const int d = dp + g - 1;
+                        if (!lat.drift_ok(j, d)) continue;
+                        const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                        if (r1 > lat.m) break;
+                        double w = lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
+                        if (g >= 1)
+                            w += lat.ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
+                                 lat.emit_prior(received[r1 - 1], point);
+                        next[lat.idx(d)] += ap * w;
+                    }
+                }
+                cur.swap(next);
+            }
+            double like = 0.0;
+            const auto& beta = b.rows[j0 + seg_len];
+            for (std::size_t i = 0; i < width; ++i) like += cur[i] * beta[i];
+            out(t, ci) = like;
+            row_norm += like;
+        }
+        if (row_norm > 0.0) {
+            for (std::size_t ci = 0; ci < candidates.size(); ++ci) out(t, ci) /= row_norm;
+        } else {
+            for (std::size_t ci = 0; ci < candidates.size(); ++ci)
+                out(t, ci) = 1.0 / static_cast<double>(candidates.size());
+        }
+    }
+    return out;
+}
+
+}  // namespace ccap::info

@@ -1,0 +1,51 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion order (FIFO), which keeps every simulation
+// in the library fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ccap::sched {
+
+using SimTime = std::uint64_t;
+
+class EventQueue {
+public:
+    using Callback = std::function<void(SimTime)>;
+
+    /// Schedule `cb` at absolute time `when` (must be >= now()).
+    void schedule_at(SimTime when, Callback cb);
+    /// Schedule `cb` `delay` ticks from now.
+    void schedule_in(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+    /// Pop and run the earliest event; advances now(). Returns false if empty.
+    bool step();
+
+    /// Run until the queue drains or now() exceeds `until`.
+    void run_until(SimTime until);
+
+private:
+    struct Item {
+        SimTime when = 0;
+        std::uint64_t seq = 0;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Item& a, const Item& b) const noexcept {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ccap::sched

@@ -1,0 +1,57 @@
+// A two-level multi-level-security (MLS) system model, built to make the
+// paper's Section 4.3 remark executable:
+//
+//   "Since the legal information flow (from low to high) can serve as a
+//    perfect feedback path, one may always exploit it to achieve the channel
+//    capacity. In other words, covert channels in MLS systems are
+//    relatively easy to exploit in general and tend to be fast."
+//
+// The High subject leaks secrets to the Low subject through a shared
+// resource (the covert channel). Bell-LaPadula allows Low to *write up*, so
+// a Low-level object writable by Low and readable by High is a perfectly
+// legal feedback path. With feedback enabled, the High sender runs the
+// alternating-bit stop-and-wait protocol of Theorem 3 — no deletions, no
+// insertions; without it, the channel degrades to the naive
+// deletion-insertion behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ccap/sched/scheduler.hpp"
+#include "ccap/sched/shared_resource.hpp"
+
+namespace ccap::sched {
+
+struct MlsConfig {
+    unsigned bits_per_symbol = 1;
+    std::size_t message_len = 1000;
+    std::uint64_t message_seed = 7;
+    bool use_legal_feedback = true;  ///< exploit the Low->High flow as ACK path
+
+    /// NRL-Pump-style mitigation of the legal feedback path (Kang &
+    /// Moskowitz): an acknowledgement written by Low becomes visible to
+    /// High only after a uniformly random delay in
+    /// [pump_min_delay, pump_max_delay] quanta, breaking the tight timing
+    /// coupling the covert exploit relies on. 0/0 disables the pump.
+    SimTime pump_min_delay = 0;
+    SimTime pump_max_delay = 0;
+};
+
+struct MlsResult {
+    std::vector<std::uint32_t> secret;     ///< what High tried to leak
+    std::vector<std::uint32_t> exfiltrated;  ///< what Low recorded
+    std::uint64_t total_quanta = 0;
+    bool exact = false;  ///< exfiltrated == secret
+
+    /// Correct secret symbols delivered per quantum (prefix-match goodput
+    /// for the non-feedback case, full-match for the feedback case).
+    [[nodiscard]] double goodput() const noexcept;
+};
+
+/// Run the MLS covert-exfiltration experiment under the given scheduler.
+[[nodiscard]] MlsResult run_mls_exfiltration(std::unique_ptr<Scheduler> scheduler,
+                                             const MlsConfig& config, std::uint64_t sim_seed);
+
+}  // namespace ccap::sched

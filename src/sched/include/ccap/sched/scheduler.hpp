@@ -1,0 +1,89 @@
+// Scheduling policies and the uniprocessor simulator.
+//
+// The paper's central observation (Section 3.1): on a uniprocessor, the
+// *scheduler* decides the interleaving of the covert sender and receiver,
+// and that interleaving is what creates symbol deletions (sender runs twice
+// in a row) and insertions (receiver runs twice in a row). Each policy here
+// induces different (P_d, P_i) statistics, which bench E6 measures and
+// converts to capacity — "evaluating the effectiveness of candidate system
+// implementations, e.g. the scheduler, in reducing covert channel
+// capacities" (Section 3.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccap/sched/process.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace ccap::sched {
+
+/// Pure policy: pick the next process among the runnable ones.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// `runnable` holds indices into the process table, in ascending order;
+    /// returns one of them.
+    [[nodiscard]] virtual std::size_t pick(std::span<const std::size_t> runnable,
+                                           std::span<const std::unique_ptr<Process>> processes,
+                                           util::Rng& rng) = 0;
+};
+
+/// Cycles through processes in id order (fair, deterministic).
+[[nodiscard]] std::unique_ptr<Scheduler> make_round_robin();
+/// Uniformly random among runnable processes.
+[[nodiscard]] std::unique_ptr<Scheduler> make_random();
+/// Highest priority wins; ties broken round-robin.
+[[nodiscard]] std::unique_ptr<Scheduler> make_priority();
+/// Lottery scheduling: probability proportional to tickets.
+[[nodiscard]] std::unique_ptr<Scheduler> make_lottery();
+/// Round-robin, but with probability epsilon the quantum goes to a random
+/// runnable process instead (models scheduler jitter / fuzzy time).
+[[nodiscard]] std::unique_ptr<Scheduler> make_fuzzy_round_robin(double epsilon);
+/// Multi-level feedback queue: `levels` priority levels, round-robin within
+/// a level; a process that burns its whole quantum is demoted, one that
+/// blocks (yields) is promoted; every `boost_period` quanta everyone is
+/// boosted back to the top level (starvation guard). The classic Unix-style
+/// interactive scheduler, for realistic rows in the E6 policy sweep.
+[[nodiscard]] std::unique_ptr<Scheduler> make_mlfq(unsigned levels = 3,
+                                                   std::uint64_t boost_period = 64);
+
+struct SimStats {
+    std::uint64_t total_quanta = 0;
+    std::uint64_t idle_quanta = 0;  ///< quanta with no runnable process
+};
+
+/// Uniprocessor: one process per quantum, chosen by the policy; blocked
+/// processes are woken by the event queue.
+class UniprocessorSim {
+public:
+    UniprocessorSim(std::unique_ptr<Scheduler> scheduler, std::uint64_t seed);
+
+    /// Add a process; returns its id. Must be called before run().
+    ProcessId add_process(std::unique_ptr<Process> process);
+
+    [[nodiscard]] Process& process(ProcessId id);
+    [[nodiscard]] const Process& process(ProcessId id) const;
+    [[nodiscard]] std::size_t num_processes() const noexcept { return processes_.size(); }
+    [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+    /// Sequence of process ids granted quanta, in order.
+    [[nodiscard]] const std::vector<ProcessId>& activation_trace() const noexcept {
+        return trace_;
+    }
+
+    /// Run `quanta` scheduling quanta (or until every process finished).
+    void run(std::uint64_t quanta);
+
+private:
+    std::unique_ptr<Scheduler> scheduler_;
+    util::Rng rng_;
+    EventQueue queue_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<ProcessId> trace_;
+    SimStats stats_;
+};
+
+}  // namespace ccap::sched

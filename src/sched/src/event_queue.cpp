@@ -1,0 +1,30 @@
+#include "ccap/sched/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccap::sched {
+
+void EventQueue::schedule_at(SimTime when, Callback cb) {
+    if (when < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+    if (!cb) throw std::invalid_argument("EventQueue: empty callback");
+    heap_.push(Item{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+    if (heap_.empty()) return false;
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (shared ownership in std::function).
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.when;
+    item.cb(now_);
+    return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+    while (!heap_.empty() && heap_.top().when <= until) step();
+    if (now_ < until) now_ = until;
+}
+
+}  // namespace ccap::sched

@@ -1,0 +1,14 @@
+#include "ccap/sched/process.hpp"
+
+namespace ccap::sched {
+
+const char* state_name(ProcessState s) noexcept {
+    switch (s) {
+        case ProcessState::runnable: return "runnable";
+        case ProcessState::blocked: return "blocked";
+        case ProcessState::finished: return "finished";
+    }
+    return "unknown";
+}
+
+}  // namespace ccap::sched

@@ -1,0 +1,9 @@
+// SharedResource is header-only; this translation unit exists so the audit
+// structures get a home if they grow non-inline behaviour.
+#include "ccap/sched/shared_resource.hpp"
+
+namespace ccap::sched {
+
+static_assert(sizeof(AccessRecord) <= 32, "AccessRecord should stay compact");
+
+}  // namespace ccap::sched

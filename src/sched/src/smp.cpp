@@ -1,0 +1,176 @@
+#include "ccap/sched/smp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ccap/sched/shared_resource.hpp"
+
+namespace ccap::sched {
+
+MultiprocessorSim::MultiprocessorSim(std::unique_ptr<Scheduler> scheduler, unsigned cores,
+                                     std::uint64_t seed)
+    : scheduler_(std::move(scheduler)), cores_(cores), rng_(seed) {
+    if (!scheduler_) throw std::invalid_argument("MultiprocessorSim: null scheduler");
+    if (cores == 0) throw std::invalid_argument("MultiprocessorSim: zero cores");
+}
+
+ProcessId MultiprocessorSim::add_process(std::unique_ptr<Process> process) {
+    if (!process) throw std::invalid_argument("MultiprocessorSim: null process");
+    const auto expected = static_cast<ProcessId>(processes_.size());
+    if (process->id() != expected)
+        throw std::invalid_argument("MultiprocessorSim: process id must equal its index");
+    processes_.push_back(std::move(process));
+    return expected;
+}
+
+Process& MultiprocessorSim::process(ProcessId id) { return *processes_.at(id); }
+
+void MultiprocessorSim::run(std::uint64_t quanta) {
+    if (processes_.empty()) throw std::logic_error("MultiprocessorSim: no processes");
+    std::vector<std::size_t> runnable;
+    std::vector<std::size_t> chosen;
+    for (std::uint64_t q = 0; q < quanta; ++q) {
+        queue_.run_until(queue_.now() + 1);
+        runnable.clear();
+        bool all_finished = true;
+        for (std::size_t i = 0; i < processes_.size(); ++i) {
+            const ProcessState st = processes_[i]->state();
+            if (st != ProcessState::finished) all_finished = false;
+            if (st == ProcessState::runnable) runnable.push_back(i);
+        }
+        if (all_finished) break;
+        ++total_quanta_;
+        if (runnable.empty()) continue;
+
+        // The policy fills the cores one pick at a time, each pick excluding
+        // the processes already placed this quantum.
+        chosen.clear();
+        std::vector<std::size_t> remaining = runnable;
+        for (unsigned c = 0; c < cores_ && !remaining.empty(); ++c) {
+            const std::size_t idx = scheduler_->pick(remaining, processes_, rng_);
+            chosen.push_back(idx);
+            remaining.erase(std::find(remaining.begin(), remaining.end(), idx));
+        }
+        // Same-quantum peers race: execute in uniformly random order.
+        rng_.shuffle(chosen);
+        for (std::size_t idx : chosen) {
+            Process& proc = *processes_[idx];
+            proc.grant_quantum(queue_.now());
+            if (proc.state() == ProcessState::blocked) {
+                Process* raw = &proc;
+                queue_.schedule_in(raw->block_ticks_, [raw](SimTime) { raw->wake(); });
+            }
+        }
+    }
+}
+
+double SmpCovertResult::deletion_rate() const noexcept {
+    const double uses = static_cast<double>(deletions + insertions + transmissions);
+    return uses > 0.0 ? static_cast<double>(deletions) / uses : 0.0;
+}
+
+double SmpCovertResult::insertion_rate() const noexcept {
+    const double uses = static_cast<double>(deletions + insertions + transmissions);
+    return uses > 0.0 ? static_cast<double>(insertions) / uses : 0.0;
+}
+
+namespace {
+
+struct SmpState {
+    SharedResource data{0};
+    std::vector<std::uint32_t> message;
+    std::vector<std::uint32_t> sent;
+    std::vector<std::uint32_t> received;
+    std::uint64_t deletions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t transmissions = 0;
+    bool unread_write = false;
+    bool sender_done = false;
+};
+
+class SmpSender final : public Process {
+public:
+    SmpSender(ProcessId id, SmpState& st) : Process(id, "smp_sender"), st_(st) {}
+    void on_quantum(SimTime now) override {
+        if (next_ >= st_.message.size()) {
+            st_.sender_done = true;
+            finish();
+            return;
+        }
+        if (st_.unread_write) ++st_.deletions;
+        st_.unread_write = true;
+        st_.data.write(id(), now, st_.message[next_]);
+        st_.sent.push_back(st_.message[next_]);
+        ++next_;
+        if (next_ >= st_.message.size()) st_.sender_done = true;
+    }
+
+private:
+    SmpState& st_;
+    std::size_t next_ = 0;
+};
+
+class SmpReceiver final : public Process {
+public:
+    SmpReceiver(ProcessId id, SmpState& st) : Process(id, "smp_receiver"), st_(st) {}
+    void on_quantum(SimTime now) override {
+        if (st_.unread_write)
+            ++st_.transmissions;
+        else
+            ++st_.insertions;
+        st_.unread_write = false;
+        st_.received.push_back(static_cast<std::uint32_t>(st_.data.read(id(), now)));
+        if (st_.sender_done) finish();
+    }
+
+private:
+    SmpState& st_;
+};
+
+class SmpHog final : public Process {
+public:
+    SmpHog(ProcessId id) : Process(id, "smp_hog") {}
+    void on_quantum(SimTime) override {}
+};
+
+}  // namespace
+
+SmpCovertResult run_smp_covert_pair(std::unique_ptr<Scheduler> scheduler,
+                                    const SmpCovertConfig& config, std::uint64_t sim_seed) {
+    if (config.bits_per_symbol == 0 || config.bits_per_symbol > 16)
+        throw std::invalid_argument("run_smp_covert_pair: bits_per_symbol in [1,16]");
+    if (config.cores == 0) throw std::invalid_argument("run_smp_covert_pair: zero cores");
+
+    SmpState st;
+    util::Rng msg_rng(config.message_seed);
+    st.message.resize(config.message_len);
+    for (auto& s : st.message)
+        s = static_cast<std::uint32_t>(msg_rng.uniform_below(1ULL << config.bits_per_symbol));
+
+    MultiprocessorSim sim(std::move(scheduler), config.cores, sim_seed);
+    sim.add_process(std::make_unique<SmpSender>(0, st));
+    sim.add_process(std::make_unique<SmpReceiver>(1, st));
+    for (std::size_t i = 0; i < config.background_processes; ++i)
+        sim.add_process(std::make_unique<SmpHog>(static_cast<ProcessId>(2 + i)));
+
+    const std::uint64_t cap =
+        (config.message_len + 16) * 32 * (2 + config.background_processes);
+    std::uint64_t executed = 0;
+    while (!st.sender_done && executed < cap) {
+        sim.run(256);
+        executed += 256;
+        if (sim.process(0).state() == ProcessState::finished) break;
+    }
+    sim.run(4);  // let the receiver close out
+
+    SmpCovertResult res;
+    res.sent = std::move(st.sent);
+    res.received = std::move(st.received);
+    res.total_quanta = sim.total_quanta();
+    res.deletions = st.deletions;
+    res.insertions = st.insertions;
+    res.transmissions = st.transmissions;
+    return res;
+}
+
+}  // namespace ccap::sched

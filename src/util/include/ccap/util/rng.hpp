@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in the library (channels, schedulers, protocol
+// executions, Monte-Carlo estimators) draws from an explicitly seeded Rng so
+// that every experiment in EXPERIMENTS.md is bit-reproducible. The generator
+// is xoshiro256** seeded through SplitMix64, which is both fast and of far
+// higher quality than std::minstd/rand and, unlike std::mt19937, has a
+// guaranteed cross-platform stream for a given seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccap::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — deterministic, seedable, 2^256-1 period.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5EEDC0DEDEADBEEFULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    /// Next 64 uniformly distributed bits.
+    [[nodiscard]] std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // UniformRandomBitGenerator interface (usable with <random> adaptors).
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+    result_type operator()() noexcept { return next(); }
+
+    /// Uniform double in [0, 1) with 53 bits of randomness.
+    [[nodiscard]] double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+    [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+        return lo + static_cast<std::int64_t>(
+                        uniform_below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Bernoulli trial: true with probability p (clamped to [0,1]).
+    [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+    /// Sample an index from an (unnormalized) non-negative weight vector.
+    /// Returns weights.size() if all weights are zero/empty.
+    [[nodiscard]] std::size_t categorical(std::span<const double> weights) noexcept;
+
+    /// Geometric: number of failures before first success, success prob p in (0,1].
+    [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+    /// Standard normal via Box-Muller (no cached spare: deterministic stream).
+    [[nodiscard]] double normal() noexcept;
+
+    /// Fisher–Yates in-place shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[uniform_below(i)]);
+        }
+    }
+
+    /// Derive an independent child generator (for parallel/striped streams).
+    [[nodiscard]] Rng split() noexcept { return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+private:
+    [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ccap::util

@@ -1,0 +1,131 @@
+#include "ccap/util/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccap::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if ((rows == 0) != (cols == 0))
+        throw std::invalid_argument("Matrix: rows and cols must be both zero or both nonzero");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        if (r.size() != cols_)
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::mat_vec(std::span<const double> x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::mat_vec: size mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<double> Matrix::transpose_vec(std::span<const double> x) const {
+    if (x.size() != rows_) throw std::invalid_argument("Matrix::transpose_vec: size mismatch");
+    std::vector<double> y(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double xr = x[r];
+        const double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+    }
+    return y;
+}
+
+Matrix Matrix::transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+    if (cols_ != other.rows_)
+        throw std::invalid_argument("Matrix::multiply: inner dimension mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+        }
+    return out;
+}
+
+bool Matrix::is_row_stochastic(double tol) const noexcept {
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (double v : row(r)) {
+            if (v < -tol) return false;
+            sum += v;
+        }
+        if (std::abs(sum - 1.0) > tol) return false;
+    }
+    return rows_ > 0;
+}
+
+void Matrix::normalize_rows() {
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (double v : row(r)) sum += v;
+        if (sum <= 0.0) throw std::domain_error("Matrix::normalize_rows: nonpositive row sum");
+        for (double& v : row(r)) v /= sum;
+    }
+}
+
+double Matrix::spectral_radius(int iterations, double tol) const {
+    if (rows_ != cols_) throw std::invalid_argument("spectral_radius: matrix not square");
+    if (rows_ == 0) throw std::invalid_argument("spectral_radius: empty matrix");
+    std::vector<double> v(rows_, 1.0 / static_cast<double>(rows_));
+    double lambda = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+        std::vector<double> w = mat_vec(v);
+        double norm = 0.0;
+        for (double x : w) norm += std::abs(x);
+        if (norm == 0.0) return 0.0;  // nilpotent direction; radius 0 for our use
+        for (double& x : w) x /= norm;
+        const double prev = lambda;
+        lambda = norm;
+        v = std::move(w);
+        if (it > 0 && std::abs(lambda - prev) < tol * std::max(1.0, lambda)) break;
+    }
+    return lambda;
+}
+
+std::string Matrix::to_string(int precision) const {
+    std::ostringstream os;
+    os << std::setprecision(precision) << std::fixed;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << "[";
+        for (std::size_t c = 0; c < cols_; ++c) os << (c ? ", " : " ") << (*this)(r, c);
+        os << " ]\n";
+    }
+    return os.str();
+}
+
+}  // namespace ccap::util

@@ -1,0 +1,50 @@
+#include "ccap/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ccap::util {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0) return weights.size();
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (target < w) return i;
+        target -= w;
+    }
+    // Floating-point round-off: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;)
+        if (weights[i] > 0.0) return i;
+    return weights.size();
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return ~0ULL;  // degenerate: "never"
+    // Inversion: floor(log(U)/log(1-p)).
+    const double u = 1.0 - uniform();  // in (0,1]
+    return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::normal() noexcept {
+    // Box-Muller, discarding the second variate to keep the stream simple.
+    double u1 = uniform();
+    const double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace ccap::util

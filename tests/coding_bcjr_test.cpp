@@ -1,0 +1,95 @@
+#include "ccap/coding/bcjr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/coding/viterbi.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::coding;
+using ccap::util::Rng;
+
+ConvolutionalCode k3() { return ConvolutionalCode({0b111, 0b101}, 3); }
+
+TEST(Bcjr, CleanDecodeIsConfident) {
+    const auto code = k3();
+    const Bits info = random_bits(32, 1);
+    const Bits coded = code.encode(info);
+    const auto res = bcjr_decode_bsc(code, coded, 0.05);
+    ASSERT_EQ(res.info.size(), info.size());
+    EXPECT_EQ(res.info, info);
+    for (std::size_t i = 0; i < info.size(); ++i) {
+        const double p1 = res.posterior_one[i];
+        if (info[i])
+            EXPECT_GT(p1, 0.9);
+        else
+            EXPECT_LT(p1, 0.1);
+    }
+}
+
+TEST(Bcjr, PosteriorsAreProbabilities) {
+    const auto code = k3();
+    const Bits info = random_bits(40, 2);
+    Bits coded = code.encode(info);
+    coded[5] ^= 1;
+    const auto res = bcjr_decode_bsc(code, coded, 0.1);
+    for (double p : res.posterior_one) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Bcjr, CorrectsSingleError) {
+    const auto code = k3();
+    const Bits info = random_bits(48, 3);
+    Bits coded = code.encode(info);
+    coded[17] ^= 1;
+    EXPECT_EQ(bcjr_decode_bsc(code, coded, 0.05).info, info);
+}
+
+TEST(Bcjr, AgreesWithViterbiAtLowNoise) {
+    const auto code = k3();
+    Rng rng(4);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Bits info = random_bits(64, 50 + trial);
+        Bits coded = code.encode(info);
+        for (auto& b : coded)
+            if (rng.bernoulli(0.01)) b ^= 1;
+        const auto map = bcjr_decode_bsc(code, coded, 0.01);
+        const auto ml = viterbi_decode_hard(code, coded);
+        EXPECT_EQ(map.info, ml.info) << "trial " << trial;
+    }
+}
+
+TEST(Bcjr, ErasureChannelInput) {
+    // p_one = 0.5 marks an erased code bit; BCJR should still recover.
+    const auto code = k3();
+    const Bits info = random_bits(30, 5);
+    const Bits coded = code.encode(info);
+    std::vector<double> p_one(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) p_one[i] = coded[i] ? 0.95 : 0.05;
+    p_one[2] = p_one[11] = p_one[30] = 0.5;
+    EXPECT_EQ(bcjr_decode(code, p_one).info, info);
+}
+
+TEST(Bcjr, ValidationErrors) {
+    const auto code = k3();
+    const std::vector<double> odd(9, 0.5);
+    EXPECT_THROW((void)bcjr_decode(code, odd), std::invalid_argument);
+    const std::vector<double> out_of_range = {0.5, 1.5};
+    EXPECT_THROW((void)bcjr_decode(code, out_of_range), std::domain_error);
+    const Bits ok(12, 0);
+    EXPECT_THROW((void)bcjr_decode_bsc(code, ok, -0.1), std::domain_error);
+}
+
+TEST(Bcjr, UncertainChannelGivesUncertainPosteriors) {
+    // At p = 0.5 every code bit is noise: posteriors collapse toward 0.5.
+    const auto code = k3();
+    const Bits info = random_bits(20, 6);
+    const Bits coded = code.encode(info);
+    const auto res = bcjr_decode_bsc(code, coded, 0.5);
+    for (double p : res.posterior_one) EXPECT_NEAR(p, 0.5, 1e-6);
+}
+
+}  // namespace

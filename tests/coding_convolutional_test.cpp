@@ -1,0 +1,104 @@
+#include "ccap/coding/convolutional.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccap::coding;
+
+ConvolutionalCode k3_rate_half() { return ConvolutionalCode({0b111, 0b101}, 3); }
+
+TEST(Convolutional, ConstructionValidation) {
+    EXPECT_THROW(ConvolutionalCode({}, 3), std::invalid_argument);
+    EXPECT_THROW(ConvolutionalCode({0b111}, 1), std::invalid_argument);
+    EXPECT_THROW(ConvolutionalCode({0b1111}, 3), std::invalid_argument);  // too wide
+    EXPECT_THROW(ConvolutionalCode({0}, 3), std::invalid_argument);
+    EXPECT_NO_THROW(k3_rate_half());
+}
+
+TEST(Convolutional, Dimensions) {
+    const auto code = k3_rate_half();
+    EXPECT_EQ(code.constraint_length(), 3U);
+    EXPECT_EQ(code.rate_denominator(), 2U);
+    EXPECT_EQ(code.num_states(), 4U);
+}
+
+TEST(Convolutional, EncodeLength) {
+    const auto code = k3_rate_half();
+    const Bits info = bits_from_string("1011");
+    const Bits out = code.encode(info);
+    EXPECT_EQ(out.size(), (info.size() + 2) * 2);
+}
+
+TEST(Convolutional, KnownCodewordK3) {
+    // Classic (7,5) code, input 1 0 1 1 + termination 0 0:
+    // step-by-step outputs: 11 10 00 01 01 11.
+    const auto code = k3_rate_half();
+    const Bits out = code.encode(bits_from_string("1011"));
+    EXPECT_EQ(to_string(out), "111000010111");
+}
+
+TEST(Convolutional, AllZeroInputGivesAllZero) {
+    const auto code = k3_rate_half();
+    const Bits out = code.encode(Bits(10, 0));
+    for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(Convolutional, Linearity) {
+    // Feed-forward convolutional codes are linear: enc(a^b) = enc(a)^enc(b).
+    const auto code = k3_rate_half();
+    const Bits a = random_bits(20, 1);
+    const Bits b = random_bits(20, 2);
+    const Bits ab = xor_bits(a, b);
+    EXPECT_EQ(code.encode(ab), xor_bits(code.encode(a), code.encode(b)));
+}
+
+TEST(Convolutional, StepTransitions) {
+    const auto code = k3_rate_half();
+    // From state 0 with input 1: window 001, outputs g1=111 -> 1, g2=101 -> 1.
+    const auto s = code.step(0, 1);
+    EXPECT_EQ(s.output, 0b11U);
+    EXPECT_EQ(s.next_state, 1U);
+    // From state 1 (last bit 1) input 0: window 010, g1 -> 1, g2 -> 0.
+    const auto s2 = code.step(1, 0);
+    EXPECT_EQ(s2.output, 0b10U);
+    EXPECT_EQ(s2.next_state, 2U);
+}
+
+TEST(Convolutional, TerminationReturnsToZeroState) {
+    const auto code = k3_rate_half();
+    const Bits info = random_bits(50, 3);
+    const Bits coded = code.encode(info);
+    // Re-run the trellis: final state must be zero.
+    std::uint32_t state = 0;
+    for (std::size_t t = 0; t < coded.size() / 2; ++t) {
+        // Find which input bit matches the emitted pair.
+        bool matched = false;
+        const unsigned max_bit = t < info.size() ? 1 : 0;
+        for (std::uint8_t bit = 0; bit <= max_bit; ++bit) {
+            const auto s = code.step(state, bit);
+            if (((s.output >> 1) & 1U) == coded[2 * t] && (s.output & 1U) == coded[2 * t + 1]) {
+                state = s.next_state;
+                matched = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(matched);
+    }
+    EXPECT_EQ(state, 0U);
+}
+
+TEST(Convolutional, RateThirdCode) {
+    const ConvolutionalCode code({0b111, 0b111, 0b101}, 3);
+    EXPECT_EQ(code.rate_denominator(), 3U);
+    const Bits out = code.encode(bits_from_string("1"));
+    EXPECT_EQ(out.size(), 9U);
+}
+
+TEST(Convolutional, RejectsNonBitInput) {
+    const auto code = k3_rate_half();
+    const Bits bad = {0, 2};
+    EXPECT_THROW((void)code.encode(bad), std::domain_error);
+}
+
+}  // namespace

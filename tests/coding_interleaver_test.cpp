@@ -1,0 +1,77 @@
+#include "ccap/coding/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccap::coding;
+
+TEST(Interleaver, IdentityByDefault) {
+    Interleaver il(6);
+    const Bits in = bits_from_string("101100");
+    EXPECT_EQ(il.apply(in), in);
+    EXPECT_EQ(il.invert(in), in);
+}
+
+TEST(Interleaver, ApplyInvertRoundTrip) {
+    const Interleaver il = Interleaver::random(64, 3);
+    const Bits in = random_bits(64, 4);
+    EXPECT_EQ(il.invert(il.apply(in)), in);
+    EXPECT_EQ(il.apply(il.invert(in)), in);
+}
+
+TEST(Interleaver, BlockLayout) {
+    // 2x3 block: write rows [a b c / d e f], read columns -> a d b e c f.
+    const Interleaver il = Interleaver::block(2, 3);
+    const Bits in = {1, 0, 1, 0, 1, 0};  // a=1 b=0 c=1 d=0 e=1 f=0
+    EXPECT_EQ(to_string(il.apply(in)), "100110");
+}
+
+TEST(Interleaver, BlockDimensionValidation) {
+    EXPECT_THROW((void)Interleaver::block(0, 3), std::invalid_argument);
+    EXPECT_THROW((void)Interleaver::block(3, 0), std::invalid_argument);
+}
+
+TEST(Interleaver, RandomIsDeterministicPerSeed) {
+    const Interleaver a = Interleaver::random(32, 9);
+    const Interleaver b = Interleaver::random(32, 9);
+    const Interleaver c = Interleaver::random(32, 10);
+    const Bits in = random_bits(32, 1);
+    EXPECT_EQ(a.apply(in), b.apply(in));
+    EXPECT_NE(a.apply(in), c.apply(in));
+}
+
+TEST(Interleaver, RandomActuallyPermutes) {
+    const Interleaver il = Interleaver::random(100, 11);
+    bool moved = false;
+    for (std::size_t i = 0; i < 100; ++i)
+        if (il.map(i) != i) moved = true;
+    EXPECT_TRUE(moved);
+}
+
+TEST(Interleaver, SizeMismatchThrows) {
+    const Interleaver il(8);
+    const Bits wrong(7, 0);
+    EXPECT_THROW((void)il.apply(wrong), std::invalid_argument);
+    EXPECT_THROW((void)il.invert(wrong), std::invalid_argument);
+}
+
+TEST(Interleaver, MapBoundsChecked) {
+    const Interleaver il(4);
+    EXPECT_THROW((void)il.map(4), std::out_of_range);
+}
+
+TEST(Interleaver, SpreadsBursts) {
+    // A burst of adjacent positions should land far apart after a random
+    // interleave (statistically).
+    const Interleaver il = Interleaver::random(256, 12);
+    Bits in(256, 0);
+    for (std::size_t i = 100; i < 108; ++i) in[i] = 1;
+    const Bits out = il.invert(in);  // where the burst lands in the channel order
+    std::size_t adjacent = 0;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i)
+        if (out[i] == 1 && out[i + 1] == 1) ++adjacent;
+    EXPECT_LE(adjacent, 2U);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "ccap/coding/lt_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::coding;
+using ccap::util::Rng;
+
+LtParams params(std::size_t k, std::uint64_t seed = 1) {
+    LtParams p;
+    p.k = k;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<std::uint32_t> random_source(std::size_t k, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint32_t> s(k);
+    for (auto& v : s) v = static_cast<std::uint32_t>(rng.next());
+    return s;
+}
+
+TEST(LtCode, ParamValidation) {
+    EXPECT_THROW((void)LtCode(params(1)), std::invalid_argument);
+    LtParams bad = params(10);
+    bad.c = 0.0;
+    EXPECT_THROW((void)LtCode(bad), std::domain_error);
+    bad = params(10);
+    bad.delta = 1.0;
+    EXPECT_THROW((void)LtCode(bad), std::domain_error);
+}
+
+TEST(LtCode, DegreeDistributionIsADistribution) {
+    const LtCode code(params(200));
+    double sum = 0.0;
+    for (double p : code.degree_distribution()) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Degree-2 dominates the ideal soliton.
+    EXPECT_GT(code.degree_distribution()[1], code.degree_distribution()[4]);
+}
+
+TEST(LtCode, NeighborsDeterministicAndValid) {
+    const LtCode code(params(50, 7));
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const auto a = code.neighbors(i);
+        const auto b = code.neighbors(i);
+        EXPECT_EQ(a, b);
+        EXPECT_GE(a.size(), 1U);
+        std::set<std::size_t> uniq(a.begin(), a.end());
+        EXPECT_EQ(uniq.size(), a.size());
+        for (std::size_t s : a) EXPECT_LT(s, 50U);
+    }
+}
+
+TEST(LtCode, DifferentSeedsDifferentNeighborhoods) {
+    const LtCode a(params(50, 1)), b(params(50, 2));
+    int same = 0;
+    for (std::uint64_t i = 0; i < 50; ++i) same += a.neighbors(i) == b.neighbors(i);
+    EXPECT_LT(same, 25);
+}
+
+TEST(LtCode, EncodeSymbolIsXorOfNeighbors) {
+    const LtCode code(params(20, 3));
+    const auto source = random_source(20, 4);
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        std::uint32_t expect = 0;
+        for (std::size_t s : code.neighbors(i)) expect ^= source[s];
+        EXPECT_EQ(code.encode_symbol(i, source), expect);
+    }
+    const std::vector<std::uint32_t> wrong(19, 0);
+    EXPECT_THROW((void)code.encode_symbol(0, wrong), std::invalid_argument);
+}
+
+TEST(LtDecoder, LosslessStreamDecodes) {
+    const LtCode code(params(100, 5));
+    const auto source = random_source(100, 6);
+    LtDecoder dec(code);
+    std::uint64_t i = 0;
+    while (!dec.complete() && i < 400) {
+        dec.add_symbol(i, code.encode_symbol(i, source));
+        ++i;
+    }
+    ASSERT_TRUE(dec.complete());
+    // Modest overhead: robust soliton needs ~k + O(sqrt(k) log^2) symbols.
+    EXPECT_LT(dec.symbols_consumed(), 170U);
+    for (std::size_t s = 0; s < 100; ++s) {
+        ASSERT_TRUE(dec.source()[s].has_value());
+        EXPECT_EQ(*dec.source()[s], source[s]);
+    }
+}
+
+TEST(LtDecoder, SurvivesRandomErasures) {
+    const LtCode code(params(80, 8));
+    const auto source = random_source(80, 9);
+    Rng rng(10);
+    LtDecoder dec(code);
+    std::uint64_t i = 0;
+    while (!dec.complete() && i < 1000) {
+        if (!rng.bernoulli(0.3))  // 30% of encoded symbols erased
+            dec.add_symbol(i, code.encode_symbol(i, source));
+        ++i;
+    }
+    ASSERT_TRUE(dec.complete());
+    for (std::size_t s = 0; s < 80; ++s) EXPECT_EQ(*dec.source()[s], source[s]);
+}
+
+TEST(LtDecoder, DuplicateSymbolsIgnored) {
+    const LtCode code(params(30, 11));
+    const auto source = random_source(30, 12);
+    LtDecoder dec(code);
+    dec.add_symbol(0, code.encode_symbol(0, source));
+    const std::size_t consumed = dec.symbols_consumed();
+    dec.add_symbol(0, code.encode_symbol(0, source));
+    EXPECT_EQ(dec.symbols_consumed(), consumed);
+}
+
+TEST(LtDecoder, OutOfOrderArrivalWorks) {
+    const LtCode code(params(60, 13));
+    const auto source = random_source(60, 14);
+    std::vector<std::uint64_t> order;
+    for (std::uint64_t i = 0; i < 200; ++i) order.push_back(i);
+    Rng rng(15);
+    rng.shuffle(order);
+    LtDecoder dec(code);
+    for (std::uint64_t i : order) {
+        if (dec.add_symbol(i, code.encode_symbol(i, source))) break;
+    }
+    ASSERT_TRUE(dec.complete());
+    for (std::size_t s = 0; s < 60; ++s) EXPECT_EQ(*dec.source()[s], source[s]);
+}
+
+TEST(LtDecoder, OverheadShrinksWithK) {
+    // Fountain efficiency: consumed/k approaches 1 as k grows.
+    double overhead_small = 0.0, overhead_large = 0.0;
+    for (int trial = 0; trial < 5; ++trial) {
+        for (const std::size_t k : {40UL, 400UL}) {
+            const LtCode code(params(k, 20 + static_cast<std::uint64_t>(trial)));
+            const auto source = random_source(k, 30 + static_cast<std::uint64_t>(trial));
+            LtDecoder dec(code);
+            for (std::uint64_t i = 0; !dec.complete() && i < 4 * k; ++i)
+                dec.add_symbol(i, code.encode_symbol(i, source));
+            ASSERT_TRUE(dec.complete());
+            const double oh = static_cast<double>(dec.symbols_consumed()) / static_cast<double>(k);
+            (k == 40 ? overhead_small : overhead_large) += oh;
+        }
+    }
+    EXPECT_LT(overhead_large, overhead_small);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "ccap/coding/stack_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::coding;
+using ccap::info::DriftParams;
+using ccap::info::simulate_drift_channel;
+using ccap::util::Rng;
+
+ConvolutionalCode k3() { return ConvolutionalCode({0b111, 0b101}, 3); }
+ConvolutionalCode k5() { return ConvolutionalCode({0b10111, 0b11001}, 5); }
+
+StackDecoderParams channel(double pd, double pi) {
+    StackDecoderParams p;
+    p.p_d = pd;
+    p.p_i = pi;
+    return p;
+}
+
+TEST(StackDecoder, ParamsValidation) {
+    StackDecoderParams p = channel(0.6, 0.5);
+    EXPECT_THROW(p.validate(), std::domain_error);
+    p = channel(-0.1, 0.0);
+    EXPECT_THROW(p.validate(), std::domain_error);
+    p = channel(0.1, 0.1);
+    p.max_expansions = 0;
+    EXPECT_THROW(p.validate(), std::domain_error);
+}
+
+TEST(StackDecoder, CleanChannelRoundTrip) {
+    const auto code = k3();
+    const Bits info = random_bits(48, 1);
+    const Bits coded = code.encode(info);
+    const auto res = stack_decode(code, coded, info.size(), channel(0.01, 0.01));
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.info, info);
+}
+
+TEST(StackDecoder, ZeroIndelChannelParamsWork) {
+    // p_d = p_i = 0 exercises the -inf trailing-metric guard.
+    const auto code = k3();
+    const Bits info = random_bits(32, 2);
+    const auto res = stack_decode(code, code.encode(info), info.size(), channel(0.0, 0.0));
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.info, info);
+}
+
+TEST(StackDecoder, CorrectsSingleDeletion) {
+    const auto code = k3();
+    const Bits info = random_bits(40, 3);
+    Bits coded = code.encode(info);
+    for (std::size_t pos : {3UL, 20UL, coded.size() - 2}) {
+        Bits rx = coded;
+        rx.erase(rx.begin() + static_cast<long>(pos));
+        const auto res = stack_decode(code, rx, info.size(), channel(0.02, 0.02));
+        EXPECT_TRUE(res.success) << "pos " << pos;
+        EXPECT_EQ(res.info, info) << "pos " << pos;
+    }
+}
+
+TEST(StackDecoder, CorrectsSingleInsertion) {
+    const auto code = k3();
+    const Bits info = random_bits(40, 4);
+    Bits coded = code.encode(info);
+    for (std::size_t pos : {0UL, 17UL, coded.size()}) {
+        Bits rx = coded;
+        rx.insert(rx.begin() + static_cast<long>(pos), 1);
+        const auto res = stack_decode(code, rx, info.size(), channel(0.02, 0.02));
+        EXPECT_TRUE(res.success) << "pos " << pos;
+        EXPECT_EQ(res.info, info) << "pos " << pos;
+    }
+}
+
+TEST(StackDecoder, SurvivesRandomIndelChannel) {
+    // Zigangirov's setting: convolutional code + sequential decoding over a
+    // channel with drop-outs and insertions.
+    const auto code = k5();
+    const DriftParams drift{0.01, 0.01, 0.0, 2, 32, 8};
+    Rng rng(5);
+    int exact = 0;
+    constexpr int kTrials = 15;
+    for (int t = 0; t < kTrials; ++t) {
+        const Bits info = random_bits(96, 100 + t);
+        const auto rx = simulate_drift_channel(code.encode(info), drift, rng);
+        const auto res = stack_decode(code, rx, info.size(), channel(0.01, 0.01));
+        if (res.success && res.info == info) ++exact;
+    }
+    EXPECT_GE(exact, 12);
+}
+
+TEST(StackDecoder, HandlesSubstitutionsToo) {
+    const auto code = k5();
+    const DriftParams drift{0.01, 0.01, 0.02, 2, 32, 8};
+    StackDecoderParams p = channel(0.01, 0.01);
+    p.p_s = 0.02;
+    Rng rng(6);
+    int exact = 0;
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+        const Bits info = random_bits(64, 200 + t);
+        const auto rx = simulate_drift_channel(code.encode(info), drift, rng);
+        const auto res = stack_decode(code, rx, info.size(), p);
+        if (res.success && res.info == info) ++exact;
+    }
+    EXPECT_GE(exact, 7);
+}
+
+TEST(StackDecoder, BudgetExhaustionFailsGracefully) {
+    const auto code = k3();
+    const Bits info = random_bits(64, 7);
+    Bits coded = code.encode(info);
+    // Heavy corruption + tiny budget.
+    Rng rng(8);
+    for (auto& b : coded)
+        if (rng.bernoulli(0.3)) b ^= 1;
+    StackDecoderParams p = channel(0.05, 0.05);
+    p.max_expansions = 50;
+    const auto res = stack_decode(code, coded, info.size(), p);
+    EXPECT_FALSE(res.success);
+    EXPECT_TRUE(res.info.empty());
+    EXPECT_LE(res.expansions, 50U);
+}
+
+TEST(StackDecoder, EmptyInfo) {
+    const auto code = k3();
+    const Bits coded = code.encode(Bits{});
+    const auto res = stack_decode(code, coded, 0, channel(0.01, 0.01));
+    EXPECT_TRUE(res.success);
+    EXPECT_TRUE(res.info.empty());
+}
+
+TEST(StackDecoder, ExpansionCountReported) {
+    const auto code = k3();
+    const Bits info = random_bits(32, 9);
+    const auto res = stack_decode(code, code.encode(info), info.size(), channel(0.01, 0.01));
+    EXPECT_GT(res.expansions, info.size());  // at least one pop per step
+    EXPECT_LT(res.expansions, 10000U);       // near-noiseless: almost straight-line
+}
+
+}  // namespace

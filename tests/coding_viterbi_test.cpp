@@ -1,0 +1,112 @@
+#include "ccap/coding/viterbi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::coding;
+using ccap::util::Rng;
+
+ConvolutionalCode k3() { return ConvolutionalCode({0b111, 0b101}, 3); }
+ConvolutionalCode k7() { return ConvolutionalCode({0b1011011, 0b1111001}, 7); }
+
+TEST(Viterbi, CleanDecodeRoundTrip) {
+    const auto code = k3();
+    const Bits info = random_bits(64, 1);
+    const auto res = viterbi_decode_hard(code, code.encode(info));
+    EXPECT_TRUE(res.terminated_ok);
+    EXPECT_EQ(res.info, info);
+    EXPECT_DOUBLE_EQ(res.path_metric, 0.0);
+}
+
+TEST(Viterbi, CorrectsSingleError) {
+    const auto code = k3();
+    const Bits info = random_bits(40, 2);
+    Bits coded = code.encode(info);
+    for (std::size_t pos : {0UL, 10UL, coded.size() - 1}) {
+        Bits corrupted = coded;
+        corrupted[pos] ^= 1;
+        const auto res = viterbi_decode_hard(code, corrupted);
+        EXPECT_EQ(res.info, info) << "flip at " << pos;
+        EXPECT_DOUBLE_EQ(res.path_metric, 1.0);
+    }
+}
+
+TEST(Viterbi, CorrectsTwoSeparatedErrors) {
+    // Free distance of (7,5) is 5: two well-separated errors are correctable.
+    const auto code = k3();
+    const Bits info = random_bits(60, 3);
+    Bits coded = code.encode(info);
+    coded[4] ^= 1;
+    coded[60] ^= 1;
+    EXPECT_EQ(viterbi_decode_hard(code, coded).info, info);
+}
+
+TEST(Viterbi, LowBscErrorRateDecodes) {
+    const auto code = k7();  // stronger code
+    Rng rng(4);
+    int failures = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Bits info = random_bits(128, 100 + trial);
+        Bits coded = code.encode(info);
+        for (auto& b : coded)
+            if (rng.bernoulli(0.02)) b ^= 1;
+        if (viterbi_decode_hard(code, coded).info != info) ++failures;
+    }
+    EXPECT_LE(failures, 1);
+}
+
+TEST(Viterbi, BadLengthThrows) {
+    const auto code = k3();
+    const Bits odd(9, 0);
+    EXPECT_THROW((void)viterbi_decode_hard(code, odd), std::invalid_argument);
+    const Bits too_short(2, 0);
+    EXPECT_THROW((void)viterbi_decode_hard(code, too_short), std::invalid_argument);
+}
+
+TEST(Viterbi, SoftMatchesHardOnCleanInput) {
+    const auto code = k3();
+    const Bits info = random_bits(32, 5);
+    const Bits coded = code.encode(info);
+    std::vector<double> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -4.0 : 4.0;
+    const auto res = viterbi_decode_soft(code, llrs);
+    EXPECT_EQ(res.info, info);
+}
+
+TEST(Viterbi, SoftUsesConfidence) {
+    // Two corrupted bits, but the corruption has low confidence while the
+    // clean bits have high confidence: soft decoding should still win.
+    const auto code = k3();
+    const Bits info = random_bits(30, 6);
+    const Bits coded = code.encode(info);
+    std::vector<double> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -5.0 : 5.0;
+    llrs[8] = coded[8] ? 0.5 : -0.5;   // weakly wrong
+    llrs[9] = coded[9] ? 0.4 : -0.4;   // weakly wrong
+    const auto res = viterbi_decode_soft(code, llrs);
+    EXPECT_EQ(res.info, info);
+}
+
+TEST(Viterbi, ErasedBitsViaZeroLlr) {
+    const auto code = k3();
+    const Bits info = random_bits(24, 7);
+    const Bits coded = code.encode(info);
+    std::vector<double> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? -3.0 : 3.0;
+    // Erase a handful of bits entirely.
+    llrs[0] = llrs[7] = llrs[20] = 0.0;
+    EXPECT_EQ(viterbi_decode_soft(code, llrs).info, info);
+}
+
+TEST(Viterbi, EmptyInfoTerminatorOnly) {
+    const auto code = k3();
+    const Bits coded = code.encode(Bits{});
+    const auto res = viterbi_decode_hard(code, coded);
+    EXPECT_TRUE(res.info.empty());
+    EXPECT_TRUE(res.terminated_ok);
+}
+
+}  // namespace

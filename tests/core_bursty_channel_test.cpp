@@ -1,0 +1,123 @@
+#include "ccap/core/bursty_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+
+namespace {
+
+using namespace ccap::core;
+
+BurstyChannelParams mild_bursty() {
+    BurstyChannelParams p;
+    p.good = {0.02, 0.02, 0.0, 1};
+    p.bad = {0.5, 0.2, 0.0, 1};
+    p.p_good_to_bad = 0.05;
+    p.p_bad_to_good = 0.2;
+    return p;
+}
+
+std::vector<std::uint32_t> message(std::size_t n, unsigned bits, std::uint64_t seed) {
+    ccap::util::Rng rng(seed);
+    std::vector<std::uint32_t> m(n);
+    for (auto& s : m) s = static_cast<std::uint32_t>(rng.uniform_below(1ULL << bits));
+    return m;
+}
+
+TEST(BurstyChannel, Validation) {
+    BurstyChannelParams p = mild_bursty();
+    p.bad.bits_per_symbol = 2;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = mild_bursty();
+    p.p_good_to_bad = 0.0;
+    EXPECT_THROW(p.validate(), std::domain_error);
+    p = mild_bursty();
+    p.good.p_d = -0.1;
+    EXPECT_THROW(p.validate(), std::domain_error);
+}
+
+TEST(BurstyChannel, StationaryMixture) {
+    const BurstyChannelParams p = mild_bursty();
+    EXPECT_NEAR(p.stationary_bad(), 0.05 / 0.25, 1e-12);
+    const DiChannelParams avg = p.average();
+    EXPECT_NEAR(avg.p_d, 0.8 * 0.02 + 0.2 * 0.5, 1e-12);
+    EXPECT_NEAR(avg.p_i, 0.8 * 0.02 + 0.2 * 0.2, 1e-12);
+}
+
+TEST(BurstyChannel, MeasuredBadFractionMatchesStationary) {
+    MarkovModulatedChannel ch(mild_bursty(), 1);
+    for (int i = 0; i < 60000; ++i) (void)ch.use(0);
+    EXPECT_NEAR(ch.measured_bad_fraction(), mild_bursty().stationary_bad(), 0.01);
+}
+
+TEST(BurstyChannel, EventRatesMatchAverageParams) {
+    MarkovModulatedChannel ch(mild_bursty(), 2);
+    const DiChannelParams avg = mild_bursty().average();
+    std::size_t del = 0, ins = 0;
+    constexpr int kUses = 80000;
+    for (int i = 0; i < kUses; ++i) {
+        const auto out = ch.use(1);
+        del += out.kind == ChannelEvent::deletion;
+        ins += out.kind == ChannelEvent::insertion;
+    }
+    EXPECT_NEAR(static_cast<double>(del) / kUses, avg.p_d, 0.01);
+    EXPECT_NEAR(static_cast<double>(ins) / kUses, avg.p_i, 0.01);
+}
+
+TEST(BurstyChannel, DeletionsAreActuallyBursty) {
+    // Conditional probability of a deletion following a deletion should
+    // exceed the marginal deletion rate (that is the point of the model).
+    MarkovModulatedChannel ch(mild_bursty(), 3);
+    std::size_t del = 0, del_after_del = 0, uses = 100000;
+    bool prev_del = false;
+    for (std::size_t i = 0; i < uses; ++i) {
+        const bool is_del = ch.use(0).kind == ChannelEvent::deletion;
+        if (is_del) {
+            ++del;
+            if (prev_del) ++del_after_del;
+        }
+        prev_del = is_del;
+    }
+    const double marginal = static_cast<double>(del) / static_cast<double>(uses);
+    const double conditional = static_cast<double>(del_after_del) / static_cast<double>(del);
+    EXPECT_GT(conditional, marginal * 1.5);
+}
+
+TEST(BurstyChannel, CounterProtocolRateMatchesAverageParams) {
+    // The feedback-protocol rate is a renewal average: burstiness must not
+    // move it away from the iid prediction at the same average parameters.
+    MarkovModulatedChannel bursty(mild_bursty(), 4);
+    const auto msg = message(40000, 1, 4);
+    const auto run = run_counter_protocol(bursty, msg);
+    const DiChannelParams avg = mild_bursty().average();
+    EXPECT_NEAR(run.measured_info_rate(1), counter_protocol_exact_rate(avg), 0.03);
+}
+
+TEST(BurstyChannel, StopAndWaitOnBurstyDeletionChannel) {
+    BurstyChannelParams p = mild_bursty();
+    p.good.p_i = 0.0;
+    p.bad.p_i = 0.0;
+    MarkovModulatedChannel ch(p, 5);
+    const auto msg = message(20000, 1, 5);
+    const auto run = run_stop_and_wait(ch, msg);
+    EXPECT_TRUE(run.reliable);
+    EXPECT_NEAR(run.measured_info_rate(1), theorem3_feedback_capacity(p.average()), 0.02);
+}
+
+TEST(BurstyChannel, RejectsOutOfAlphabetSymbols) {
+    MarkovModulatedChannel ch(mild_bursty(), 6);
+    EXPECT_THROW((void)ch.use(2), std::out_of_range);
+}
+
+TEST(BurstyChannel, DeterministicForSeed) {
+    MarkovModulatedChannel a(mild_bursty(), 7), b(mild_bursty(), 7);
+    for (int i = 0; i < 500; ++i) {
+        const auto oa = a.use(1);
+        const auto ob = b.use(1);
+        EXPECT_EQ(oa.kind, ob.kind);
+        EXPECT_EQ(oa.delivered, ob.delivered);
+    }
+}
+
+}  // namespace

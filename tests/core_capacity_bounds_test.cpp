@@ -1,0 +1,177 @@
+#include "ccap/core/capacity_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccap/info/entropy.hpp"
+
+namespace {
+
+using namespace ccap::core;
+
+DiChannelParams params(double pd, double pi, unsigned n = 1) { return {pd, pi, 0.0, n}; }
+
+TEST(Theorem1, ErasureBoundValues) {
+    EXPECT_DOUBLE_EQ(theorem1_upper_bound(params(0.0, 0.0)), 1.0);
+    EXPECT_DOUBLE_EQ(theorem1_upper_bound(params(0.25, 0.0)), 0.75);
+    EXPECT_DOUBLE_EQ(theorem1_upper_bound(params(0.25, 0.0, 8)), 6.0);
+    // Insertions do not appear in the Theorem-1 bound.
+    EXPECT_DOUBLE_EQ(theorem1_upper_bound(params(0.25, 0.3)),
+                     theorem1_upper_bound(params(0.25, 0.0)));
+}
+
+TEST(Theorem3, EqualsErasureCapacityForDeletionChannels) {
+    EXPECT_DOUBLE_EQ(theorem3_feedback_capacity(params(0.4, 0.0, 2)), 1.2);
+}
+
+TEST(Theorem3, RejectsInsertionChannels) {
+    EXPECT_THROW((void)theorem3_feedback_capacity(params(0.1, 0.1)), std::domain_error);
+}
+
+TEST(Theorem4, SameBoundAsTheorem1) {
+    const auto p = params(0.15, 0.25, 3);
+    EXPECT_DOUBLE_EQ(theorem4_upper_bound(p), theorem1_upper_bound(p));
+}
+
+TEST(Alpha, ReconstructionProperties) {
+    // alpha = 1 at P_i = P_d (required by eq (6)).
+    EXPECT_DOUBLE_EQ(theorem5_alpha(params(0.2, 0.2)), 1.0);
+    // alpha = 1 - P_d at P_i = 0 (so alpha*P_i = 0, Theorem 3 consistency).
+    EXPECT_DOUBLE_EQ(theorem5_alpha(params(0.3, 0.0)), 0.7);
+    EXPECT_DOUBLE_EQ(theorem5_alpha(params(0.0, 0.0)), 1.0);
+}
+
+TEST(ConvertedChannel, NoInsertionsMeansFullRate) {
+    // eq (3) with alpha*P_i = 0: C_conv = N.
+    EXPECT_DOUBLE_EQ(converted_channel_capacity(params(0.3, 0.0, 4)), 4.0);
+}
+
+TEST(ConvertedChannel, MatchesMsCFormula) {
+    const auto p = params(0.1, 0.1, 2);
+    const double e = theorem5_alpha(p) * p.p_i;
+    EXPECT_NEAR(converted_channel_capacity(p),
+                ccap::info::mary_symmetric_capacity(e, 4), 1e-12);
+}
+
+TEST(Theorem5, ReducesToTheorem3AtZeroInsertions) {
+    for (double pd : {0.0, 0.1, 0.3, 0.6}) {
+        EXPECT_NEAR(theorem5_lower_bound(params(pd, 0.0)),
+                    theorem1_upper_bound(params(pd, 0.0)), 1e-12)
+            << "pd=" << pd;
+    }
+}
+
+TEST(Theorem5, LowerBelowUpper) {
+    for (double pd : {0.05, 0.1, 0.2, 0.3})
+        for (double pi : {0.0, 0.05, 0.1, 0.2}) {
+            const auto p = params(pd, pi, 2);
+            EXPECT_LE(theorem5_lower_bound(p), theorem1_upper_bound(p) + 1e-12)
+                << "pd=" << pd << " pi=" << pi;
+        }
+}
+
+TEST(Theorem5, InsertionsOnlyHurt) {
+    EXPECT_GT(theorem5_lower_bound(params(0.1, 0.0)), theorem5_lower_bound(params(0.1, 0.1)));
+    EXPECT_GT(theorem5_lower_bound(params(0.1, 0.1)), theorem5_lower_bound(params(0.1, 0.2)));
+}
+
+TEST(ExactRate, AgreesAtZeroInsertions) {
+    for (double pd : {0.0, 0.2, 0.5})
+        EXPECT_NEAR(counter_protocol_exact_rate(params(pd, 0.0, 3)),
+                    theorem1_upper_bound(params(pd, 0.0, 3)), 1e-12);
+}
+
+TEST(ExactRate, WithinBand) {
+    for (double pd : {0.05, 0.15, 0.3})
+        for (double pi : {0.02, 0.08, 0.15}) {
+            const auto p = params(pd, pi, 2);
+            const double exact = counter_protocol_exact_rate(p);
+            EXPECT_LE(exact, theorem1_upper_bound(p) + 1e-12);
+            EXPECT_GT(exact, 0.0);
+        }
+}
+
+TEST(ExactRate, HandlesTotalDeletion) {
+    EXPECT_DOUBLE_EQ(counter_protocol_exact_rate(params(1.0, 0.0)), 0.0);
+}
+
+TEST(ExactRate, SubstitutionNoiseComposes) {
+    DiChannelParams noisy{0.1, 0.1, 0.2, 2};
+    DiChannelParams clean{0.1, 0.1, 0.0, 2};
+    EXPECT_LT(counter_protocol_exact_rate(noisy), counter_protocol_exact_rate(clean));
+}
+
+TEST(Convergence, RatioIncreasesWithN) {
+    // eq (7): at P_i = P_d the ratio tends to 1 as N grows.
+    double prev = 0.0;
+    for (unsigned n : {1U, 2U, 4U, 8U, 12U, 16U}) {
+        const double r = theorem5_convergence_ratio(0.1, n);
+        EXPECT_GE(r, prev - 1e-12) << "n=" << n;
+        EXPECT_LE(r, 1.0 + 1e-12);
+        prev = r;
+    }
+    EXPECT_GT(theorem5_convergence_ratio(0.1, 16), 0.95);
+}
+
+TEST(Convergence, DegenerateCases) {
+    EXPECT_DOUBLE_EQ(theorem5_convergence_ratio(1.0, 4), 0.0);  // upper bound 0
+    EXPECT_NEAR(theorem5_convergence_ratio(0.0, 4), 1.0, 1e-12);
+}
+
+TEST(DegradedCapacity, Recipe) {
+    EXPECT_DOUBLE_EQ(degraded_capacity(10.0, params(0.2, 0.0)), 8.0);
+    EXPECT_DOUBLE_EQ(degraded_capacity(0.0, params(0.2, 0.0)), 0.0);
+    EXPECT_THROW((void)degraded_capacity(-1.0, params(0.2, 0.0)), std::domain_error);
+}
+
+TEST(CapacityBand, Ordered) {
+    for (double pd : {0.05, 0.2})
+        for (double pi : {0.02, 0.1}) {
+            const CapacityBand band = capacity_band(params(pd, pi, 4));
+            EXPECT_LE(band.lower, band.upper + 1e-12);
+            EXPECT_LE(band.exact_protocol, band.upper + 1e-12);
+            EXPECT_GE(band.lower, 0.0);
+        }
+}
+
+TEST(CapacityBand, PaperVsExactRelationship) {
+    // Documented reproduction finding (EXPERIMENTS.md E3): the paper's
+    // Theorem-5 expression agrees with the exact analysis of its own
+    // protocol at P_i = 0 and stays inside [0, Thm1], but is *optimistic*
+    // for P_i > 0 — it under-counts the insertion-garbage fraction
+    // (alpha*P_i instead of P_i/(1-P_d)) and over-credits time
+    // ((1-P_d)/(1-P_i) instead of (1-P_d)). The gap vanishes as P_i -> 0.
+    EXPECT_NEAR(theorem5_lower_bound(params(0.2, 0.0, 8)),
+                counter_protocol_exact_rate(params(0.2, 0.0, 8)), 1e-12);
+    double prev_gap = 1e9;
+    for (double pi : {0.2, 0.1, 0.05, 0.01, 0.001}) {
+        const auto p = params(0.1, pi, 8);
+        const double gap = theorem5_lower_bound(p) - counter_protocol_exact_rate(p);
+        EXPECT_GE(gap, -1e-9) << "pi=" << pi;          // paper never below exact
+        EXPECT_LE(gap, prev_gap + 1e-12) << "pi=" << pi;  // gap shrinks with pi
+        EXPECT_LE(theorem5_lower_bound(p), theorem1_upper_bound(p) + 1e-12);
+        prev_gap = gap;
+    }
+}
+
+class ParamSweep : public ::testing::TestWithParam<std::tuple<double, double, unsigned>> {};
+
+TEST_P(ParamSweep, AllBoundsSane) {
+    const auto [pd, pi, n] = GetParam();
+    if (pd + pi > 1.0) GTEST_SKIP() << "not a channel";
+    const auto p = params(pd, pi, n);
+    const CapacityBand band = capacity_band(p);
+    EXPECT_GE(band.lower, 0.0);
+    EXPECT_GE(band.exact_protocol, 0.0);
+    EXPECT_LE(band.upper, static_cast<double>(n));
+    EXPECT_LE(band.lower, band.upper + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.4),
+                       ::testing::Values(1U, 2U, 8U)));
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include "ccap/core/protocol_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccap::core;
+
+TEST(HandshakeThroughput, PeaksAtEqualShares) {
+    EXPECT_DOUBLE_EQ(handshake_expected_throughput(0.5), 0.25);
+    EXPECT_GT(handshake_expected_throughput(0.5), handshake_expected_throughput(0.3));
+    EXPECT_GT(handshake_expected_throughput(0.5), handshake_expected_throughput(0.7));
+    EXPECT_DOUBLE_EQ(handshake_expected_throughput(0.3), handshake_expected_throughput(0.7));
+}
+
+TEST(HandshakeThroughput, ShareValidation) {
+    EXPECT_THROW((void)handshake_expected_throughput(0.0), std::domain_error);
+    EXPECT_THROW((void)handshake_expected_throughput(1.0), std::domain_error);
+}
+
+TEST(CommonEventThroughput, KnownValues) {
+    // L=1, q=0.5: (0.5)(0.5)/2 = 0.125.
+    EXPECT_DOUBLE_EQ(common_event_expected_throughput(0.5, 1), 0.125);
+    // L=2, q=0.5: (0.75)(0.75)/4 = 0.140625.
+    EXPECT_DOUBLE_EQ(common_event_expected_throughput(0.5, 2), 0.140625);
+}
+
+TEST(CommonEventThroughput, Validation) {
+    EXPECT_THROW((void)common_event_expected_throughput(0.5, 0), std::invalid_argument);
+    EXPECT_THROW((void)common_event_expected_throughput(0.0, 1), std::domain_error);
+}
+
+TEST(CommonEventOptimum, FindsInteriorMaximum) {
+    const CommonEventOptimum best = common_event_best_throughput(0.5);
+    EXPECT_GE(best.slot_len, 1U);
+    // Neighbouring slot lengths cannot beat the optimum.
+    if (best.slot_len > 1) {
+        EXPECT_GE(best.throughput,
+                  common_event_expected_throughput(0.5, best.slot_len - 1));
+    }
+    EXPECT_GE(best.throughput, common_event_expected_throughput(0.5, best.slot_len + 1));
+}
+
+TEST(CommonEventOptimum, Validation) {
+    EXPECT_THROW((void)common_event_best_throughput(0.5, 0), std::invalid_argument);
+}
+
+TEST(FeedbackAdvantage, Section422ReductionHoldsEverywhere) {
+    // The paper's Section 4.2.2 claim, checked over a dense share sweep:
+    // common events never beat feedback.
+    for (double q = 0.05; q < 1.0; q += 0.05)
+        EXPECT_GE(feedback_advantage(q), 0.0) << "q=" << q;
+}
+
+TEST(FeedbackAdvantage, ShrinksButStaysPositive) {
+    // The margin is largest at balanced shares and stays strictly positive.
+    EXPECT_GT(feedback_advantage(0.5), feedback_advantage(0.05));
+    EXPECT_GT(feedback_advantage(0.05), 0.0);
+}
+
+TEST(StopAndWaitUses, Analysis) {
+    DiChannelParams p{0.2, 0.0, 0.0, 1};
+    EXPECT_DOUBLE_EQ(stop_and_wait_expected_uses(p, 800), 1000.0);
+    DiChannelParams degenerate{1.0, 0.0, 0.0, 1};
+    EXPECT_THROW((void)stop_and_wait_expected_uses(degenerate, 10), std::domain_error);
+}
+
+TEST(GarbageFraction, Analysis) {
+    DiChannelParams p{0.2, 0.1, 0.0, 1};
+    EXPECT_DOUBLE_EQ(counter_protocol_garbage_fraction(p), 0.125);
+    EXPECT_DOUBLE_EQ(counter_protocol_garbage_fraction({0.0, 0.0, 0.0, 1}), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+#include "ccap/core/feedback_protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/core/capacity_bounds.hpp"
+#include "ccap/core/protocol_analysis.hpp"
+
+namespace {
+
+using namespace ccap::core;
+
+std::vector<std::uint32_t> message(std::size_t n, unsigned bits, std::uint64_t seed) {
+    ccap::util::Rng rng(seed);
+    std::vector<std::uint32_t> m(n);
+    for (auto& s : m) s = static_cast<std::uint32_t>(rng.uniform_below(1ULL << bits));
+    return m;
+}
+
+TEST(StopAndWait, DeliversEverythingReliably) {
+    DeletionInsertionChannel ch({0.3, 0.0, 0.0, 1}, 1);
+    const auto msg = message(2000, 1, 1);
+    const ProtocolRun run = run_stop_and_wait(ch, msg);
+    EXPECT_TRUE(run.reliable);
+    EXPECT_EQ(run.message_len, msg.size());
+    EXPECT_EQ(run.symbol_errors, 0U);
+}
+
+TEST(StopAndWait, RateApproachesTheorem3) {
+    // Theorem 3: achieved information rate = N(1-P_d) bits/use.
+    for (double pd : {0.1, 0.25, 0.5}) {
+        DeletionInsertionChannel ch({pd, 0.0, 0.0, 2}, 2);
+        const auto msg = message(20000, 2, 2);
+        const ProtocolRun run = run_stop_and_wait(ch, msg);
+        const double measured = run.measured_info_rate(2);
+        const double theory = theorem3_feedback_capacity({pd, 0.0, 0.0, 2});
+        EXPECT_NEAR(measured, theory, 0.05) << "pd=" << pd;
+    }
+}
+
+TEST(StopAndWait, ExpectedUsesMatchAnalysis) {
+    DiChannelParams p{0.4, 0.0, 0.0, 1};
+    DeletionInsertionChannel ch(p, 3);
+    const auto msg = message(30000, 1, 3);
+    const ProtocolRun run = run_stop_and_wait(ch, msg);
+    const double expected = stop_and_wait_expected_uses(p, msg.size());
+    EXPECT_NEAR(static_cast<double>(run.channel_uses) / expected, 1.0, 0.03);
+}
+
+TEST(StopAndWait, RejectsInsertionChannels) {
+    DeletionInsertionChannel ch({0.1, 0.1, 0.0, 1}, 4);
+    const auto msg = message(10, 1, 4);
+    EXPECT_THROW((void)run_stop_and_wait(ch, msg), std::domain_error);
+}
+
+TEST(StopAndWait, CleanChannelIsOneUsePerSymbol) {
+    DeletionInsertionChannel ch({0.0, 0.0, 0.0, 1}, 5);
+    const auto msg = message(500, 1, 5);
+    const ProtocolRun run = run_stop_and_wait(ch, msg);
+    EXPECT_EQ(run.channel_uses, msg.size());
+    EXPECT_DOUBLE_EQ(run.symbols_per_use(), 1.0);
+}
+
+TEST(CounterProtocol, DeliversFullLengthStream) {
+    DeletionInsertionChannel ch({0.15, 0.1, 0.0, 2}, 6);
+    const auto msg = message(5000, 2, 6);
+    const ProtocolRun run = run_counter_protocol(ch, msg);
+    EXPECT_EQ(run.message_len, msg.size());
+    // Garbage positions are exactly the symbol errors modulo lucky matches.
+    EXPECT_GE(run.garbage_positions, run.symbol_errors);
+}
+
+TEST(CounterProtocol, GarbageFractionMatchesAnalysis) {
+    DiChannelParams p{0.2, 0.15, 0.0, 4};
+    DeletionInsertionChannel ch(p, 7);
+    const auto msg = message(30000, 4, 7);
+    const ProtocolRun run = run_counter_protocol(ch, msg);
+    const double frac =
+        static_cast<double>(run.garbage_positions) / static_cast<double>(run.message_len);
+    EXPECT_NEAR(frac, counter_protocol_garbage_fraction(p), 0.01);
+}
+
+TEST(CounterProtocol, SymbolsPerUseIsOneMinusPd) {
+    DiChannelParams p{0.25, 0.1, 0.0, 1};
+    DeletionInsertionChannel ch(p, 8);
+    const auto msg = message(30000, 1, 8);
+    const ProtocolRun run = run_counter_protocol(ch, msg);
+    EXPECT_NEAR(run.symbols_per_use(), 1.0 - p.p_d, 0.01);
+}
+
+TEST(CounterProtocol, MeasuredRateMatchesExactAnalysis) {
+    // The Monte-Carlo information rate of the Appendix-A protocol should
+    // track counter_protocol_exact_rate (our derivation), not the paper's
+    // optimistic Theorem-5 expression — this is the E3 cross-check.
+    DiChannelParams p{0.1, 0.1, 0.0, 4};
+    DeletionInsertionChannel ch(p, 9);
+    const auto msg = message(60000, 4, 9);
+    const ProtocolRun run = run_counter_protocol(ch, msg);
+    const double measured = run.measured_info_rate(4);
+    EXPECT_NEAR(measured, counter_protocol_exact_rate(p), 0.06);
+}
+
+TEST(CounterProtocol, ReducesToStopAndWaitWithoutInsertions) {
+    DiChannelParams p{0.3, 0.0, 0.0, 1};
+    DeletionInsertionChannel ch(p, 10);
+    const auto msg = message(5000, 1, 10);
+    const ProtocolRun run = run_counter_protocol(ch, msg);
+    EXPECT_TRUE(run.reliable);
+    EXPECT_EQ(run.garbage_positions, 0U);
+}
+
+TEST(CounterProtocol, EmptyMessage) {
+    DeletionInsertionChannel ch({0.1, 0.1, 0.0, 1}, 11);
+    const ProtocolRun run = run_counter_protocol(ch, {});
+    EXPECT_EQ(run.channel_uses, 0U);
+    EXPECT_TRUE(run.reliable);
+}
+
+TEST(ProtocolRun, MeasuredInfoRateEdgeCases) {
+    ProtocolRun run;
+    EXPECT_DOUBLE_EQ(run.measured_info_rate(1), 0.0);
+    run.message_len = 100;
+    run.channel_uses = 200;
+    run.symbol_errors = 100;  // everything wrong
+    EXPECT_DOUBLE_EQ(run.measured_info_rate(1), 0.0);
+    run.symbol_errors = 0;
+    EXPECT_DOUBLE_EQ(run.measured_info_rate(1), 0.5);
+}
+
+TEST(DelayedStopAndWait, ZeroDelayEqualsStopAndWait) {
+    DiChannelParams p{0.2, 0.0, 0.0, 1};
+    const auto msg = message(5000, 1, 20);
+    DeletionInsertionChannel a(p, 20), b(p, 20);
+    const auto plain = run_stop_and_wait(a, msg);
+    const auto delayed = run_delayed_stop_and_wait(b, msg, 0);
+    EXPECT_EQ(plain.channel_uses, delayed.channel_uses);
+    EXPECT_TRUE(delayed.reliable);
+}
+
+TEST(DelayedStopAndWait, RateMatchesClosedForm) {
+    DiChannelParams p{0.2, 0.0, 0.0, 2};
+    for (const std::uint64_t d : {1ULL, 4ULL, 16ULL}) {
+        DeletionInsertionChannel ch(p, 21);
+        const auto msg = message(20000, 2, 21);
+        const auto run = run_delayed_stop_and_wait(ch, msg, d);
+        EXPECT_TRUE(run.reliable);
+        EXPECT_NEAR(run.measured_info_rate(2), delayed_stop_and_wait_rate(p, d), 0.02)
+            << "delay " << d;
+    }
+}
+
+TEST(DelayedStopAndWait, RejectsInsertionChannels) {
+    DeletionInsertionChannel ch({0.1, 0.1, 0.0, 1}, 22);
+    const auto msg = message(10, 1, 22);
+    EXPECT_THROW((void)run_delayed_stop_and_wait(ch, msg, 2), std::domain_error);
+}
+
+TEST(GoBackN, ReliableAndMatchesClosedForm) {
+    DiChannelParams p{0.1, 0.0, 0.0, 1};
+    for (const std::uint64_t d : {0ULL, 2ULL, 8ULL, 32ULL}) {
+        DeletionInsertionChannel ch(p, 23);
+        const auto msg = message(30000, 1, 23);
+        const auto run = run_go_back_n(ch, msg, d);
+        EXPECT_TRUE(run.reliable) << "delay " << d;
+        EXPECT_NEAR(run.measured_info_rate(1), go_back_n_rate(p, d), 0.03) << "delay " << d;
+    }
+}
+
+TEST(GoBackN, BeatsStopAndWaitUnderDelay) {
+    DiChannelParams p{0.1, 0.0, 0.0, 1};
+    const auto msg = message(20000, 1, 24);
+    DeletionInsertionChannel a(p, 24), b(p, 24);
+    const auto saw = run_delayed_stop_and_wait(a, msg, 16);
+    const auto gbn = run_go_back_n(b, msg, 16);
+    EXPECT_GT(gbn.measured_info_rate(1), 3.0 * saw.measured_info_rate(1));
+}
+
+TEST(GoBackN, HeavyDeletionStillReliable) {
+    DiChannelParams p{0.5, 0.0, 0.0, 1};
+    DeletionInsertionChannel ch(p, 25);
+    const auto msg = message(2000, 1, 25);
+    const auto run = run_go_back_n(ch, msg, 8);
+    EXPECT_TRUE(run.reliable);
+}
+
+TEST(GoBackN, EmptyMessage) {
+    DeletionInsertionChannel ch({0.1, 0.0, 0.0, 1}, 26);
+    const auto run = run_go_back_n(ch, {}, 4);
+    EXPECT_EQ(run.channel_uses, 0U);
+    EXPECT_TRUE(run.reliable);
+}
+
+TEST(DelayedFeedbackAnalysis, ClosedFormShapes) {
+    const DiChannelParams p{0.2, 0.0, 0.0, 4};
+    // Zero delay: both collapse to Theorem 3.
+    EXPECT_DOUBLE_EQ(delayed_stop_and_wait_rate(p, 0), 3.2);
+    EXPECT_DOUBLE_EQ(go_back_n_rate(p, 0), 3.2);
+    // Pipelining dominates idling at every positive delay.
+    for (const std::uint64_t d : {1ULL, 10ULL, 100ULL})
+        EXPECT_GT(go_back_n_rate(p, d), delayed_stop_and_wait_rate(p, d));
+    // A perfect channel doesn't care about go-back-N delay at all.
+    EXPECT_DOUBLE_EQ(go_back_n_rate({0.0, 0.0, 0.0, 1}, 50), 1.0);
+}
+
+TEST(TwoVariableHandshake, ReliableAndMatchesTheory) {
+    SyncSimConfig cfg;
+    cfg.message_len = 20000;
+    cfg.sender_share = 0.5;
+    cfg.seed = 12;
+    const SyncSimResult res = simulate_two_variable_handshake(cfg);
+    EXPECT_TRUE(res.reliable);
+    EXPECT_NEAR(res.symbols_per_quantum(), handshake_expected_throughput(0.5), 0.01);
+}
+
+TEST(TwoVariableHandshake, AsymmetricShares) {
+    SyncSimConfig cfg;
+    cfg.message_len = 20000;
+    cfg.sender_share = 0.2;
+    cfg.seed = 13;
+    const SyncSimResult res = simulate_two_variable_handshake(cfg);
+    EXPECT_TRUE(res.reliable);
+    EXPECT_NEAR(res.symbols_per_quantum(), handshake_expected_throughput(0.2), 0.01);
+}
+
+TEST(TwoVariableHandshake, ShareValidation) {
+    SyncSimConfig cfg;
+    cfg.sender_share = 0.0;
+    EXPECT_THROW((void)simulate_two_variable_handshake(cfg), std::domain_error);
+}
+
+TEST(CommonEventSync, ThroughputMatchesClosedForm) {
+    SyncSimConfig cfg;
+    cfg.message_len = 20000;
+    cfg.sender_share = 0.5;
+    cfg.seed = 14;
+    for (unsigned slot : {1U, 2U, 4U}) {
+        const SyncSimResult res = simulate_common_event_sync(cfg, slot);
+        const double delivered_rate =
+            static_cast<double>(res.delivered) / static_cast<double>(res.quanta);
+        EXPECT_NEAR(delivered_rate, common_event_expected_throughput(0.5, slot), 0.01)
+            << "slot=" << slot;
+    }
+}
+
+TEST(CommonEventSync, IsUnreliableWithoutFeedback) {
+    SyncSimConfig cfg;
+    cfg.message_len = 5000;
+    cfg.seed = 15;
+    const SyncSimResult res = simulate_common_event_sync(cfg, 2);
+    EXPECT_FALSE(res.reliable);  // stale reads / missed reads occur
+}
+
+TEST(CommonEventSync, Validation) {
+    SyncSimConfig cfg;
+    EXPECT_THROW((void)simulate_common_event_sync(cfg, 0), std::invalid_argument);
+}
+
+}  // namespace

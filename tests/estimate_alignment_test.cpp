@@ -1,0 +1,132 @@
+#include "ccap/estimate/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::estimate;
+using Trace = std::vector<std::uint32_t>;
+
+TEST(Alignment, IdenticalTracesAllMatch) {
+    const Trace t = {1, 0, 1, 1, 0};
+    const Alignment a = align(t, t);
+    EXPECT_EQ(a.distance, 0U);
+    EXPECT_EQ(a.count(EditOp::match), t.size());
+    EXPECT_EQ(a.to_string(), "MMMMM");
+}
+
+TEST(Alignment, EmptyTraces) {
+    EXPECT_EQ(align({}, {}).distance, 0U);
+    const Trace t = {1, 2, 3};
+    const Alignment del = align(t, {});
+    EXPECT_EQ(del.distance, 3U);
+    EXPECT_EQ(del.count(EditOp::deletion), 3U);
+    const Alignment ins = align({}, t);
+    EXPECT_EQ(ins.count(EditOp::insertion), 3U);
+}
+
+TEST(Alignment, SingleDeletion) {
+    const Trace sent = {1, 0, 1, 1};
+    const Trace received = {1, 0, 1};
+    const Alignment a = align(sent, received);
+    EXPECT_EQ(a.distance, 1U);
+    EXPECT_EQ(a.count(EditOp::deletion), 1U);
+    EXPECT_EQ(a.count(EditOp::match), 3U);
+}
+
+TEST(Alignment, SingleInsertion) {
+    const Trace sent = {1, 0, 1};
+    const Trace received = {1, 0, 0, 1};
+    const Alignment a = align(sent, received);
+    EXPECT_EQ(a.distance, 1U);
+    EXPECT_EQ(a.count(EditOp::insertion), 1U);
+}
+
+TEST(Alignment, SingleSubstitution) {
+    const Trace sent = {5, 6, 7};
+    const Trace received = {5, 9, 7};
+    const Alignment a = align(sent, received);
+    EXPECT_EQ(a.distance, 1U);
+    EXPECT_EQ(a.count(EditOp::substitution), 1U);
+    EXPECT_EQ(a.steps[1].sent_index, 1U);
+    EXPECT_EQ(a.steps[1].received_index, 1U);
+}
+
+TEST(Alignment, PrefersMatchesOnTies) {
+    // "ab" vs "ba" can be (sub, sub) or (ins, match, del); distance 2 either
+    // way — the traceback preference keeps substitutions.
+    const Trace sent = {1, 2};
+    const Trace received = {2, 1};
+    const Alignment a = align(sent, received);
+    EXPECT_EQ(a.distance, 2U);
+    EXPECT_EQ(a.to_string(), "SS");
+}
+
+TEST(Alignment, StepsReconstructReceived) {
+    ccap::util::Rng rng(1);
+    Trace sent(200);
+    for (auto& s : sent) s = static_cast<std::uint32_t>(rng.uniform_below(4));
+    // Corrupt: delete ~10%, insert ~10%, substitute ~5%.
+    Trace received;
+    for (std::uint32_t s : sent) {
+        if (rng.bernoulli(0.1)) continue;  // delete
+        if (rng.bernoulli(0.1)) received.push_back(static_cast<std::uint32_t>(rng.uniform_below(4)));
+        received.push_back(rng.bernoulli(0.05) ? static_cast<std::uint32_t>(rng.uniform_below(4))
+                                               : s);
+    }
+    const Alignment a = align(sent, received);
+    // Replaying the steps over `sent` must reproduce `received`.
+    Trace rebuilt;
+    for (const EditStep& step : a.steps) {
+        switch (step.op) {
+            case EditOp::match:
+                rebuilt.push_back(sent[step.sent_index]);
+                break;
+            case EditOp::substitution:
+            case EditOp::insertion:
+                rebuilt.push_back(received[step.received_index]);
+                break;
+            case EditOp::deletion:
+                break;
+        }
+    }
+    EXPECT_EQ(rebuilt, received);
+}
+
+TEST(Alignment, DistanceMatchesLinearMemoryVersion) {
+    ccap::util::Rng rng(2);
+    for (int trial = 0; trial < 5; ++trial) {
+        Trace a(60), b(70);
+        for (auto& s : a) s = static_cast<std::uint32_t>(rng.uniform_below(3));
+        for (auto& s : b) s = static_cast<std::uint32_t>(rng.uniform_below(3));
+        EXPECT_EQ(align(a, b).distance, edit_distance(a, b));
+    }
+}
+
+TEST(Alignment, TriangleInequality) {
+    ccap::util::Rng rng(3);
+    Trace a(40), b(40), c(40);
+    for (auto& s : a) s = static_cast<std::uint32_t>(rng.uniform_below(2));
+    for (auto& s : b) s = static_cast<std::uint32_t>(rng.uniform_below(2));
+    for (auto& s : c) s = static_cast<std::uint32_t>(rng.uniform_below(2));
+    EXPECT_LE(edit_distance(a, c), edit_distance(a, b) + edit_distance(b, c));
+}
+
+TEST(Alignment, Symmetry) {
+    const Trace a = {1, 2, 3, 4, 2};
+    const Trace b = {1, 3, 4, 4};
+    EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+}
+
+TEST(Alignment, CountsSumToSteps) {
+    const Trace sent = {1, 2, 3, 4, 5, 6};
+    const Trace received = {1, 9, 3, 5, 6, 6};
+    const Alignment a = align(sent, received);
+    EXPECT_EQ(a.count(EditOp::match) + a.count(EditOp::substitution) +
+                  a.count(EditOp::deletion) + a.count(EditOp::insertion),
+              a.steps.size());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "ccap/estimate/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/core/deletion_insertion_channel.hpp"
+
+namespace {
+
+using namespace ccap::estimate;
+using ccap::core::DeletionInsertionChannel;
+using ccap::core::DiChannelParams;
+using Trace = std::vector<std::uint32_t>;
+
+Trace random_trace(std::size_t n, unsigned bits, std::uint64_t seed) {
+    ccap::util::Rng rng(seed);
+    Trace t(n);
+    for (auto& s : t) s = static_cast<std::uint32_t>(rng.uniform_below(1ULL << bits));
+    return t;
+}
+
+TEST(WindowedRates, StationaryChannelGivesFlatSeries) {
+    const DiChannelParams p{0.15, 0.05, 0.0, 3};
+    DeletionInsertionChannel ch(p, 1);
+    const Trace sent = random_trace(12000, 3, 1);
+    const auto t = ch.transduce(sent);
+    const WindowedRates rates = windowed_rates(sent, t.output, 1000);
+    ASSERT_EQ(rates.p_d.size(), 12U);
+    for (double pd : rates.p_d) EXPECT_NEAR(pd, 0.15, 0.06);
+    EXPECT_FALSE(detect_rate_change(rates.p_d).has_value());
+}
+
+TEST(WindowedRates, Validation) {
+    const Trace t = random_trace(10, 1, 2);
+    EXPECT_THROW((void)windowed_rates(t, t, 0), std::invalid_argument);
+    const WindowedRates empty = windowed_rates({}, {}, 100);
+    EXPECT_TRUE(empty.p_d.empty());
+}
+
+TEST(ChangePoint, DetectsRegimeSwitchInChannel) {
+    // First half of the trace goes through a quiet channel, the second half
+    // through a heavily-deleting one (e.g. the defender enabled a fuzzy
+    // scheduler mid-measurement).
+    const Trace sent = random_trace(16000, 3, 3);
+    const std::size_t half = sent.size() / 2;
+    DeletionInsertionChannel quiet({0.02, 0.02, 0.0, 3}, 4);
+    DeletionInsertionChannel noisy({0.30, 0.02, 0.0, 3}, 5);
+    auto first = quiet.transduce(Trace(sent.begin(), sent.begin() + half), false);
+    auto second = noisy.transduce(Trace(sent.begin() + half, sent.end()), false);
+    Trace received = first.output;
+    received.insert(received.end(), second.output.begin(), second.output.end());
+
+    const WindowedRates rates = windowed_rates(sent, received, 1000);
+    const auto change = detect_rate_change(rates.p_d);
+    ASSERT_TRUE(change.has_value());
+    // The switch happened at window 8 of 16.
+    EXPECT_NEAR(static_cast<double>(change->index), 8.0, 1.0);
+    EXPECT_LT(change->mean_before, 0.1);
+    EXPECT_GT(change->mean_after, 0.2);
+}
+
+TEST(ChangePoint, SeriesTooShort) {
+    const std::vector<double> s = {0.1, 0.9, 0.1};
+    EXPECT_FALSE(detect_rate_change(s).has_value());
+}
+
+TEST(ChangePoint, CleanStepFunction) {
+    std::vector<double> s(20, 0.1);
+    for (std::size_t i = 12; i < 20; ++i) s[i] = 0.4;
+    const auto change = detect_rate_change(s);
+    ASSERT_TRUE(change.has_value());
+    EXPECT_EQ(change->index, 12U);
+    EXPECT_NEAR(change->mean_before, 0.1, 1e-9);
+    EXPECT_NEAR(change->mean_after, 0.4, 1e-9);
+    EXPECT_GT(change->z_score, 100.0);  // noiseless step
+}
+
+TEST(ChangePoint, ConstantSeriesNoDetection) {
+    const std::vector<double> s(30, 0.25);
+    EXPECT_FALSE(detect_rate_change(s).has_value());
+}
+
+TEST(ChangePoint, NoisyButStationaryNoDetection) {
+    ccap::util::Rng rng(6);
+    std::vector<double> s(40);
+    for (double& v : s) v = 0.2 + 0.02 * rng.normal();
+    EXPECT_FALSE(detect_rate_change(s, 6.0).has_value());
+}
+
+TEST(ChangePoint, ThresholdControlsSensitivity) {
+    std::vector<double> s(16, 0.1);
+    for (std::size_t i = 8; i < 16; ++i) s[i] = 0.13;  // small jump
+    ccap::util::Rng rng(7);
+    for (double& v : s) v += 0.01 * rng.normal();
+    const auto strict = detect_rate_change(s, 50.0);
+    const auto loose = detect_rate_change(s, 2.0);
+    EXPECT_FALSE(strict.has_value());
+    EXPECT_TRUE(loose.has_value());
+}
+
+}  // namespace

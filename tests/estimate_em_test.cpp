@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccap/core/deletion_insertion_channel.hpp"
+#include "ccap/estimate/param_estimator.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/info/drift_hmm.hpp"
+
+namespace {
+
+using namespace ccap::estimate;
+using ccap::core::DeletionInsertionChannel;
+using ccap::core::DiChannelParams;
+using Trace = std::vector<std::uint32_t>;
+
+Trace random_trace(std::size_t n, unsigned bits, std::uint64_t seed) {
+    ccap::util::Rng rng(seed);
+    Trace t(n);
+    for (auto& s : t) s = static_cast<std::uint32_t>(rng.uniform_below(1ULL << bits));
+    return t;
+}
+
+TEST(ExpectedEvents, CleanChannelCountsExactly) {
+    ccap::info::DriftParams p{0.0, 0.0, 0.0, 2, 16, 8};
+    const ccap::info::DriftHmm hmm(p);
+    const std::vector<std::uint8_t> tx = {0, 1, 1, 0, 1};
+    const auto ev = hmm.expected_events(tx, tx);
+    EXPECT_NEAR(ev.transmissions, 5.0, 1e-9);
+    EXPECT_NEAR(ev.deletions, 0.0, 1e-9);
+    EXPECT_NEAR(ev.insertions, 0.0, 1e-9);
+    EXPECT_NEAR(ev.substitutions, 0.0, 1e-9);
+    EXPECT_NEAR(ev.log2_likelihood, 0.0, 1e-9);
+}
+
+TEST(ExpectedEvents, UnambiguousDeletionCounted) {
+    ccap::info::DriftParams p{0.2, 0.0, 0.0, 2, 16, 8};
+    const ccap::info::DriftHmm hmm(p);
+    // tx = [0,1], rx = [0]: the only explanation is transmit then delete.
+    const std::vector<std::uint8_t> tx = {0, 1};
+    const std::vector<std::uint8_t> rx = {0};
+    const auto ev = hmm.expected_events(tx, rx);
+    EXPECT_NEAR(ev.deletions, 1.0, 1e-9);
+    EXPECT_NEAR(ev.transmissions, 1.0, 1e-9);
+    EXPECT_NEAR(ev.insertions, 0.0, 1e-9);
+}
+
+TEST(ExpectedEvents, TrailingInsertionsCounted) {
+    ccap::info::DriftParams p{0.0, 0.3, 0.0, 2, 16, 8};
+    const ccap::info::DriftHmm hmm(p);
+    // tx empty, rx of length 3: exactly 3 trailing insertions.
+    const std::vector<std::uint8_t> tx;
+    const std::vector<std::uint8_t> rx = {1, 0, 1};
+    const auto ev = hmm.expected_events(tx, rx);
+    EXPECT_NEAR(ev.insertions, 3.0, 1e-9);
+    EXPECT_NEAR(ev.transmissions, 0.0, 1e-9);
+}
+
+TEST(ExpectedEvents, CountsAverageToChannelRates) {
+    // E[event counts] / uses over simulated data approaches the channel
+    // parameters (consistency of the E-step).
+    ccap::info::DriftParams p{0.15, 0.1, 0.05, 4, 48, 10};
+    const ccap::info::DriftHmm hmm(p);
+    ccap::util::Rng rng(5);
+    double del = 0, ins = 0, tx_count = 0, sub = 0;
+    for (int block = 0; block < 20; ++block) {
+        std::vector<std::uint8_t> tx(200);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(4));
+        const auto rx = ccap::info::simulate_drift_channel(tx, p, rng);
+        const auto ev = hmm.expected_events(tx, rx);
+        ASSERT_TRUE(std::isfinite(ev.log2_likelihood));
+        del += ev.deletions;
+        ins += ev.insertions;
+        tx_count += ev.transmissions;
+        sub += ev.substitutions;
+    }
+    const double uses = del + ins + tx_count;
+    EXPECT_NEAR(del / uses, 0.15, 0.02);
+    EXPECT_NEAR(ins / uses, 0.10, 0.02);
+    EXPECT_NEAR(sub / tx_count, 0.05, 0.02);
+}
+
+TEST(ExpectedEvents, SubstitutionForcedByMismatch) {
+    ccap::info::DriftParams p{0.0, 0.0, 0.2, 2, 8, 4};
+    const ccap::info::DriftHmm hmm(p);
+    const std::vector<std::uint8_t> tx = {0, 1, 0};
+    const std::vector<std::uint8_t> rx = {0, 0, 0};  // middle symbol flipped
+    const auto ev = hmm.expected_events(tx, rx);
+    EXPECT_NEAR(ev.substitutions, 1.0, 1e-9);
+    EXPECT_NEAR(ev.transmissions, 3.0, 1e-9);
+}
+
+class EmRecovery : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EmRecovery, RecoversChannelParameters) {
+    const auto [pd, pi, ps] = GetParam();
+    const DiChannelParams truth{pd, pi, ps, 3};
+    DeletionInsertionChannel ch(truth, 77);
+    const Trace sent = random_trace(8000, 3, 78);
+    const auto t = ch.transduce(sent);
+    const ParamEstimate est = estimate_params_em(sent, t.output, 3);
+    EXPECT_NEAR(est.p_d.value, pd, 0.02) << "pd";
+    EXPECT_NEAR(est.p_i.value, pi, 0.02) << "pi";
+    // Substitutions blur into deletion+insertion pairs at heavy noise, so
+    // P_s carries a little more identifiability noise.
+    EXPECT_NEAR(est.p_s.value, ps, 0.03) << "ps";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EmRecovery,
+                         ::testing::Values(std::tuple{0.0, 0.0, 0.0},
+                                           std::tuple{0.15, 0.0, 0.0},
+                                           std::tuple{0.0, 0.15, 0.0},
+                                           std::tuple{0.1, 0.05, 0.02},
+                                           std::tuple{0.2, 0.1, 0.0},
+                                           std::tuple{0.05, 0.2, 0.05},
+                                           std::tuple{0.3, 0.15, 0.1}));
+
+TEST(EmEstimator, AgreesWithCoordinateDescentMle) {
+    const DiChannelParams truth{0.12, 0.08, 0.03, 2};
+    DeletionInsertionChannel ch(truth, 79);
+    const Trace sent = random_trace(6000, 2, 80);
+    const auto t = ch.transduce(sent);
+    const ParamEstimate em = estimate_params_em(sent, t.output, 2);
+    const ParamEstimate mle = estimate_params_mle(sent, t.output, 2);
+    EXPECT_NEAR(em.p_d.value, mle.p_d.value, 0.02);
+    EXPECT_NEAR(em.p_i.value, mle.p_i.value, 0.02);
+    EXPECT_NEAR(em.p_s.value, mle.p_s.value, 0.02);
+}
+
+TEST(EmEstimator, Validation) {
+    const Trace t = random_trace(50, 2, 81);
+    EXPECT_THROW((void)estimate_params_em(t, t, 0), std::invalid_argument);
+    EXPECT_THROW((void)estimate_params_em(t, t, 9), std::invalid_argument);
+    const Trace bad = {9};
+    EXPECT_THROW((void)estimate_params_em(bad, t, 2), std::out_of_range);
+}
+
+TEST(EmEstimator, EmptyTraces) {
+    const ParamEstimate est = estimate_params_em({}, {}, 2);
+    EXPECT_DOUBLE_EQ(est.p_d.value, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "ccap/estimate/mi_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/info/entropy.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::estimate;
+using ccap::util::Rng;
+using Trace = std::vector<std::uint32_t>;
+
+TEST(MiEstimator, PerfectlyCorrelatedIsEntropy) {
+    Rng rng(1);
+    Trace x(20000);
+    for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_below(4));
+    const MiResult mi = estimate_mutual_information(x, x);
+    EXPECT_NEAR(mi.plug_in, 2.0, 0.01);
+}
+
+TEST(MiEstimator, IndependentIsNearZero) {
+    Rng rng(2);
+    Trace x(50000), y(50000);
+    for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_below(2));
+    for (auto& v : y) v = static_cast<std::uint32_t>(rng.uniform_below(2));
+    const MiResult mi = estimate_mutual_information(x, y);
+    EXPECT_LT(mi.plug_in, 0.001);
+    // Miller-Madow correction pushes the (upward-biased) plug-in down.
+    EXPECT_LE(mi.miller_madow, mi.plug_in + 1e-12);
+}
+
+TEST(MiEstimator, BscMatchesTheory) {
+    Rng rng(3);
+    const double p = 0.11;
+    Trace x(80000), y(80000);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<std::uint32_t>(rng.uniform_below(2));
+        y[i] = rng.bernoulli(p) ? 1 - x[i] : x[i];
+    }
+    const MiResult mi = estimate_mutual_information(x, y);
+    EXPECT_NEAR(mi.plug_in, 1.0 - ccap::info::binary_entropy(p), 0.01);
+}
+
+TEST(MiEstimator, ValidationErrors) {
+    const Trace a = {1, 2};
+    const Trace b = {1};
+    EXPECT_THROW((void)estimate_mutual_information(a, b), std::invalid_argument);
+    EXPECT_THROW((void)estimate_mutual_information({}, {}), std::invalid_argument);
+}
+
+TEST(MiEstimator, DeterministicFunctionOfXIsHX) {
+    Rng rng(4);
+    Trace x(30000), y(30000);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<std::uint32_t>(rng.uniform_below(8));
+        y[i] = x[i] % 2;  // deterministic function
+    }
+    const MiResult mi = estimate_mutual_information(x, y);
+    EXPECT_NEAR(mi.plug_in, 1.0, 0.01);  // I(X;f(X)) = H(f(X)) = 1 bit
+}
+
+TEST(EntropyEstimator, UniformAndPointMass) {
+    Rng rng(5);
+    Trace uniform(40000);
+    for (auto& v : uniform) v = static_cast<std::uint32_t>(rng.uniform_below(16));
+    EXPECT_NEAR(estimate_entropy(uniform).plug_in, 4.0, 0.01);
+    const Trace constant(100, 7);
+    EXPECT_DOUBLE_EQ(estimate_entropy(constant).plug_in, 0.0);
+    EXPECT_THROW((void)estimate_entropy({}), std::invalid_argument);
+}
+
+TEST(EntropyEstimator, MillerMadowAboveplugIn) {
+    Rng rng(6);
+    Trace x(500);
+    for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_below(32));
+    const MiResult h = estimate_entropy(x);
+    EXPECT_GT(h.miller_madow, h.plug_in);  // correction adds (m-1)/2n ln2
+}
+
+TEST(MiEstimator, SmallSampleBiasVisible) {
+    // With few samples the plug-in MI of independent variables is clearly
+    // positive (bias); Miller-Madow reduces it.
+    Rng rng(7);
+    Trace x(200), y(200);
+    for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_below(8));
+    for (auto& v : y) v = static_cast<std::uint32_t>(rng.uniform_below(8));
+    const MiResult mi = estimate_mutual_information(x, y);
+    EXPECT_GT(mi.plug_in, 0.05);
+    EXPECT_LT(mi.miller_madow, mi.plug_in);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include "ccap/estimate/param_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/core/deletion_insertion_channel.hpp"
+
+namespace {
+
+using namespace ccap::estimate;
+using ccap::core::DeletionInsertionChannel;
+using ccap::core::DiChannelParams;
+using Trace = std::vector<std::uint32_t>;
+
+Trace random_trace(std::size_t n, unsigned bits, std::uint64_t seed) {
+    ccap::util::Rng rng(seed);
+    Trace t(n);
+    for (auto& s : t) s = static_cast<std::uint32_t>(rng.uniform_below(1ULL << bits));
+    return t;
+}
+
+TEST(ParamEstimator, CleanTraceGivesZeroRates) {
+    const Trace t = random_trace(3000, 2, 1);
+    const ParamEstimate est = estimate_params(t, t);
+    EXPECT_DOUBLE_EQ(est.p_d.value, 0.0);
+    EXPECT_DOUBLE_EQ(est.p_i.value, 0.0);
+    EXPECT_DOUBLE_EQ(est.p_s.value, 0.0);
+    EXPECT_EQ(est.channel_uses, t.size());
+}
+
+TEST(ParamEstimator, EmptyTraces) {
+    const ParamEstimate est = estimate_params({}, {});
+    EXPECT_DOUBLE_EQ(est.p_d.value, 0.0);
+    EXPECT_EQ(est.channel_uses, 0U);
+}
+
+TEST(ParamEstimator, AllDeleted) {
+    const Trace sent = random_trace(500, 1, 2);
+    const ParamEstimate est = estimate_params(sent, {});
+    EXPECT_DOUBLE_EQ(est.p_d.value, 1.0);
+}
+
+TEST(ParamEstimator, PureTrailingInsertions) {
+    const Trace received = random_trace(100, 1, 3);
+    const ParamEstimate est = estimate_params({}, received);
+    EXPECT_DOUBLE_EQ(est.p_i.value, 1.0);
+}
+
+class EstimatorRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EstimatorRecovery, MleRecoversChannelParameters) {
+    const auto [pd, pi, ps] = GetParam();
+    const DiChannelParams truth{pd, pi, ps, 3};
+    DeletionInsertionChannel ch(truth, 42);
+    const Trace sent = random_trace(6000, 3, 4);
+    const auto transduction = ch.transduce(sent);
+    const ParamEstimate est = estimate_params_mle(sent, transduction.output, 3);
+    EXPECT_NEAR(est.p_d.value, pd, 0.025) << "pd";
+    EXPECT_NEAR(est.p_i.value, pi, 0.025) << "pi";
+    EXPECT_NEAR(est.p_s.value, ps, 0.025) << "ps";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EstimatorRecovery,
+                         ::testing::Values(std::tuple{0.0, 0.0, 0.0},
+                                           std::tuple{0.1, 0.0, 0.0},
+                                           std::tuple{0.0, 0.1, 0.0},
+                                           std::tuple{0.0, 0.0, 0.1},
+                                           std::tuple{0.1, 0.05, 0.02},
+                                           std::tuple{0.2, 0.1, 0.0},
+                                           std::tuple{0.05, 0.2, 0.05}));
+
+TEST(ParamEstimator, AlignmentEstimatorBiasIsBoundedAndDirectional) {
+    // Documented limitation: minimum-edit alignment merges nearby
+    // deletion+insertion pairs into substitutions, so it *under*-estimates
+    // P_d/P_i and *over*-estimates P_s when both indel types are present.
+    const DiChannelParams truth{0.15, 0.1, 0.0, 3};
+    DeletionInsertionChannel ch(truth, 50);
+    const Trace sent = random_trace(20000, 3, 51);
+    const auto t = ch.transduce(sent);
+    const ParamEstimate est = estimate_params(sent, t.output);
+    EXPECT_LE(est.p_d.value, truth.p_d + 0.01);  // biased downward
+    EXPECT_LE(est.p_i.value, truth.p_i + 0.01);
+    EXPECT_GE(est.p_s.value, truth.p_s);  // spillover into substitutions
+    // Still in the right ballpark (within ~half the true rate).
+    EXPECT_GT(est.p_d.value, truth.p_d * 0.5);
+    EXPECT_GT(est.p_i.value, truth.p_i * 0.25);
+}
+
+TEST(ParamEstimator, MleValidation) {
+    const Trace t = random_trace(100, 2, 52);
+    EXPECT_THROW((void)estimate_params_mle(t, t, 0), std::invalid_argument);
+    EXPECT_THROW((void)estimate_params_mle(t, t, 9), std::invalid_argument);
+    const Trace bad = {1, 4};  // 4 out of 2-bit alphabet
+    EXPECT_THROW((void)estimate_params_mle(bad, t, 1), std::out_of_range);
+}
+
+TEST(ParamEstimator, MleCleanTraceIsNearZero) {
+    const Trace t = random_trace(2000, 2, 53);
+    const ParamEstimate est = estimate_params_mle(t, t, 2);
+    EXPECT_LT(est.p_d.value, 0.01);
+    EXPECT_LT(est.p_i.value, 0.01);
+    EXPECT_LT(est.p_s.value, 0.01);
+}
+
+TEST(ParamEstimator, BootstrapCiCoversPointEstimate) {
+    const DiChannelParams truth{0.15, 0.1, 0.0, 2};
+    DeletionInsertionChannel ch(truth, 7);
+    const Trace sent = random_trace(8000, 2, 5);
+    const auto t = ch.transduce(sent);
+    const ParamEstimate est = estimate_params(sent, t.output);
+    EXPECT_LE(est.p_d.ci_low, est.p_d.value);
+    EXPECT_GE(est.p_d.ci_high, est.p_d.value);
+    EXPECT_LT(est.p_d.ci_high - est.p_d.ci_low, 0.1);  // reasonably tight
+    EXPECT_LE(est.p_i.ci_low, est.p_i.value);
+    EXPECT_GE(est.p_i.ci_high, est.p_i.value);
+}
+
+TEST(ParamEstimator, ParamsConversion) {
+    ParamEstimate est;
+    est.p_d.value = 0.1;
+    est.p_i.value = 0.05;
+    est.p_s.value = 0.01;
+    const auto p = est.params(4);
+    EXPECT_DOUBLE_EQ(p.p_d, 0.1);
+    EXPECT_EQ(p.bits_per_symbol, 4U);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ParamEstimator, ZeroBlockLenThrows) {
+    EstimatorOptions opt;
+    opt.block_len = 0;
+    const Trace t = random_trace(10, 1, 6);
+    EXPECT_THROW((void)estimate_params(t, t, opt), std::invalid_argument);
+}
+
+TEST(ParamEstimator, RatesFromSingleAlignment) {
+    const Trace sent = {1, 2, 3, 4};
+    const Trace received = {1, 9, 3};  // one substitution, one deletion
+    const ParamEstimate est = rates_from_alignment(align(sent, received));
+    EXPECT_DOUBLE_EQ(est.p_d.value, 0.25);  // 1 deletion / 4 uses
+    EXPECT_DOUBLE_EQ(est.p_i.value, 0.0);
+    EXPECT_NEAR(est.p_s.value, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ParamEstimator, DeterministicBootstrap) {
+    const DiChannelParams truth{0.1, 0.1, 0.0, 2};
+    DeletionInsertionChannel ch(truth, 9);
+    const Trace sent = random_trace(4000, 2, 8);
+    const auto t = ch.transduce(sent);
+    const ParamEstimate a = estimate_params(sent, t.output);
+    const ParamEstimate b = estimate_params(sent, t.output);
+    EXPECT_DOUBLE_EQ(a.p_d.ci_low, b.p_d.ci_low);
+    EXPECT_DOUBLE_EQ(a.p_i.ci_high, b.p_i.ci_high);
+}
+
+}  // namespace

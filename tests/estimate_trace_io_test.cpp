@@ -1,0 +1,77 @@
+#include "ccap/estimate/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace ccap::estimate;
+using Trace = std::vector<std::uint32_t>;
+
+TEST(TraceIo, RoundTripThroughStream) {
+    const Trace t = {0, 1, 5, 4294967295U, 2};
+    std::stringstream ss;
+    write_trace(ss, t, "unit test");
+    EXPECT_EQ(read_trace(ss), t);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+    std::stringstream ss("# header\n\n1\n  # indented comment\n 2 \n\n3\n");
+    EXPECT_EQ(read_trace(ss), (Trace{1, 2, 3}));
+}
+
+TEST(TraceIo, EmptyStreamGivesEmptyTrace) {
+    std::stringstream ss;
+    EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, MalformedLineReportsLineNumber) {
+    std::stringstream ss("1\n2\nbanana\n");
+    try {
+        (void)read_trace(ss);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+    }
+}
+
+TEST(TraceIo, RejectsNegativeAndTrailingGarbage) {
+    std::stringstream neg("-4\n");
+    EXPECT_THROW((void)read_trace(neg), std::runtime_error);
+    std::stringstream trailing("12x\n");
+    EXPECT_THROW((void)read_trace(trailing), std::runtime_error);
+    std::stringstream fraction("1.5\n");
+    EXPECT_THROW((void)read_trace(fraction), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "ccap_trace_io_test.txt").string();
+    const Trace t = {7, 7, 0, 3};
+    write_trace_file(path, t, "file round trip");
+    EXPECT_EQ(read_trace_file(path), t);
+    // Header comment present in the raw file.
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "# file round trip");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+    EXPECT_THROW((void)read_trace_file("/nonexistent/dir/trace.txt"), std::runtime_error);
+    const Trace t = {1};
+    EXPECT_THROW(write_trace_file("/nonexistent/dir/trace.txt", t), std::runtime_error);
+}
+
+TEST(TraceIo, CrLfTolerated) {
+    std::stringstream ss("1\r\n2\r\n");
+    EXPECT_EQ(read_trace(ss), (Trace{1, 2}));
+}
+
+}  // namespace

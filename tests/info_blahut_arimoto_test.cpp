@@ -1,0 +1,128 @@
+#include "ccap/info/blahut_arimoto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ccap/info/entropy.hpp"
+
+namespace {
+
+using namespace ccap::info;
+
+TEST(BlahutArimoto, BscMatchesClosedForm) {
+    for (double p : {0.0, 0.05, 0.11, 0.25, 0.4}) {
+        const auto r = blahut_arimoto(make_bsc(p));
+        EXPECT_TRUE(r.converged);
+        EXPECT_NEAR(r.capacity, bsc_capacity(p), 1e-7) << "p=" << p;
+    }
+}
+
+TEST(BlahutArimoto, BecMatchesClosedForm) {
+    for (double e : {0.0, 0.1, 0.5, 0.9}) {
+        const auto r = blahut_arimoto(make_bec(e));
+        EXPECT_NEAR(r.capacity, bec_capacity(e), 1e-7) << "e=" << e;
+    }
+}
+
+TEST(BlahutArimoto, ZChannelMatchesClosedForm) {
+    for (double p : {0.1, 0.3, 0.5, 0.7}) {
+        const auto r = blahut_arimoto(make_z_channel(p));
+        EXPECT_NEAR(r.capacity, z_channel_capacity(p), 1e-7) << "p=" << p;
+    }
+}
+
+TEST(BlahutArimoto, ZChannelOptimalInputIsAsymmetric) {
+    const auto r = blahut_arimoto(make_z_channel(0.5));
+    ASSERT_EQ(r.optimal_input.size(), 2U);
+    // The Z-channel favours input 0 (the reliable symbol).
+    EXPECT_GT(r.optimal_input[0], r.optimal_input[1]);
+}
+
+TEST(BlahutArimoto, MaryChannels) {
+    const auto r16 = blahut_arimoto(make_mary_symmetric(16, 0.1));
+    EXPECT_NEAR(r16.capacity, mary_symmetric_capacity(0.1, 16), 1e-7);
+    const auto er = blahut_arimoto(make_mary_erasure(8, 0.25));
+    EXPECT_NEAR(er.capacity, mary_erasure_capacity(8, 0.25), 1e-7);
+}
+
+TEST(BlahutArimoto, NoiselessCapacityIsLogM) {
+    const auto r = blahut_arimoto(make_noiseless(8));
+    EXPECT_NEAR(r.capacity, 3.0, 1e-8);
+}
+
+TEST(BlahutArimoto, UselessChannelZeroCapacity) {
+    // All rows identical: output independent of input.
+    ccap::util::Matrix w{{0.3, 0.7}, {0.3, 0.7}};
+    const auto r = blahut_arimoto(Dmc(w));
+    EXPECT_NEAR(r.capacity, 0.0, 1e-9);
+}
+
+TEST(BlahutArimoto, SandwichIsValid) {
+    const auto r = blahut_arimoto(make_bsc(0.17));
+    EXPECT_LE(r.lower_bound, r.capacity + 1e-12);
+    EXPECT_GE(r.upper_bound + 1e-12, r.capacity);
+    EXPECT_LE(r.upper_bound - r.lower_bound, 1e-9);
+}
+
+TEST(BlahutArimoto, OptimalInputIsDistribution) {
+    const auto r = blahut_arimoto(make_mary_symmetric(5, 0.2));
+    double sum = 0.0;
+    for (double p : r.optimal_input) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BlahutArimoto, SymmetricChannelUniformInput) {
+    const auto r = blahut_arimoto(make_mary_symmetric(4, 0.15));
+    for (double p : r.optimal_input) EXPECT_NEAR(p, 0.25, 1e-5);
+}
+
+class BaBscSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaBscSweep, CapacityWithinSandwich) {
+    const double p = GetParam();
+    const auto r = blahut_arimoto(make_bsc(p));
+    const double truth = bsc_capacity(p);
+    EXPECT_GE(truth, r.lower_bound - 1e-9);
+    EXPECT_LE(truth, r.upper_bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaBscSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3, 0.45, 0.49));
+
+TEST(CapacityPerUnitCost, EqualCostsReduceToPlainCapacity) {
+    const std::vector<double> costs = {2.0, 2.0};
+    const auto r = capacity_per_unit_cost(make_bsc(0.1), costs);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.capacity_per_cost, bsc_capacity(0.1) / 2.0, 1e-6);
+}
+
+TEST(CapacityPerUnitCost, NoiselessMatchesShannonTiming) {
+    // Noiseless binary channel, durations {1, 2}: Shannon's C = log2(x0)
+    // with x^-1 + x^-2 = 1  =>  x0 = golden ratio.
+    const std::vector<double> costs = {1.0, 2.0};
+    const auto r = capacity_per_unit_cost(make_noiseless(2), costs);
+    const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+    EXPECT_NEAR(r.capacity_per_cost, std::log2(phi), 1e-6);
+}
+
+TEST(CapacityPerUnitCost, CheaperSymbolGetsMoreMass) {
+    const std::vector<double> costs = {1.0, 10.0};
+    const auto r = capacity_per_unit_cost(make_noiseless(2), costs);
+    ASSERT_EQ(r.optimal_input.size(), 2U);
+    EXPECT_GT(r.optimal_input[0], r.optimal_input[1]);
+}
+
+TEST(CapacityPerUnitCost, BadCostsThrow) {
+    const std::vector<double> wrong_size = {1.0};
+    EXPECT_THROW((void)capacity_per_unit_cost(make_bsc(0.1), wrong_size),
+                 std::invalid_argument);
+    const std::vector<double> nonpositive = {1.0, 0.0};
+    EXPECT_THROW((void)capacity_per_unit_cost(make_bsc(0.1), nonpositive), std::domain_error);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "ccap/info/dmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "ccap/info/entropy.hpp"
+
+namespace {
+
+using namespace ccap::info;
+using ccap::util::Matrix;
+using ccap::util::Rng;
+
+TEST(Dmc, RejectsNonStochastic) {
+    Matrix bad{{0.5, 0.4}, {0.5, 0.5}};
+    EXPECT_THROW((void)Dmc(bad), std::invalid_argument);
+}
+
+TEST(Dmc, RejectsEmpty) { EXPECT_THROW((void)Dmc(Matrix{}), std::invalid_argument); }
+
+TEST(Dmc, Dimensions) {
+    const Dmc bec = make_bec(0.3);
+    EXPECT_EQ(bec.num_inputs(), 2U);
+    EXPECT_EQ(bec.num_outputs(), 3U);
+    EXPECT_EQ(bec.name(), "bec");
+}
+
+TEST(Dmc, OutputDistribution) {
+    const Dmc bsc = make_bsc(0.1);
+    const std::vector<double> input = {1.0, 0.0};
+    const auto out = bsc.output_distribution(input);
+    EXPECT_NEAR(out[0], 0.9, 1e-12);
+    EXPECT_NEAR(out[1], 0.1, 1e-12);
+}
+
+TEST(Dmc, SampleRespectsDistribution) {
+    const Dmc bsc = make_bsc(0.25);
+    Rng rng(3);
+    int flips = 0;
+    constexpr int kN = 40000;
+    for (int i = 0; i < kN; ++i) flips += bsc.sample(0, rng) == 1;
+    EXPECT_NEAR(static_cast<double>(flips) / kN, 0.25, 0.01);
+}
+
+TEST(Dmc, SampleOutOfRangeThrows) {
+    const Dmc bsc = make_bsc(0.25);
+    Rng rng(4);
+    EXPECT_THROW((void)bsc.sample(2, rng), std::out_of_range);
+}
+
+TEST(Dmc, TransduceLengthPreserved) {
+    const Dmc noiseless = make_noiseless(4);
+    Rng rng(5);
+    const std::vector<std::size_t> in = {0, 1, 2, 3, 3, 2, 1, 0};
+    const auto out = noiseless.transduce(in, rng);
+    EXPECT_EQ(out, in);  // identity channel
+}
+
+TEST(Builders, BscMatrix) {
+    const Dmc c = make_bsc(0.2);
+    EXPECT_NEAR(c.transition(0, 0), 0.8, 1e-12);
+    EXPECT_NEAR(c.transition(1, 0), 0.2, 1e-12);
+}
+
+TEST(Builders, ZChannelStructure) {
+    const Dmc z = make_z_channel(0.3);
+    EXPECT_DOUBLE_EQ(z.transition(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(z.transition(0, 1), 0.0);
+    EXPECT_NEAR(z.transition(1, 0), 0.3, 1e-12);
+}
+
+TEST(Builders, MaryErasureStructure) {
+    const Dmc e = make_mary_erasure(4, 0.25);
+    EXPECT_EQ(e.num_outputs(), 5U);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_NEAR(e.transition(i, i), 0.75, 1e-12);
+        EXPECT_NEAR(e.transition(i, 4), 0.25, 1e-12);
+    }
+}
+
+TEST(Builders, MarySymmetricRows) {
+    const Dmc m = make_mary_symmetric(8, 0.21);
+    EXPECT_TRUE(m.matrix().is_row_stochastic());
+    EXPECT_NEAR(m.transition(3, 3), 0.79, 1e-12);
+    EXPECT_NEAR(m.transition(3, 4), 0.03, 1e-12);
+}
+
+TEST(Builders, InvalidProbabilityThrows) {
+    EXPECT_THROW((void)make_bsc(1.5), std::domain_error);
+    EXPECT_THROW((void)make_bec(-0.1), std::domain_error);
+    EXPECT_THROW((void)make_mary_symmetric(1, 0.1), std::invalid_argument);
+}
+
+TEST(ClosedForms, BscCapacity) {
+    EXPECT_DOUBLE_EQ(bsc_capacity(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(bsc_capacity(0.5), 0.0);
+    EXPECT_NEAR(bsc_capacity(0.11), 1.0 - binary_entropy(0.11), 1e-12);
+}
+
+TEST(ClosedForms, BecCapacity) {
+    EXPECT_DOUBLE_EQ(bec_capacity(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(bec_capacity(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(bec_capacity(0.3), 0.7);
+}
+
+TEST(ClosedForms, ZChannelCapacity) {
+    EXPECT_DOUBLE_EQ(z_channel_capacity(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(z_channel_capacity(1.0), 0.0);
+    // Known value: C(0.5) = log2(5/4) = log2(1.25).
+    EXPECT_NEAR(z_channel_capacity(0.5), std::log2(1.25), 1e-12);
+}
+
+TEST(ClosedForms, MaryErasureCapacity) {
+    EXPECT_DOUBLE_EQ(mary_erasure_capacity(4, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(mary_erasure_capacity(8, 0.0), 3.0);
+}
+
+}  // namespace

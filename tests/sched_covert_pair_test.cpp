@@ -1,0 +1,122 @@
+#include "ccap/sched/covert_pair.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccap::sched;
+
+CovertPairConfig naive_config(std::size_t len = 500) {
+    CovertPairConfig c;
+    c.mode = PairMode::naive;
+    c.message_len = len;
+    return c;
+}
+
+CovertPairConfig handshake_config(std::size_t len = 500) {
+    CovertPairConfig c;
+    c.mode = PairMode::handshake;
+    c.message_len = len;
+    return c;
+}
+
+TEST(CovertPair, ConfigValidation) {
+    CovertPairConfig c = naive_config();
+    c.bits_per_symbol = 0;
+    EXPECT_THROW((void)run_covert_pair(make_round_robin(), c, 1), std::invalid_argument);
+    c = naive_config();
+    c.op_success_prob = 0.0;
+    EXPECT_THROW((void)run_covert_pair(make_round_robin(), c, 1), std::invalid_argument);
+}
+
+TEST(CovertPair, RoundRobinNaiveIsLossless) {
+    // Perfect alternation: every written symbol is read exactly once
+    // (after the first sender quantum), so received tracks sent.
+    const auto res = run_covert_pair(make_round_robin(), naive_config(300), 1);
+    EXPECT_EQ(res.sent.size(), 300U);
+    // Round-robin: sender first, receiver immediately after -> no deletions,
+    // insertions only possible at the margins.
+    ASSERT_GE(res.received.size(), res.sent.size() - 1);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < std::min(res.sent.size(), res.received.size()); ++i)
+        mismatches += res.sent[i] != res.received[i];
+    EXPECT_LE(mismatches, 2U);
+}
+
+TEST(CovertPair, RandomSchedulerCreatesDeletionsAndInsertions) {
+    const auto res = run_covert_pair(make_random(), naive_config(2000), 2);
+    EXPECT_EQ(res.sent.size(), 2000U);
+    // With a memoryless fair scheduler, runs of sender quanta (deletions)
+    // and receiver quanta (insertions) are abundant; the received stream
+    // can't equal the sent stream.
+    EXPECT_NE(res.received, res.sent);
+    EXPECT_GT(res.total_quanta, 0U);
+}
+
+TEST(CovertPair, HandshakeIsReliableUnderAnyScheduler) {
+    for (int seed = 1; seed <= 3; ++seed) {
+        const auto rr = run_covert_pair(make_round_robin(), handshake_config(200), seed);
+        EXPECT_TRUE(rr.reliable) << "round_robin seed " << seed;
+        const auto rnd = run_covert_pair(make_random(), handshake_config(200), seed);
+        EXPECT_TRUE(rnd.reliable) << "random seed " << seed;
+        const auto lot = run_covert_pair(make_lottery(), handshake_config(200), seed);
+        EXPECT_TRUE(lot.reliable) << "lottery seed " << seed;
+    }
+}
+
+TEST(CovertPair, HandshakeWastesQuantaWaiting) {
+    const auto res = run_covert_pair(make_random(), handshake_config(1000), 4);
+    EXPECT_TRUE(res.reliable);
+    EXPECT_GT(res.sender_waits + res.receiver_waits, 0U);
+    // Throughput must be below the 0.5 symbols/quantum ideal of round-robin.
+    EXPECT_LT(res.symbols_per_quantum(), 0.5);
+}
+
+TEST(CovertPair, HandshakeRoundRobinApproachesHalfSymbolPerQuantum) {
+    const auto res = run_covert_pair(make_round_robin(), handshake_config(2000), 5);
+    EXPECT_TRUE(res.reliable);
+    EXPECT_NEAR(res.symbols_per_quantum(), 0.5, 0.02);
+}
+
+TEST(CovertPair, RandomHandshakeThroughputMatchesTheory) {
+    // Bernoulli(1/2) scheduling: expected q(1-q) = 0.25 symbols/quantum.
+    const auto res = run_covert_pair(make_random(), handshake_config(4000), 6);
+    EXPECT_TRUE(res.reliable);
+    EXPECT_NEAR(res.symbols_per_quantum(), 0.25, 0.02);
+}
+
+TEST(CovertPair, MultiBitSymbols) {
+    CovertPairConfig c = handshake_config(300);
+    c.bits_per_symbol = 4;
+    const auto res = run_covert_pair(make_round_robin(), c, 7);
+    EXPECT_TRUE(res.reliable);
+    for (std::uint32_t s : res.received) EXPECT_LT(s, 16U);
+}
+
+TEST(CovertPair, BackgroundProcessesSlowTheChannel) {
+    CovertPairConfig with_bg = handshake_config(500);
+    with_bg.background_processes = 2;
+    const auto noisy = run_covert_pair(make_random(), with_bg, 8);
+    const auto quiet = run_covert_pair(make_random(), handshake_config(500), 8);
+    EXPECT_TRUE(noisy.reliable);
+    EXPECT_LT(noisy.symbols_per_quantum(), quiet.symbols_per_quantum());
+}
+
+TEST(CovertPair, OpFailureSlowsNaiveSender) {
+    CovertPairConfig flaky = naive_config(500);
+    flaky.op_success_prob = 0.5;
+    const auto res = run_covert_pair(make_round_robin(), flaky, 9);
+    EXPECT_EQ(res.sent.size(), 500U);
+    // Sender needed about twice the quanta to push the message out.
+    EXPECT_GT(res.sender_quanta, 800U);
+}
+
+TEST(CovertPair, DeterministicForSeed) {
+    const auto a = run_covert_pair(make_random(), naive_config(400), 42);
+    const auto b = run_covert_pair(make_random(), naive_config(400), 42);
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.total_quanta, b.total_quanta);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "ccap/sched/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using ccap::sched::EventQueue;
+using ccap::sched::SimTime;
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0U);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(30, [&](SimTime) { order.push_back(3); });
+    q.schedule_at(10, [&](SimTime) { order.push_back(1); });
+    q.schedule_at(20, [&](SimTime) { order.push_back(2); });
+    while (q.step()) {}
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30U);
+}
+
+TEST(EventQueue, TiesAreFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule_at(7, [&order, i](SimTime) { order.push_back(i); });
+    while (q.step()) {}
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+    EventQueue q;
+    SimTime fired_at = 0;
+    q.schedule_at(5, [&](SimTime) {});
+    q.step();
+    q.schedule_in(10, [&](SimTime t) { fired_at = t; });
+    q.step();
+    EXPECT_EQ(fired_at, 15U);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+    EventQueue q;
+    q.schedule_at(10, [](SimTime) {});
+    q.step();
+    EXPECT_THROW(q.schedule_at(5, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(EventQueue, EmptyCallbackThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.schedule_at(1, {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule_at(5, [&](SimTime) { ++fired; });
+    q.schedule_at(15, [&](SimTime) { ++fired; });
+    q.run_until(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10U);
+    EXPECT_EQ(q.pending(), 1U);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+    EventQueue q;
+    q.run_until(42);
+    EXPECT_EQ(q.now(), 42U);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+    EventQueue q;
+    std::vector<SimTime> fire_times;
+    q.schedule_at(1, [&](SimTime t) {
+        fire_times.push_back(t);
+        q.schedule_in(2, [&](SimTime t2) { fire_times.push_back(t2); });
+    });
+    q.run_until(10);
+    EXPECT_EQ(fire_times, (std::vector<SimTime>{1, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "ccap/sched/mls_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccap::sched;
+
+MlsConfig config(bool feedback, std::size_t len = 400) {
+    MlsConfig c;
+    c.message_len = len;
+    c.use_legal_feedback = feedback;
+    return c;
+}
+
+TEST(Mls, ConfigValidation) {
+    MlsConfig c = config(true);
+    c.bits_per_symbol = 0;
+    EXPECT_THROW((void)run_mls_exfiltration(make_round_robin(), c, 1), std::invalid_argument);
+}
+
+TEST(Mls, FeedbackExfiltrationIsExact) {
+    for (int seed = 1; seed <= 3; ++seed) {
+        const auto rr = run_mls_exfiltration(make_round_robin(), config(true), seed);
+        EXPECT_TRUE(rr.exact) << "round_robin seed " << seed;
+        const auto rnd = run_mls_exfiltration(make_random(), config(true), seed);
+        EXPECT_TRUE(rnd.exact) << "random seed " << seed;
+    }
+}
+
+TEST(Mls, WithoutFeedbackRandomSchedulerCorrupts) {
+    const auto res = run_mls_exfiltration(make_random(), config(false, 2000), 2);
+    EXPECT_FALSE(res.exact);
+}
+
+TEST(Mls, FeedbackThroughputNearTheorem3) {
+    // Under Bernoulli(1/2) scheduling the alternating-bit protocol needs a
+    // High quantum then a Low quantum per symbol: ~0.25 symbols/quantum
+    // (q(1-q) of the Fig-1 analysis).
+    const auto res = run_mls_exfiltration(make_random(), config(true, 4000), 3);
+    EXPECT_TRUE(res.exact);
+    EXPECT_NEAR(res.goodput(), 0.25, 0.02);
+}
+
+TEST(Mls, RoundRobinFeedbackGoodputIsHalf) {
+    const auto res = run_mls_exfiltration(make_round_robin(), config(true, 2000), 4);
+    EXPECT_TRUE(res.exact);
+    EXPECT_NEAR(res.goodput(), 0.5, 0.02);
+}
+
+TEST(Mls, MultiBitSymbolsSurviveFeedbackProtocol) {
+    MlsConfig c = config(true, 300);
+    c.bits_per_symbol = 8;
+    const auto res = run_mls_exfiltration(make_random(), c, 5);
+    EXPECT_TRUE(res.exact);
+    for (std::uint32_t s : res.exfiltrated) EXPECT_LT(s, 256U);
+}
+
+TEST(Mls, GoodputCountsPrefixOnly) {
+    MlsResult r;
+    r.secret = {1, 0, 1, 1};
+    r.exfiltrated = {1, 0, 0, 1};
+    r.total_quanta = 8;
+    EXPECT_DOUBLE_EQ(r.goodput(), 2.0 / 8.0);
+    r.total_quanta = 0;
+    EXPECT_DOUBLE_EQ(r.goodput(), 0.0);
+}
+
+TEST(MlsPump, StillExactJustSlower) {
+    MlsConfig pumped = config(true, 600);
+    pumped.pump_min_delay = 4;
+    pumped.pump_max_delay = 12;
+    const auto res = run_mls_exfiltration(make_random(), pumped, 8);
+    EXPECT_TRUE(res.exact);  // the pump delays, it does not corrupt
+    const auto plain = run_mls_exfiltration(make_random(), config(true, 600), 8);
+    EXPECT_LT(res.goodput(), plain.goodput());
+}
+
+TEST(MlsPump, GoodputFallsMonotonicallyWithDelay) {
+    double prev = 1.0;
+    for (const SimTime delay : {0ULL, 8ULL, 32ULL, 96ULL}) {
+        MlsConfig cfg = config(true, 400);
+        cfg.pump_min_delay = delay / 2;
+        cfg.pump_max_delay = delay;
+        const auto res = run_mls_exfiltration(make_random(), cfg, 9);
+        EXPECT_TRUE(res.exact) << "delay " << delay;
+        EXPECT_LT(res.goodput(), prev + 1e-9) << "delay " << delay;
+        prev = res.goodput();
+    }
+    // A pump with ~1/64 quantum rate throttles the channel hard.
+    EXPECT_LT(prev, 0.05);
+}
+
+TEST(MlsPump, ApproachesDelayLimitedRate) {
+    // With mean delay D >> 1 the protocol needs ~D quanta per symbol.
+    MlsConfig cfg = config(true, 300);
+    cfg.pump_min_delay = 40;
+    cfg.pump_max_delay = 40;
+    const auto res = run_mls_exfiltration(make_random(), cfg, 10);
+    EXPECT_TRUE(res.exact);
+    EXPECT_NEAR(res.goodput(), 1.0 / (40.0 + 4.0), 0.01);
+}
+
+TEST(MlsPump, Validation) {
+    MlsConfig cfg = config(true, 10);
+    cfg.pump_min_delay = 5;
+    cfg.pump_max_delay = 2;
+    EXPECT_THROW((void)run_mls_exfiltration(make_random(), cfg, 1), std::invalid_argument);
+}
+
+TEST(Mls, DeterministicForSeed) {
+    const auto a = run_mls_exfiltration(make_random(), config(false, 500), 7);
+    const auto b = run_mls_exfiltration(make_random(), config(false, 500), 7);
+    EXPECT_EQ(a.exfiltrated, b.exfiltrated);
+    EXPECT_EQ(a.total_quanta, b.total_quanta);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+#include "ccap/sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using namespace ccap::sched;
+
+/// Counts its own quanta; optionally blocks periodically.
+class CountingProcess final : public Process {
+public:
+    CountingProcess(ProcessId id, int priority = 0, std::uint64_t tickets = 1,
+                    SimTime block_every = 0, SimTime block_len = 0)
+        : Process(id, "p" + std::to_string(id), priority, tickets),
+          block_every_(block_every),
+          block_len_(block_len) {}
+
+    void on_quantum(SimTime) override {
+        ++count;
+        if (block_every_ != 0 && count % block_every_ == 0) block_for(block_len_);
+    }
+
+    std::uint64_t count = 0;
+
+private:
+    SimTime block_every_;
+    SimTime block_len_;
+};
+
+TEST(UniprocessorSim, RequiresProcesses) {
+    UniprocessorSim sim(make_round_robin(), 1);
+    EXPECT_THROW(sim.run(10), std::logic_error);
+}
+
+TEST(UniprocessorSim, ProcessIdsMustMatchIndices) {
+    UniprocessorSim sim(make_round_robin(), 1);
+    EXPECT_THROW(sim.add_process(std::make_unique<CountingProcess>(5)), std::invalid_argument);
+}
+
+TEST(UniprocessorSim, NullArgumentsThrow) {
+    EXPECT_THROW(UniprocessorSim(nullptr, 1), std::invalid_argument);
+    UniprocessorSim sim(make_round_robin(), 1);
+    EXPECT_THROW(sim.add_process(nullptr), std::invalid_argument);
+}
+
+TEST(RoundRobin, PerfectAlternation) {
+    UniprocessorSim sim(make_round_robin(), 1);
+    auto* a = new CountingProcess(0);
+    auto* b = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(100);
+    EXPECT_EQ(a->count, 50U);
+    EXPECT_EQ(b->count, 50U);
+    // Trace strictly alternates.
+    const auto& trace = sim.activation_trace();
+    for (std::size_t i = 1; i < trace.size(); ++i) EXPECT_NE(trace[i], trace[i - 1]);
+}
+
+TEST(RoundRobin, ConservesQuanta) {
+    UniprocessorSim sim(make_round_robin(), 2);
+    auto* a = new CountingProcess(0);
+    auto* b = new CountingProcess(1);
+    auto* c = new CountingProcess(2);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.add_process(std::unique_ptr<Process>(c));
+    sim.run(99);
+    EXPECT_EQ(a->count + b->count + c->count, 99U);
+    EXPECT_EQ(sim.stats().total_quanta, 99U);
+}
+
+TEST(RandomScheduler, RoughlyFair) {
+    UniprocessorSim sim(make_random(), 3);
+    auto* a = new CountingProcess(0);
+    auto* b = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(20000);
+    EXPECT_NEAR(static_cast<double>(a->count) / 20000.0, 0.5, 0.02);
+}
+
+TEST(PriorityScheduler, HighPriorityMonopolizes) {
+    UniprocessorSim sim(make_priority(), 4);
+    auto* lo = new CountingProcess(0, /*priority=*/1);
+    auto* hi = new CountingProcess(1, /*priority=*/5);
+    sim.add_process(std::unique_ptr<Process>(lo));
+    sim.add_process(std::unique_ptr<Process>(hi));
+    sim.run(50);
+    EXPECT_EQ(hi->count, 50U);
+    EXPECT_EQ(lo->count, 0U);
+}
+
+TEST(PriorityScheduler, TiesRoundRobin) {
+    UniprocessorSim sim(make_priority(), 5);
+    auto* a = new CountingProcess(0, 3);
+    auto* b = new CountingProcess(1, 3);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(60);
+    EXPECT_EQ(a->count, 30U);
+    EXPECT_EQ(b->count, 30U);
+}
+
+TEST(LotteryScheduler, ProportionalToTickets) {
+    UniprocessorSim sim(make_lottery(), 6);
+    auto* a = new CountingProcess(0, 0, /*tickets=*/1);
+    auto* b = new CountingProcess(1, 0, /*tickets=*/3);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(40000);
+    EXPECT_NEAR(static_cast<double>(b->count) / 40000.0, 0.75, 0.02);
+}
+
+TEST(FuzzyRoundRobin, EpsilonZeroIsRoundRobin) {
+    UniprocessorSim sim(make_fuzzy_round_robin(0.0), 7);
+    auto* a = new CountingProcess(0);
+    auto* b = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(100);
+    EXPECT_EQ(a->count, 50U);
+}
+
+TEST(FuzzyRoundRobin, EpsilonValidation) {
+    EXPECT_THROW((void)make_fuzzy_round_robin(-0.1), std::domain_error);
+    EXPECT_THROW((void)make_fuzzy_round_robin(1.1), std::domain_error);
+}
+
+TEST(Mlfq, ConstructionValidation) {
+    EXPECT_THROW((void)make_mlfq(0, 10), std::invalid_argument);
+    EXPECT_THROW((void)make_mlfq(3, 0), std::invalid_argument);
+}
+
+TEST(Mlfq, CpuHogsShareFairlyViaBoost) {
+    UniprocessorSim sim(make_mlfq(3, 32), 20);
+    auto* a = new CountingProcess(0);
+    auto* b = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(1000);
+    // Two identical CPU hogs end up sharing roughly evenly.
+    EXPECT_NEAR(static_cast<double>(a->count) / 1000.0, 0.5, 0.1);
+}
+
+TEST(Mlfq, InteractiveProcessGetsPriority) {
+    UniprocessorSim sim(make_mlfq(3, 256), 21);
+    // a blocks after every quantum (interactive); b hogs the CPU.
+    auto* interactive = new CountingProcess(0, 0, 1, /*block_every=*/1, /*block_len=*/2);
+    auto* hog = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(interactive));
+    sim.add_process(std::unique_ptr<Process>(hog));
+    sim.run(600);
+    // The interactive process gets a quantum nearly every time it wakes
+    // (about once per 3 quanta given its 2-tick sleep).
+    EXPECT_GT(interactive->count, 150U);
+}
+
+TEST(Blocking, BlockedProcessSkipsQuantaThenWakes) {
+    UniprocessorSim sim(make_round_robin(), 8);
+    // a blocks for 5 ticks after every quantum; b never blocks.
+    auto* a = new CountingProcess(0, 0, 1, /*block_every=*/1, /*block_len=*/5);
+    auto* b = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(a));
+    sim.add_process(std::unique_ptr<Process>(b));
+    sim.run(120);
+    EXPECT_GT(b->count, a->count * 3);
+    EXPECT_GT(a->count, 10U);  // still woken regularly
+}
+
+TEST(Blocking, FinishedProcessNeverRunsAgain) {
+    class OneShot final : public Process {
+    public:
+        explicit OneShot(ProcessId id) : Process(id, "oneshot") {}
+        void on_quantum(SimTime) override {
+            ++runs;
+            finish();
+        }
+        int runs = 0;
+    };
+    UniprocessorSim sim(make_round_robin(), 9);
+    auto* p = new OneShot(0);
+    auto* q = new CountingProcess(1);
+    sim.add_process(std::unique_ptr<Process>(p));
+    sim.add_process(std::unique_ptr<Process>(q));
+    sim.run(50);
+    EXPECT_EQ(p->runs, 1);
+    EXPECT_EQ(q->count, 49U);
+}
+
+TEST(Sim, AllFinishedStopsEarly) {
+    class OneShot final : public Process {
+    public:
+        explicit OneShot(ProcessId id) : Process(id, "oneshot") {}
+        void on_quantum(SimTime) override { finish(); }
+    };
+    UniprocessorSim sim(make_round_robin(), 10);
+    sim.add_process(std::make_unique<OneShot>(0));
+    sim.run(1000);
+    EXPECT_LE(sim.stats().total_quanta, 2U);
+}
+
+TEST(Sim, StateNames) {
+    EXPECT_STREQ(state_name(ProcessState::runnable), "runnable");
+    EXPECT_STREQ(state_name(ProcessState::blocked), "blocked");
+    EXPECT_STREQ(state_name(ProcessState::finished), "finished");
+}
+
+}  // namespace

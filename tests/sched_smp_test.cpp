@@ -1,0 +1,84 @@
+#include "ccap/sched/smp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccap/core/protocol_analysis.hpp"
+
+namespace {
+
+using namespace ccap::sched;
+
+SmpCovertConfig config(unsigned cores, std::size_t background = 0) {
+    SmpCovertConfig c;
+    c.cores = cores;
+    c.message_len = 4000;
+    c.background_processes = background;
+    return c;
+}
+
+TEST(Smp, Validation) {
+    EXPECT_THROW(MultiprocessorSim(nullptr, 2, 1), std::invalid_argument);
+    EXPECT_THROW(MultiprocessorSim(make_random(), 0, 1), std::invalid_argument);
+    SmpCovertConfig c = config(0);
+    EXPECT_THROW((void)run_smp_covert_pair(make_random(), c, 1), std::invalid_argument);
+}
+
+TEST(Smp, SingleCoreMatchesUniprocessorStatistics) {
+    // K=1 must reproduce the uniprocessor naive-channel rates: under the
+    // memoryless scheduler, P_d = P_i = 1/3 per channel use.
+    const auto res = run_smp_covert_pair(make_random(), config(1), 2);
+    const auto theory = ccap::core::naive_scheduler_channel_params(0.5, 1);
+    EXPECT_NEAR(res.deletion_rate(), theory.p_d, 0.03);
+    EXPECT_NEAR(res.insertion_rate(), theory.p_i, 0.03);
+}
+
+TEST(Smp, TwoCoresIdleIsNearlySynchronous) {
+    // Both processes get a core every quantum; only the intra-quantum race
+    // ordering perturbs the stream (read-before-write looks like an
+    // insertion followed by a deletion opportunity).
+    const auto res = run_smp_covert_pair(make_random(), config(2), 3);
+    EXPECT_EQ(res.sent.size(), 4000U);
+    // Race ordering is fair: roughly half the quanta deliver in order.
+    EXPECT_LT(res.deletion_rate(), 0.45);
+    // The channel is far faster than the uniprocessor one: sender finishes
+    // in ~message_len quanta instead of ~2x.
+    EXPECT_LT(res.total_quanta, 4200U);
+}
+
+TEST(Smp, ContentionRestoresNonSynchrony) {
+    // Background hogs take cores away from the pair: deletions/insertions
+    // climb back toward the uniprocessor picture.
+    const auto idle = run_smp_covert_pair(make_random(), config(2, 0), 4);
+    const auto l4 = run_smp_covert_pair(make_random(), config(2, 4), 4);
+    const auto l8 = run_smp_covert_pair(make_random(), config(2, 8), 4);
+    EXPECT_GT(l4.deletion_rate() + l4.insertion_rate(),
+              idle.deletion_rate() + idle.insertion_rate());
+    EXPECT_GT(l8.deletion_rate(), l4.deletion_rate() - 0.02);
+    EXPECT_GT(l8.total_quanta, idle.total_quanta);
+}
+
+TEST(Smp, MoreCoresAbsorbLoad) {
+    // At fixed background load, adding cores gives the pair its slots back.
+    const auto two = run_smp_covert_pair(make_random(), config(2, 6), 5);
+    const auto eight = run_smp_covert_pair(make_random(), config(8, 6), 5);
+    EXPECT_LT(eight.deletion_rate(), two.deletion_rate());
+    EXPECT_LT(eight.total_quanta, two.total_quanta);
+}
+
+TEST(Smp, RoundRobinTwoCoresRunsBothEveryQuantum) {
+    const auto res = run_smp_covert_pair(make_round_robin(), config(2), 6);
+    // Sender gets every quantum: message length quanta (plus drain).
+    EXPECT_LE(res.total_quanta, 4010U);
+    // One drain read at the end may duplicate the final symbol.
+    EXPECT_NEAR(static_cast<double>(res.received.size()),
+                static_cast<double>(res.sent.size()), 2.0);
+}
+
+TEST(Smp, DeterministicForSeed) {
+    const auto a = run_smp_covert_pair(make_random(), config(2, 2), 7);
+    const auto b = run_smp_covert_pair(make_random(), config(2, 2), 7);
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.deletions, b.deletions);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "ccap/sched/timing_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace ccap::sched;
+
+TimingChannelConfig config(SimTime granularity = 1, SimTime jitter = 0) {
+    TimingChannelConfig c;
+    c.short_gap = 2;
+    c.long_gap = 6;
+    c.message_len = 600;
+    c.clock_granularity = granularity;
+    c.clock_jitter = jitter;
+    return c;
+}
+
+TEST(TimingChannel, ConfigValidation) {
+    TimingChannelConfig c = config();
+    c.short_gap = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = config();
+    c.long_gap = c.short_gap;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = config();
+    c.clock_granularity = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = config();
+    c.message_len = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(TimingChannel, FineClockDecodesCleanly) {
+    const auto res = run_timing_channel(make_round_robin(), config(), 1);
+    EXPECT_EQ(res.decoded.size(), res.sent.size());
+    EXPECT_LT(res.bit_error_rate, 0.02);
+    EXPECT_GT(res.info_rate_per_quantum(), 0.05);
+}
+
+TEST(TimingChannel, WorksUnderRandomScheduler) {
+    const auto res = run_timing_channel(make_random(), config(), 2);
+    // Scheduler noise perturbs gap measurements, but short=2 vs long=6 is
+    // wide enough to stay mostly decodable.
+    EXPECT_LT(res.bit_error_rate, 0.25);
+}
+
+TEST(TimingChannel, CoarseClockDestroysTheChannel) {
+    // Granularity beyond the gap difference makes 0s and 1s identical:
+    // everything quantizes to the same reading.
+    const auto fine = run_timing_channel(make_round_robin(), config(1), 3);
+    const auto coarse = run_timing_channel(make_round_robin(), config(16), 3);
+    EXPECT_LT(fine.bit_error_rate, 0.02);
+    EXPECT_GT(coarse.bit_error_rate, 0.3);
+    EXPECT_LT(coarse.info_rate_per_quantum(), fine.info_rate_per_quantum());
+}
+
+TEST(TimingChannel, JitterDegradesMonotonically) {
+    double prev = -1.0;
+    for (const SimTime jitter : {0ULL, 2ULL, 6ULL, 16ULL}) {
+        const auto res = run_timing_channel(make_round_robin(), config(1, jitter), 4);
+        if (prev >= 0.0) {
+            EXPECT_GE(res.bit_error_rate + 0.02, prev) << "jitter " << jitter;
+        }
+        prev = res.bit_error_rate;
+    }
+    EXPECT_GT(prev, 0.1);  // heavy jitter leaves a noisy channel
+}
+
+TEST(TimingChannel, IdealCapacityMatchesCharacteristicEquation) {
+    const TimingChannelConfig c = config();
+    const double cap = ideal_timing_capacity(c);
+    // Verify the root property: 2^{-c*s} + 2^{-c*l} = 1.
+    const double t0 = static_cast<double>(c.short_gap);
+    const double t1 = static_cast<double>(c.long_gap);
+    EXPECT_NEAR(std::exp2(-cap * t0) + std::exp2(-cap * t1), 1.0, 1e-9);
+    // Raw bit rate can't beat the ideal Shannon rate of the timing alphabet.
+    const auto res = run_timing_channel(make_round_robin(), config(), 5);
+    EXPECT_LT(res.info_rate_per_quantum(), cap);
+}
+
+TEST(TimingChannel, DeterministicForSeed) {
+    const auto a = run_timing_channel(make_random(), config(), 7);
+    const auto b = run_timing_channel(make_random(), config(), 7);
+    EXPECT_EQ(a.decoded, b.decoded);
+    EXPECT_EQ(a.total_quanta, b.total_quanta);
+}
+
+TEST(TimingChannel, InfoRateEdgeCases) {
+    TimingChannelResult r;
+    EXPECT_DOUBLE_EQ(r.info_rate_per_quantum(), 0.0);
+    r.total_quanta = 100;
+    r.decoded.assign(10, 0);
+    r.bit_error_rate = 0.5;  // coin-flip channel carries nothing
+    EXPECT_DOUBLE_EQ(r.info_rate_per_quantum(), 0.0);
+}
+
+}  // namespace

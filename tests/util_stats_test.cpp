@@ -1,0 +1,119 @@
+#include "ccap/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ccap::util::Histogram;
+using ccap::util::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0U);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    RunningStats all, a, b;
+    const std::vector<double> xs = {1.0, 2.5, -3.0, 4.0, 0.5, 6.25, 7.0};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        all.add(xs[i]);
+        (i < 3 ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, CiHalfwidthShrinks) {
+    RunningStats small, large;
+    for (int i = 0; i < 10; ++i) small.add(i % 2);
+    for (int i = 0; i < 1000; ++i) large.add(i % 2);
+    EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(Histogram, BinsAndEdges) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5U);
+    EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.6);
+    h.add(0.7);
+    h.add(-1.0);
+    h.add(2.0);
+    h.add(1.0);  // hi edge counts as overflow (half-open range)
+    EXPECT_EQ(h.bin_count(0), 1U);
+    EXPECT_EQ(h.bin_count(1), 2U);
+    EXPECT_EQ(h.underflow(), 1U);
+    EXPECT_EQ(h.overflow(), 2U);
+    EXPECT_EQ(h.total(), 6U);
+}
+
+TEST(Histogram, BadConstructionThrows) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinCountBoundsChecked) {
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW((void)h.bin_count(2), std::out_of_range);
+    EXPECT_THROW((void)h.bin_low(2), std::out_of_range);
+}
+
+TEST(FreeFunctions, MeanOf) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(ccap::util::mean_of(xs), 2.0);
+    EXPECT_DOUBLE_EQ(ccap::util::mean_of({}), 0.0);
+}
+
+TEST(FreeFunctions, Percentile) {
+    const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(ccap::util::percentile_of(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ccap::util::percentile_of(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(ccap::util::percentile_of(xs, 50.0), 2.5);
+    EXPECT_THROW((void)ccap::util::percentile_of(xs, 101.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(ccap::util::percentile_of({}, 50.0), 0.0);
+}
+
+}  // namespace

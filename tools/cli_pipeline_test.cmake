@@ -1,0 +1,22 @@
+# simulate -> analyze round trip through real files.
+execute_process(
+  COMMAND ${CCAP_BIN} simulate --pd 0.15 --pi 0.05 --bits 2 --len 4000 --seed 9
+          --sent ${WORK_DIR}/cli_sent.txt --received ${WORK_DIR}/cli_recv.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed: ${rc}")
+endif()
+if(NOT DEFINED ESTIMATOR)
+  set(ESTIMATOR mle)
+endif()
+execute_process(
+  COMMAND ${CCAP_BIN} analyze --sent ${WORK_DIR}/cli_sent.txt
+          --received ${WORK_DIR}/cli_recv.txt --bits 2 --estimator ${ESTIMATOR}
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze failed: ${rc}")
+endif()
+if(NOT out MATCHES "P_d = 0\\.1")
+  message(FATAL_ERROR "analyze did not recover P_d ~ 0.15: ${out}")
+endif()
