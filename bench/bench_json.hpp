@@ -1,0 +1,87 @@
+// Machine-readable timing output for the bench harnesses.
+//
+// Each harness section that wants to be tracked across PRs builds a
+// BenchJson, adds flat key/value fields, and calls write(): the record is
+// echoed to stdout as one `BENCH_JSON {...}` line (greppable in CI logs)
+// and persisted as BENCH_<name>.json in the working directory, so perf
+// trajectories can be diffed commit to commit without scraping tables.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccap::bench {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Flat-object JSON record writer (insertion order preserved).
+class BenchJson {
+public:
+    explicit BenchJson(std::string name) : name_(std::move(name)) {
+        field("name", name_);
+    }
+
+    BenchJson& field(const std::string& key, const std::string& value) {
+        entries_.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+    BenchJson& field(const std::string& key, double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        entries_.emplace_back(key, buf);
+        return *this;
+    }
+    BenchJson& field(const std::string& key, std::uint64_t value) {
+        entries_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+    BenchJson& field(const std::string& key, int value) {
+        entries_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    /// Render `{"k":v,...}` in insertion order.
+    [[nodiscard]] std::string render() const {
+        std::string out = "{";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (i) out += ",";
+            out += "\"" + entries_[i].first + "\":" + entries_[i].second;
+        }
+        out += "}";
+        return out;
+    }
+
+    /// Echo to stdout and persist BENCH_<name>.json next to the binary's CWD.
+    void write() const {
+        const std::string body = render();
+        std::printf("BENCH_JSON %s\n", body.c_str());
+        const std::string path = "BENCH_" + name_ + ".json";
+        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f, "%s\n", body.c_str());
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "BENCH_JSON: could not write %s\n", path.c_str());
+        }
+    }
+
+private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace ccap::bench

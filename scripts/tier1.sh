@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + tests, then the concurrency suite under TSan.
+#
+#   ./scripts/tier1.sh            # both stages
+#   CCAP_SKIP_TSAN=1 ./scripts/tier1.sh   # standard stage only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: standard build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${CCAP_SKIP_TSAN:-0}" == "1" ]]; then
+    echo "== tier1: TSan stage skipped (CCAP_SKIP_TSAN=1) =="
+    exit 0
+fi
+
+echo "== tier1: thread-pool + parallel-MC tests under -fsanitize=thread =="
+cmake -B build-tsan -S . \
+    -DCCAP_SANITIZE=thread \
+    -DCCAP_BUILD_BENCH=OFF \
+    -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target ccap_util_tests ccap_info_tests
+(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc')
+echo "== tier1: OK =="

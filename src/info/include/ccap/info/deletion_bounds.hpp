@@ -55,11 +55,29 @@ struct MiEstimate {
     std::size_t block_len = 0;
 };
 
+/// Knobs shared by the Monte-Carlo mutual-information estimators.
+///
+/// Parallelism contract: the estimators consume exactly one draw from the
+/// caller's Rng to form a root seed, then give every block its own
+/// substream (util::substream_seed) and fold the per-block samples in
+/// block order. The returned MiEstimate is therefore bit-identical for
+/// every `threads` value — threads only changes wall-clock time.
+struct McOptions {
+    std::size_t block_len = 64;   ///< symbols per sampled block
+    std::size_t num_blocks = 16;  ///< independent blocks to average
+    unsigned threads = 0;         ///< worker cap; 0 = hardware concurrency, 1 = serial
+};
+
 /// Monte-Carlo achievable rate of the deletion-insertion(-substitution)
 /// channel with iid uniform inputs: E[log2 P(Y|X) - log2 P(Y)] / block_len.
 /// This lower-bounds the true (no-feedback) capacity up to O(1/block_len)
 /// edge effects and the lattice truncations (both only push the estimate
-/// down). Deterministic given `rng` state.
+/// down). Deterministic given `rng` state and invariant in opts.threads.
+[[nodiscard]] MiEstimate iid_mutual_information_rate(const DriftParams& params,
+                                                     const McOptions& opts, util::Rng& rng);
+
+/// Back-compatible convenience overload; equivalent to McOptions{block_len,
+/// num_blocks, 0} (parallel over all hardware threads).
 [[nodiscard]] MiEstimate iid_mutual_information_rate(const DriftParams& params,
                                                      std::size_t block_len,
                                                      std::size_t num_blocks, util::Rng& rng);
@@ -74,7 +92,14 @@ struct MiEstimate {
 /// the Davey-MacKay observation that run-length-biased inputs beat iid on
 /// deletion channels, quantified. The marginal log2 P(Y) runs over the
 /// joint (drift, previous-symbol) lattice. With MarkovSource::uniform this
-/// reduces (statistically) to iid_mutual_information_rate.
+/// reduces (statistically) to iid_mutual_information_rate. Same seeding
+/// and threads contract as the iid estimator (see McOptions).
+[[nodiscard]] MiEstimate markov_mutual_information_rate(const DriftParams& params,
+                                                        const MarkovSource& source,
+                                                        const McOptions& opts, util::Rng& rng);
+
+/// Back-compatible convenience overload; equivalent to McOptions{block_len,
+/// num_blocks, 0} (parallel over all hardware threads).
 [[nodiscard]] MiEstimate markov_mutual_information_rate(const DriftParams& params,
                                                         const MarkovSource& source,
                                                         std::size_t block_len,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ccap/info/entropy.hpp"
+#include "ccap/util/thread_pool.hpp"
 
 namespace ccap::info {
 
@@ -80,57 +81,79 @@ std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source, uns
     source.validate(alphabet);
     std::vector<std::uint8_t> out(length);
     if (length == 0) return out;
-    std::size_t s = rng.categorical(source.initial);
-    if (s >= alphabet) s = alphabet - 1;
-    out[0] = static_cast<std::uint8_t>(s);
-    for (std::size_t i = 1; i < length; ++i) {
-        std::size_t nxt = rng.categorical(source.transition.row(out[i - 1]));
-        if (nxt >= alphabet) nxt = alphabet - 1;
-        out[i] = static_cast<std::uint8_t>(nxt);
-    }
+    // categorical guarantees an in-range draw for the validated (hence
+    // non-empty, stochastic) rows, so no clamping is needed.
+    out[0] = static_cast<std::uint8_t>(rng.categorical(source.initial));
+    for (std::size_t i = 1; i < length; ++i)
+        out[i] = static_cast<std::uint8_t>(rng.categorical(source.transition.row(out[i - 1])));
     return out;
+}
+
+namespace {
+
+/// Shared scaffolding of the two Monte-Carlo estimators: one root seed is
+/// split off the caller's Rng, every block runs on its own substream, and
+/// the per-block samples are folded in block order — the result cannot
+/// depend on the thread count or on scheduling.
+template <typename BlockFn>
+MiEstimate parallel_mc_estimate(const McOptions& opts, util::Rng& rng, BlockFn&& sample_block) {
+    const std::uint64_t root = rng.next();
+    std::vector<double> samples(opts.num_blocks, 0.0);
+    util::parallel_for(
+        util::ThreadPool::shared(), opts.num_blocks,
+        [&](std::size_t b) {
+            util::Rng block_rng(util::substream_seed(root, b));
+            samples[b] = sample_block(block_rng);
+        },
+        opts.threads);
+    util::RunningStats stats;
+    for (double v : samples) stats.add(v);
+    return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
+}
+
+}  // namespace
+
+MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
+                                          const McOptions& opts, util::Rng& rng) {
+    params.validate();
+    source.validate(params.alphabet);
+    if (opts.block_len == 0 || opts.num_blocks == 0)
+        throw std::invalid_argument("markov_mutual_information_rate: empty experiment");
+
+    const DriftHmm hmm(params);
+    return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
+        const std::vector<std::uint8_t> tx =
+            simulate_markov_source(source, params.alphabet, opts.block_len, block_rng);
+        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
+        const double log_cond = hmm.log2_likelihood(tx, rx);
+        const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx);
+        if (!std::isfinite(log_cond) || !std::isfinite(log_marg))
+            return 0.0;  // outside the truncation: score zero information
+        return (log_cond - log_marg) / static_cast<double>(opts.block_len);
+    });
 }
 
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
                                           std::size_t block_len, std::size_t num_blocks,
                                           util::Rng& rng) {
-    params.validate();
-    source.validate(params.alphabet);
-    if (block_len == 0 || num_blocks == 0)
-        throw std::invalid_argument("markov_mutual_information_rate: empty experiment");
-
-    const DriftHmm hmm(params);
-    util::RunningStats stats;
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-        const std::vector<std::uint8_t> tx =
-            simulate_markov_source(source, params.alphabet, block_len, rng);
-        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
-        const double log_cond = hmm.log2_likelihood(tx, rx);
-        const double log_marg = hmm.log2_markov_marginal(source, block_len, rx);
-        if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
-            stats.add(0.0);  // outside the truncation: score zero information
-            continue;
-        }
-        stats.add((log_cond - log_marg) / static_cast<double>(block_len));
-    }
-    return {std::max(0.0, stats.mean()), stats.sem(), num_blocks, block_len};
+    return markov_mutual_information_rate(params, source, McOptions{block_len, num_blocks, 0},
+                                          rng);
 }
 
-MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t block_len,
-                                       std::size_t num_blocks, util::Rng& rng) {
+MiEstimate iid_mutual_information_rate(const DriftParams& params, const McOptions& opts,
+                                       util::Rng& rng) {
     params.validate();
-    if (block_len == 0 || num_blocks == 0)
+    if (opts.block_len == 0 || opts.num_blocks == 0)
         throw std::invalid_argument("iid_mutual_information_rate: empty experiment");
 
     const DriftHmm hmm(params);
     const unsigned m = params.alphabet;
-    util::Matrix uniform_priors(block_len, m, 1.0 / static_cast<double>(m));
+    const util::Matrix uniform_priors(opts.block_len, m, 1.0 / static_cast<double>(m));
 
-    util::RunningStats stats;
-    std::vector<std::uint8_t> tx(block_len);
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(m));
-        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
+    return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
+        std::vector<std::uint8_t> tx(opts.block_len);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
+        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
 
         const double log_cond = hmm.log2_likelihood(tx, rx);
         double log_marg = 0.0;
@@ -138,12 +161,15 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t bl
         if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
             // Block fell outside the lattice truncation; score it zero
             // information, preserving the lower-bound semantics.
-            stats.add(0.0);
-            continue;
+            return 0.0;
         }
-        stats.add((log_cond - log_marg) / static_cast<double>(block_len));
-    }
-    return {std::max(0.0, stats.mean()), stats.sem(), num_blocks, block_len};
+        return (log_cond - log_marg) / static_cast<double>(opts.block_len);
+    });
+}
+
+MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t block_len,
+                                       std::size_t num_blocks, util::Rng& rng) {
+    return iid_mutual_information_rate(params, McOptions{block_len, num_blocks, 0}, rng);
 }
 
 }  // namespace ccap::info

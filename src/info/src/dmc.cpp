@@ -24,8 +24,7 @@ std::vector<double> Dmc::output_distribution(std::span<const double> input) cons
 
 std::size_t Dmc::sample(std::size_t x, util::Rng& rng) const {
     if (x >= w_.rows()) throw std::out_of_range("Dmc::sample: input symbol out of range");
-    const std::size_t y = rng.categorical(w_.row(x));
-    return y < w_.cols() ? y : w_.cols() - 1;
+    return rng.categorical(w_.row(x));  // in-range for the stochastic row
 }
 
 std::vector<std::size_t> Dmc::transduce(std::span<const std::size_t> inputs,

@@ -71,6 +71,8 @@ struct DriftHmm::Lattice {
     std::size_t width;             // 2*d_max + 1
     double inv_m_alpha;            // 1/M emission prob of an insertion
     std::vector<double> ins_pow;   // (p_i / M)^g for g = 0..max_insert_run
+    std::vector<double> emit_tab;  // M x M substitution table, row-major [r][s]
+    std::vector<double> trail_pow; // (p_i / M)^k for k = 0..m (trailing runs)
 
     Lattice(const DriftParams& params, std::span<const std::uint8_t> received, std::size_t tx_len)
         : p(params),
@@ -84,6 +86,17 @@ struct DriftHmm::Lattice {
         ins_pow[0] = 1.0;
         for (std::size_t g = 1; g < ins_pow.size(); ++g)
             ins_pow[g] = ins_pow[g - 1] * p.p_i * inv_m_alpha;
+        // Hoist the per-cell emission branch into one M x M table; emit()
+        // runs in the innermost (j, d, g) loops of every pass.
+        const auto m_alpha = static_cast<std::size_t>(p.alphabet);
+        const double p_sub = p.p_s / (static_cast<double>(p.alphabet) - 1.0);
+        emit_tab.assign(m_alpha * m_alpha, p_sub);
+        for (std::size_t s = 0; s < m_alpha; ++s) emit_tab[s * m_alpha + s] = 1.0 - p.p_s;
+        // Trailing-run lengths are bounded by the received length; a table
+        // replaces the std::pow call in trailing().
+        trail_pow.resize(m + 1);
+        trail_pow[0] = 1.0;
+        for (std::size_t k = 1; k <= m; ++k) trail_pow[k] = trail_pow[k - 1] * p.p_i * inv_m_alpha;
     }
 
     [[nodiscard]] std::size_t idx(int d) const noexcept {
@@ -95,17 +108,16 @@ struct DriftHmm::Lattice {
         return r >= 0 && r <= static_cast<long long>(m);
     }
 
-    /// P(received symbol r | transmitted symbol s).
+    /// P(received symbol r | transmitted symbol s): emission-table lookup.
     [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const noexcept {
-        if (r == s) return 1.0 - p.p_s;
-        return p.p_s / (static_cast<double>(p.alphabet) - 1.0);
+        return emit_tab[static_cast<std::size_t>(r) * p.alphabet + s];
     }
 
     /// Emission averaged over a prior q(s) for received symbol r.
     [[nodiscard]] double emit_prior(std::uint8_t r, std::span<const double> q) const noexcept {
+        const double* row = emit_tab.data() + static_cast<std::size_t>(r) * p.alphabet;
         double e = 0.0;
-        for (std::size_t s = 0; s < q.size(); ++s)
-            e += q[s] * emit(r, static_cast<std::uint8_t>(s));
+        for (std::size_t s = 0; s < q.size(); ++s) e += q[s] * row[s];
         return e;
     }
 
@@ -113,7 +125,7 @@ struct DriftHmm::Lattice {
     [[nodiscard]] double trailing(int d) const noexcept {
         const long long k = static_cast<long long>(m) - (static_cast<long long>(n) + d);
         if (k < 0) return 0.0;
-        return std::pow(p.p_i * inv_m_alpha, static_cast<double>(k)) * (1.0 - p.p_i);
+        return trail_pow[static_cast<std::size_t>(k)] * (1.0 - p.p_i);
     }
 
     /// Forward pass. `prior_row(j)` must return a span of M prior

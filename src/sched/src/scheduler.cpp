@@ -67,8 +67,7 @@ public:
         weights_.clear();
         for (std::size_t idx : runnable)
             weights_.push_back(static_cast<double>(processes[idx]->tickets()));
-        const std::size_t w = rng.categorical(weights_);
-        return runnable[w < runnable.size() ? w : runnable.size() - 1];
+        return runnable[rng.categorical(weights_)];  // in-range even for zero tickets
     }
 
 private:

@@ -23,6 +23,17 @@ namespace ccap::util {
     return z ^ (z >> 31);
 }
 
+/// Seed of the `index`-th parallel substream of a root seed. Stateless and
+/// order-free: worker k can seed Rng(substream_seed(root, k)) without
+/// touching any shared generator, so a parallel Monte-Carlo run is
+/// bit-identical for every thread count. Distinct indices land on distinct
+/// SplitMix64 golden-ratio offsets, giving well-separated xoshiro states.
+[[nodiscard]] constexpr std::uint64_t substream_seed(std::uint64_t root,
+                                                    std::uint64_t index) noexcept {
+    std::uint64_t state = root + 0x9E3779B97F4A7C15ULL * index;
+    return splitmix64(state);
+}
+
 /// xoshiro256** 1.0 — deterministic, seedable, 2^256-1 period.
 class Rng {
 public:
@@ -71,7 +82,9 @@ public:
     [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
 
     /// Sample an index from an (unnormalized) non-negative weight vector.
-    /// Returns weights.size() if all weights are zero/empty.
+    /// For non-empty weights the result is always in range: a degenerate
+    /// all-zero vector falls back to a uniform draw rather than a biased
+    /// fixed index. Empty weights return 0 (there is no valid index).
     [[nodiscard]] std::size_t categorical(std::span<const double> weights) noexcept;
 
     /// Geometric: number of failures before first success, success prob p in (0,1].

@@ -1,0 +1,103 @@
+// Dependency-free thread pool with deterministic fork-join helpers.
+//
+// The Monte-Carlo estimators and parameter sweeps are embarrassingly
+// parallel, but the repo's contract is bit-reproducibility: the same seed
+// must give the same answer no matter how many threads run. The pool
+// therefore never owns randomness or reduction order — callers index work
+// by a stable integer, workers race only over *which* index they grab
+// next, and results are written (and later combined) strictly by index.
+//
+// Concurrency model:
+//   * ThreadPool owns N workers draining one FIFO task queue.
+//   * parallel_for(pool, n, body) runs body(0..n-1); the calling thread
+//     participates, so a pool of size 0 still makes progress and a
+//     max_threads of 1 is exactly serial inline execution.
+//   * A caller waiting for its own chunk helps drain the pool queue
+//     (ThreadPool::try_run_one), which makes nested parallel_for calls
+//     issued from inside pool tasks deadlock-free.
+//   * The first exception (by lowest index) thrown from a body is
+//     rethrown on the caller, after the whole index range was visited —
+//     deterministic error reporting under any interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ccap::util {
+
+class ThreadPool {
+public:
+    /// Spawn `num_threads` workers; 0 means std::thread::hardware_concurrency
+    /// (itself falling back to 1 when the platform reports 0).
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /// Runs every task already submitted, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (excluding callers that help via
+    /// parallel_for / try_run_one).
+    [[nodiscard]] unsigned size() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Enqueue a fire-and-forget task. Tasks must not let exceptions
+    /// escape (parallel_for's bodies are wrapped; raw submitters are on
+    /// their own — an escaping exception terminates the process).
+    /// Throws std::runtime_error if the pool is shutting down.
+    void submit(std::function<void()> task);
+
+    /// Pop and run one queued task on the calling thread. Returns false
+    /// when the queue is empty. This is the help-while-waiting hook that
+    /// makes nested fork-joins safe.
+    bool try_run_one();
+
+    /// Process-wide shared pool, sized to hardware concurrency on first
+    /// use. Intended for library hot paths (MC estimators, sweeps) so
+    /// they compose without oversubscribing.
+    [[nodiscard]] static ThreadPool& shared();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/// Run body(i) for every i in [0, n), using the calling thread plus up to
+/// max_threads-1 pool workers (max_threads = 0 means pool.size() + 1).
+/// Blocks until the whole range is done. Rethrows the lowest-index
+/// exception thrown by any body. Safe to call from inside pool tasks.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned max_threads = 0);
+
+/// Deterministic map-reduce: computes map(i) for every i in [0, n) in
+/// parallel, then folds the results *in index order* on the calling
+/// thread: acc = combine(acc, map(0)), combine(acc, map(1)), ... The
+/// result is therefore independent of thread count even for
+/// non-associative combines (floating-point merges included).
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t n, T init, MapFn&& map,
+                                CombineFn&& combine, unsigned max_threads = 0) {
+    std::vector<std::optional<T>> partial(n);
+    parallel_for(
+        pool, n, [&](std::size_t i) { partial[i].emplace(map(i)); }, max_threads);
+    T acc = std::move(init);
+    for (auto& p : partial) acc = combine(std::move(acc), std::move(*p));
+    return acc;
+}
+
+}  // namespace ccap::util

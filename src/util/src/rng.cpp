@@ -16,9 +16,12 @@ std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
 }
 
 std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+    if (weights.empty()) return 0;
     double total = 0.0;
     for (double w : weights) total += (w > 0.0 ? w : 0.0);
-    if (total <= 0.0) return weights.size();
+    // Degenerate all-zero weights: uniform is the only unbiased answer that
+    // keeps the result in range (a clamped fixed index would skew samplers).
+    if (total <= 0.0) return uniform_below(weights.size());
     double target = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         const double w = weights[i] > 0.0 ? weights[i] : 0.0;
@@ -28,7 +31,7 @@ std::size_t Rng::categorical(std::span<const double> weights) noexcept {
     // Floating-point round-off: fall back to the last positive weight.
     for (std::size_t i = weights.size(); i-- > 0;)
         if (weights[i] > 0.0) return i;
-    return weights.size();
+    return weights.size() - 1;  // unreachable (total > 0), kept for safety
 }
 
 std::uint64_t Rng::geometric(double p) noexcept {

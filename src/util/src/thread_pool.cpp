@@ -1,0 +1,149 @@
+#include "ccap/util/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace ccap::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            // Drain the queue even during shutdown: every submitted task runs.
+            if (queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool;  // sized to hardware concurrency; joined at exit
+    return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for: an atomic work cursor plus a
+/// completion latch for the helper tasks pushed onto the pool.
+struct ForkJoin {
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> helpers_left{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    void run_share() noexcept {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body, unsigned max_threads) {
+    if (n == 0) return;
+    unsigned lanes = max_threads != 0 ? max_threads : pool.size() + 1;
+    if (static_cast<std::size_t>(lanes) > n) lanes = static_cast<unsigned>(n);
+    if (lanes <= 1) {
+        // Exactly-serial path: no pool traffic, no synchronization.
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    const auto state = std::make_shared<ForkJoin>();
+    state->n = n;
+    state->body = &body;
+    const unsigned helpers = lanes - 1;
+    state->helpers_left.store(helpers, std::memory_order_relaxed);
+    for (unsigned h = 0; h < helpers; ++h) {
+        pool.submit([state] {
+            state->run_share();
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (state->helpers_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                state->done_cv.notify_all();
+        });
+    }
+
+    state->run_share();
+
+    // The range is fully claimed; wait for helpers still running (or still
+    // queued — run them ourselves, which keeps nested fork-joins live).
+    std::unique_lock<std::mutex> lock(state->mutex);
+    while (state->helpers_left.load(std::memory_order_acquire) != 0) {
+        lock.unlock();
+        if (!pool.try_run_one()) {
+            lock.lock();
+            state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+                return state->helpers_left.load(std::memory_order_acquire) == 0;
+            });
+        } else {
+            lock.lock();
+        }
+    }
+    if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace ccap::util

@@ -113,10 +113,19 @@ TEST(Rng, CategoricalRespectsWeights) {
     EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
 }
 
-TEST(Rng, CategoricalAllZeroReturnsSize) {
+TEST(Rng, CategoricalAllZeroFallsBackToUniform) {
+    // Degenerate all-zero weights must still give an in-range, unbiased
+    // index (the old out-of-range sentinel forced biased clamps on callers).
     Rng rng(14);
     const std::array<double, 4> weights = {0.0, 0.0, 0.0, 0.0};
-    EXPECT_EQ(rng.categorical(weights), weights.size());
+    std::array<int, 4> counts{};
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const std::size_t k = rng.categorical(weights);
+        ASSERT_LT(k, weights.size());
+        ++counts[k];
+    }
+    for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / kN, 0.25, 0.02);
 }
 
 TEST(Rng, CategoricalEmpty) {

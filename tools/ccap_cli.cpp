@@ -5,12 +5,19 @@
 //   analyze   estimate parameters from sent/received trace files and report
 //   simulate  generate sent/received traces through a Definition-1 channel
 //   sweep     CSV of the capacity band over a (P_d, P_i) grid
+//   mi        Monte-Carlo achievable rate through the drift lattice
+//
+// Parallelism: `--threads N` caps the worker threads used by the
+// Monte-Carlo estimators and the sweep grid (default: one per hardware
+// thread; 1 forces serial execution). Results are bit-identical for every
+// thread count — see docs/THEORY.md §10.
 //
 // Examples:
 //   ccap bounds --pd 0.15 --pi 0.05 --bits 2 --uses-per-sec 100
 //   ccap simulate --pd 0.2 --len 5000 --sent sent.txt --received recv.txt
 //   ccap analyze --sent sent.txt --received recv.txt --bits 1
 //   ccap sweep --bits 4 > band.csv
+//   ccap mi --pd 0.1 --pi 0.05 --block 128 --blocks 64 --threads 8
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +30,8 @@
 #include "ccap/estimate/report.hpp"
 #include "ccap/estimate/changepoint.hpp"
 #include "ccap/estimate/trace_io.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/util/thread_pool.hpp"
 
 namespace {
 
@@ -66,6 +75,14 @@ core::DiChannelParams params_from(const Args& args) {
     p.bits_per_symbol = static_cast<unsigned>(args.number("bits", 1));
     p.validate();
     return p;
+}
+
+/// Worker-thread cap shared by the parallel subcommands: 0 (the default)
+/// means one lane per hardware thread, 1 forces serial execution.
+unsigned threads_from(const Args& args) {
+    const double t = args.number("threads", 0.0);
+    if (t < 0.0) throw std::runtime_error("--threads must be >= 0");
+    return static_cast<unsigned>(t);
 }
 
 int cmd_bounds(const Args& args) {
@@ -136,17 +153,55 @@ int cmd_windows(const Args& args) {
 
 int cmd_sweep(const Args& args) {
     const auto bits = static_cast<unsigned>(args.number("bits", 1));
-    std::printf("p_d,p_i,thm5_lower,exact,thm1_upper,degraded\n");
-    for (double pd = 0.0; pd <= 0.501; pd += 0.05) {
-        for (double pi = 0.0; pi <= 0.301; pi += 0.05) {
-            if (pd + pi >= 1.0) continue;
+    const unsigned threads = threads_from(args);
+    // Materialize the grid, evaluate the points in parallel, print in order.
+    std::vector<std::pair<double, double>> grid;
+    for (double pd = 0.0; pd <= 0.501; pd += 0.05)
+        for (double pi = 0.0; pi <= 0.301; pi += 0.05)
+            if (pd + pi < 1.0) grid.emplace_back(pd, pi);
+    std::vector<std::string> rows(grid.size());
+    util::parallel_for(
+        util::ThreadPool::shared(), grid.size(),
+        [&](std::size_t i) {
+            const auto [pd, pi] = grid[i];
             const core::DiChannelParams p{pd, pi, 0.0, bits};
             const auto band = core::capacity_band(p);
-            std::printf("%.2f,%.2f,%.4f,%.4f,%.4f,%.4f\n", pd, pi, band.lower,
-                        band.exact_protocol, band.upper,
-                        core::degraded_capacity(static_cast<double>(bits), p));
-        }
+            char line[128];
+            std::snprintf(line, sizeof line, "%.2f,%.2f,%.4f,%.4f,%.4f,%.4f\n", pd, pi,
+                          band.lower, band.exact_protocol, band.upper,
+                          core::degraded_capacity(static_cast<double>(bits), p));
+            rows[i] = line;
+        },
+        threads);
+    std::printf("p_d,p_i,thm5_lower,exact,thm1_upper,degraded\n");
+    for (const auto& row : rows) std::fputs(row.c_str(), stdout);
+    return 0;
+}
+
+int cmd_mi(const Args& args) {
+    info::DriftParams p;
+    p.p_d = args.number("pd", 0.0);
+    p.p_i = args.number("pi", 0.0);
+    p.p_s = args.number("ps", 0.0);
+    p.alphabet = 1U << static_cast<unsigned>(args.number("bits", 1));
+    info::McOptions opts;
+    opts.block_len = static_cast<std::size_t>(args.number("block", 128));
+    opts.num_blocks = static_cast<std::size_t>(args.number("blocks", 32));
+    opts.threads = threads_from(args);
+    util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+
+    const double stay = args.number("markov-stay", -1.0);
+    info::MiEstimate est;
+    if (stay >= 0.0) {
+        est = info::markov_mutual_information_rate(
+            p, info::MarkovSource::binary_repeat(stay), opts, rng);
+    } else {
+        est = info::iid_mutual_information_rate(p, opts, rng);
     }
+    std::printf("achievable rate: %.4f bits/use (sem %.4f, 95%% CI +-%.4f)\n", est.rate,
+                est.sem, 1.96 * est.sem);
+    std::printf("blocks: %zu x %zu symbols, threads: %u\n", est.blocks, est.block_len,
+                opts.threads);
     return 0;
 }
 
@@ -158,8 +213,12 @@ void usage() {
         "            --estimator mle|em|align]\n"
         "  simulate  --sent FILE --received FILE [--pd X --pi Y --ps Z --bits N\n"
         "            --len L --seed S]\n"
-        "  sweep     [--bits N]\n"
-        "  windows   --sent FILE --received FILE [--window W]\n",
+        "  sweep     [--bits N --threads T]\n"
+        "  mi        [--pd X --pi Y --ps Z --bits N --block L --blocks K\n"
+        "            --seed S --threads T --markov-stay Q]\n"
+        "  windows   --sent FILE --received FILE [--window W]\n"
+        "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
+        "Monte-Carlo results are bit-identical for every --threads value.\n",
         stderr);
 }
 
@@ -177,6 +236,7 @@ int main(int argc, char** argv) {
         if (command == "analyze") return cmd_analyze(args);
         if (command == "simulate") return cmd_simulate(args);
         if (command == "sweep") return cmd_sweep(args);
+        if (command == "mi") return cmd_mi(args);
         if (command == "windows") return cmd_windows(args);
         usage();
         return 2;
