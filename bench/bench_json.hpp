@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,15 @@ class BenchJson {
 public:
     explicit BenchJson(std::string name) : name_(std::move(name)) {
         field("name", name_);
+        // Provenance fields so checked-in BENCH_* records are attributable:
+        // the commit the binary was built from (CCAP_GIT_REV is injected by
+        // bench/CMakeLists.txt) and the hardware thread budget.
+#ifdef CCAP_GIT_REV
+        field("git_rev", std::string(CCAP_GIT_REV));
+#else
+        field("git_rev", std::string("unknown"));
+#endif
+        field("threads", static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     }
 
     BenchJson& field(const std::string& key, const std::string& value) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and fail on perf/quality regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+                             [--lenient]
+
+Each file holds one flat JSON object as written by bench/bench_json.hpp.
+Metrics (numeric fields) present in BOTH files are compared; fields present
+in only one side are reported but never fatal (benches grow fields over
+time). A metric regresses when it worsens by more than --threshold
+(default 25%) relative to the baseline. Direction is inferred from the
+name: fields matching *_ns*, *ns_sym*, *seconds*, *error*, *slack* are
+better-lower; fields matching *speedup*, *rate*, *identical*, *certified*
+are better-higher; anything else is informational only.
+
+--lenient downgrades regressions in *timing* metrics to warnings (shared
+machines make wall-clocks noisy) while still failing on non-timing
+regressions such as bit_identical flipping to 0. scripts/tier1.sh uses
+this mode when a checked-in baseline exists.
+
+Exit status: 0 = no fatal regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
+HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits")
+TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup")
+# Provenance / configuration fields are never compared.
+SKIP = {"name", "git_rev", "threads", "p_d", "p_i", "p_s", "band_eps"}
+
+
+def classify(key: str):
+    """Return ('lower'|'higher'|None, is_timing) for a metric name."""
+    k = key.lower()
+    direction = None
+    if any(m in k for m in LOWER_IS_BETTER):
+        direction = "lower"
+    if any(m in k for m in HIGHER_IS_BETTER):
+        # Names matching both (e.g. "error_rate") are ambiguous: skip.
+        direction = None if direction else "higher"
+    return direction, any(m in k for m in TIMING_MARKERS)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"bench_compare: {path} is not a flat JSON object", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fractional worsening that counts as a regression (default 0.25)")
+    ap.add_argument("--lenient", action="store_true",
+                    help="timing regressions warn instead of fail")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    shared = [k for k in base if k in cand and k not in SKIP]
+    only_base = [k for k in base if k not in cand and k not in SKIP]
+    only_cand = [k for k in cand if k not in base and k not in SKIP]
+    for k in only_base:
+        print(f"  note: metric '{k}' only in baseline")
+    for k in only_cand:
+        print(f"  note: metric '{k}' only in candidate")
+
+    failures = 0
+    for key in shared:
+        b, c = base[key], cand[key]
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        direction, is_timing = classify(key)
+        if direction is None:
+            continue
+        if direction == "lower":
+            # Worsening = candidate larger. Guard b == 0 (can't form a ratio:
+            # any nonzero candidate of a zero baseline is flagged).
+            regressed = c > b * (1.0 + args.threshold) if b > 0 else c > 0
+            delta = (c - b) / b if b > 0 else float("inf")
+        else:
+            regressed = c < b * (1.0 - args.threshold) if b > 0 else False
+            delta = (b - c) / b if b > 0 else 0.0
+        status = "ok"
+        if regressed:
+            if args.lenient and is_timing:
+                status = "WARN (lenient)"
+            else:
+                status = "REGRESSION"
+                failures += 1
+        print(f"  {key}: baseline={b:g} candidate={c:g} ({delta:+.1%} worse-side) {status}")
+
+    if failures:
+        print(f"bench_compare: {failures} metric(s) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: no fatal regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

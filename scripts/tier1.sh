@@ -11,6 +11,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+# Bench-regression gate: when a checked-in BENCH_* baseline exists and the
+# build produced a fresh record of the same name (smoke runs write
+# build/BENCH_*.json), diff them. --lenient: wall-clock metrics only warn
+# (shared machines are noisy); non-timing metrics (bit_identical,
+# certified error bounds) still fail the gate.
+for baseline in BENCH_*.json; do
+    [[ -e "$baseline" ]] || continue
+    for candidate in "build/bench_build/$baseline" "build/$baseline"; do
+        if [[ -f "$candidate" ]]; then
+            echo "== tier1: bench_compare $baseline vs $candidate =="
+            python3 scripts/bench_compare.py "$baseline" "$candidate" --lenient
+            break
+        fi
+    done
+done
+
 if [[ "${CCAP_SKIP_TSAN:-0}" == "1" ]]; then
     echo "== tier1: TSan stage skipped (CCAP_SKIP_TSAN=1) =="
     exit 0

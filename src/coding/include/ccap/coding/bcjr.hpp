@@ -10,6 +10,10 @@
 
 #include "ccap/coding/convolutional.hpp"
 
+namespace ccap::info {
+class LatticeWorkspace;  // ccap/info/lattice_engine.hpp
+}
+
 namespace ccap::coding {
 
 struct BcjrResult {
@@ -21,8 +25,14 @@ struct BcjrResult {
 
 /// MAP decode from per-code-bit probabilities of being 1. `p_one.size()`
 /// must equal steps * rate_denominator with steps >= K-1 (terminated).
+/// The workspace overload runs the alpha/beta trellis in caller-owned flat
+/// arenas (ccap/info/lattice_engine.hpp) — allocation-free when the
+/// workspace is reused; the other overload leases a thread-local one.
 [[nodiscard]] BcjrResult bcjr_decode(const ConvolutionalCode& code,
                                      std::span<const double> p_one);
+[[nodiscard]] BcjrResult bcjr_decode(const ConvolutionalCode& code,
+                                     std::span<const double> p_one,
+                                     info::LatticeWorkspace& ws);
 
 /// Convenience: hard-decision input with crossover probability p
 /// (BSC observation model).

@@ -64,9 +64,16 @@ public:
         bool ldpc_converged = false;
         int ldpc_iterations = 0;
     };
+    /// The workspace overload runs the inner drift-HMM trellis in
+    /// caller-owned flat arenas (ccap/info/lattice_engine.hpp), making
+    /// repeated decodes allocation-free on the lattice side; the other
+    /// overload leases a thread-local workspace.
     [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> received,
                                       const info::DriftParams& channel,
                                       int ldpc_iterations = 60) const;
+    [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> received,
+                                      const info::DriftParams& channel, int ldpc_iterations,
+                                      info::LatticeWorkspace& ws) const;
 
 private:
     WatermarkParams params_;

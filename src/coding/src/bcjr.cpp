@@ -1,11 +1,20 @@
 #include "ccap/coding/bcjr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "ccap/info/lattice_engine.hpp"
 
 namespace ccap::coding {
 
 BcjrResult bcjr_decode(const ConvolutionalCode& code, std::span<const double> p_one) {
+    info::ScopedWorkspace lease;
+    return bcjr_decode(code, p_one, lease.get());
+}
+
+BcjrResult bcjr_decode(const ConvolutionalCode& code, std::span<const double> p_one,
+                       info::LatticeWorkspace& ws) {
     const unsigned n = code.rate_denominator();
     const unsigned num_states = code.num_states();
     const unsigned k = code.constraint_length();
@@ -28,54 +37,64 @@ BcjrResult bcjr_decode(const ConvolutionalCode& code, std::span<const double> p_
         return p;
     };
 
-    // Forward (alpha) and backward (beta), normalized per step.
-    std::vector<std::vector<double>> alpha(steps + 1, std::vector<double>(num_states, 0.0));
-    std::vector<std::vector<double>> beta(steps + 1, std::vector<double>(num_states, 0.0));
-    alpha[0][0] = 1.0;
+    // Forward (alpha) and backward (beta) over flat row-major arenas,
+    // normalized per step.
+    const std::span<double> alpha = ws.alpha((steps + 1) * num_states);
+    const std::span<double> beta = ws.beta((steps + 1) * num_states);
+    std::fill(alpha.begin(), alpha.begin() + num_states, 0.0);
+    alpha[0] = 1.0;
     for (std::size_t t = 0; t < steps; ++t) {
         const bool forced_zero = t >= info_len;
+        const double* cur = alpha.data() + t * num_states;
+        double* next = alpha.data() + (t + 1) * num_states;
+        std::fill(next, next + num_states, 0.0);
         double norm = 0.0;
         for (std::uint32_t s = 0; s < num_states; ++s) {
-            const double a = alpha[t][s];
+            const double a = cur[s];
             if (a == 0.0) continue;
             for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
                 const auto step = code.step(s, bit);
                 const double v = a * branch_prob(step.output, t) * 0.5;
-                alpha[t + 1][step.next_state] += v;
+                next[step.next_state] += v;
                 norm += v;
             }
         }
         if (norm > 0.0)
-            for (double& v : alpha[t + 1]) v /= norm;
+            for (std::uint32_t s = 0; s < num_states; ++s) next[s] /= norm;
     }
-    beta[steps][0] = 1.0;  // terminated: must end in state 0
+    std::fill(beta.begin() + steps * num_states, beta.begin() + (steps + 1) * num_states, 0.0);
+    beta[steps * num_states] = 1.0;  // terminated: must end in state 0
     for (std::size_t t = steps; t-- > 0;) {
         const bool forced_zero = t >= info_len;
+        double* cur = beta.data() + t * num_states;
+        const double* next = beta.data() + (t + 1) * num_states;
         double norm = 0.0;
         for (std::uint32_t s = 0; s < num_states; ++s) {
             double acc = 0.0;
             for (std::uint8_t bit = 0; bit <= (forced_zero ? 0 : 1); ++bit) {
                 const auto step = code.step(s, bit);
-                acc += branch_prob(step.output, t) * 0.5 * beta[t + 1][step.next_state];
+                acc += branch_prob(step.output, t) * 0.5 * next[step.next_state];
             }
-            beta[t][s] = acc;
+            cur[s] = acc;
             norm += acc;
         }
         if (norm > 0.0)
-            for (double& v : beta[t]) v /= norm;
+            for (std::uint32_t s = 0; s < num_states; ++s) cur[s] /= norm;
     }
 
     BcjrResult res;
     res.posterior_one.resize(info_len);
     res.info.resize(info_len);
     for (std::size_t t = 0; t < info_len; ++t) {
+        const double* arow = alpha.data() + t * num_states;
+        const double* brow = beta.data() + (t + 1) * num_states;
         double w0 = 0.0, w1 = 0.0;
         for (std::uint32_t s = 0; s < num_states; ++s) {
-            const double a = alpha[t][s];
+            const double a = arow[s];
             if (a == 0.0) continue;
             for (std::uint8_t bit = 0; bit <= 1; ++bit) {
                 const auto step = code.step(s, bit);
-                const double v = a * branch_prob(step.output, t) * beta[t + 1][step.next_state];
+                const double v = a * branch_prob(step.output, t) * brow[step.next_state];
                 (bit ? w1 : w0) += v;
             }
         }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "ccap/info/lattice_engine.hpp"
+
 namespace ccap::coding {
 
 std::vector<std::vector<std::uint8_t>> sparse_codebook(unsigned q, unsigned chunk_bits) {
@@ -70,6 +72,14 @@ Bits WatermarkCode::encode(std::span<const std::uint8_t> info) const {
 WatermarkCode::DecodeResult WatermarkCode::decode(std::span<const std::uint8_t> received,
                                                   const info::DriftParams& channel,
                                                   int ldpc_iterations) const {
+    info::ScopedWorkspace lease;
+    return decode(received, channel, ldpc_iterations, lease.get());
+}
+
+WatermarkCode::DecodeResult WatermarkCode::decode(std::span<const std::uint8_t> received,
+                                                  const info::DriftParams& channel,
+                                                  int ldpc_iterations,
+                                                  info::LatticeWorkspace& ws) const {
     check_bits(received, "WatermarkCode::decode");
     const std::size_t n = channel_bits();
     const unsigned q = 1U << params_.bits_per_symbol;
@@ -97,7 +107,7 @@ WatermarkCode::DecodeResult WatermarkCode::decode(std::span<const std::uint8_t> 
         return seg_candidates;
     };
     const util::Matrix likelihoods =
-        hmm.segment_likelihoods(priors, received, params_.chunk_bits, q, provider);
+        hmm.segment_likelihoods(priors, received, params_.chunk_bits, q, provider, ws);
 
     const NbLdpcDecodeResult ldpc_res = ldpc_.decode(likelihoods, ldpc_iterations);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ccap/info/lattice_engine.hpp"
+
 namespace ccap::estimate {
 
 std::size_t Alignment::count(EditOp op) const noexcept {
@@ -34,21 +36,32 @@ Alignment align(std::span<const std::uint32_t> sent, std::span<const std::uint32
     if (n * m > 400'000'000ULL)
         throw std::invalid_argument("align: traces too long for full traceback alignment");
 
-    // dp[i][j] = distance between sent[0..i) and received[0..j).
-    std::vector<std::vector<std::uint32_t>> dp(n + 1, std::vector<std::uint32_t>(m + 1, 0));
-    for (std::size_t i = 0; i <= n; ++i) dp[i][0] = static_cast<std::uint32_t>(i);
-    for (std::size_t j = 0; j <= m; ++j) dp[0][j] = static_cast<std::uint32_t>(j);
-    for (std::size_t i = 1; i <= n; ++i)
+    // dp(i, j) = distance between sent[0..i) and received[0..j), as one
+    // flat row-major trellis. The workspace is local, not thread-local:
+    // the arena can reach hundreds of MB for long traces and must not
+    // outlive the call inside a cached per-thread free list.
+    info::LatticeWorkspace ws;
+    const std::size_t stride = m + 1;
+    const std::span<std::uint32_t> dp = ws.cells_u32((n + 1) * stride);
+    const auto cell = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+        return dp[i * stride + j];
+    };
+    for (std::size_t i = 0; i <= n; ++i) cell(i, 0) = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 0; j <= m; ++j) cell(0, j) = static_cast<std::uint32_t>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::uint32_t* prev = dp.data() + (i - 1) * stride;
+        std::uint32_t* cur = dp.data() + i * stride;
         for (std::size_t j = 1; j <= m; ++j) {
             const std::uint32_t sub =
-                dp[i - 1][j - 1] + (sent[i - 1] == received[j - 1] ? 0U : 1U);
-            const std::uint32_t del = dp[i - 1][j] + 1U;
-            const std::uint32_t ins = dp[i][j - 1] + 1U;
-            dp[i][j] = std::min({sub, del, ins});
+                prev[j - 1] + (sent[i - 1] == received[j - 1] ? 0U : 1U);
+            const std::uint32_t del = prev[j] + 1U;
+            const std::uint32_t ins = cur[j - 1] + 1U;
+            cur[j] = std::min({sub, del, ins});
         }
+    }
 
     Alignment out;
-    out.distance = dp[n][m];
+    out.distance = cell(n, m);
     // Traceback, preferring match > substitution > deletion > insertion.
     std::size_t i = n, j = m;
     std::vector<EditStep> rev;
@@ -56,15 +69,15 @@ Alignment align(std::span<const std::uint32_t> sent, std::span<const std::uint32
     while (i > 0 || j > 0) {
         if (i > 0 && j > 0) {
             const bool is_match = sent[i - 1] == received[j - 1];
-            const std::uint32_t diag = dp[i - 1][j - 1] + (is_match ? 0U : 1U);
-            if (diag == dp[i][j]) {
+            const std::uint32_t diag = cell(i - 1, j - 1) + (is_match ? 0U : 1U);
+            if (diag == cell(i, j)) {
                 rev.push_back({is_match ? EditOp::match : EditOp::substitution, i - 1, j - 1});
                 --i;
                 --j;
                 continue;
             }
         }
-        if (i > 0 && dp[i - 1][j] + 1U == dp[i][j]) {
+        if (i > 0 && cell(i - 1, j) + 1U == cell(i, j)) {
             rev.push_back({EditOp::deletion, i - 1, 0});
             --i;
             continue;
@@ -80,7 +93,12 @@ std::size_t edit_distance(std::span<const std::uint32_t> sent,
                           std::span<const std::uint32_t> received) {
     const std::size_t n = sent.size();
     const std::size_t m = received.size();
-    std::vector<std::uint32_t> prev(m + 1), cur(m + 1);
+    // Two flat rows from a leased thread-local workspace; repeated calls
+    // (the blockwise estimator's per-block distances) stay allocation-free.
+    info::ScopedWorkspace lease;
+    const std::span<std::uint32_t> rows = lease.get().cells_u32(2 * (m + 1));
+    std::uint32_t* prev = rows.data();
+    std::uint32_t* cur = rows.data() + (m + 1);
     for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<std::uint32_t>(j);
     for (std::size_t i = 1; i <= n; ++i) {
         cur[0] = static_cast<std::uint32_t>(i);

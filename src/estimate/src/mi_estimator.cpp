@@ -1,8 +1,9 @@
 #include "ccap/estimate/mi_estimator.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
+#include <vector>
 
 namespace ccap::estimate {
 namespace {
@@ -14,14 +15,21 @@ struct Counted {
     std::size_t support = 0;   // number of nonzero cells
 };
 
+/// Plug-in entropy from a flat key vector: sort, then accumulate over equal
+/// runs. Runs appear in ascending key order — the same iteration order as
+/// the std::map this replaces — so the entropy sum is bit-identical while
+/// the per-sample node allocations are gone.
 template <typename Key>
-Counted entropy_of_counts(const std::map<Key, std::size_t>& counts, std::size_t n) {
+Counted entropy_of_keys(std::vector<Key>& keys, std::size_t n) {
+    std::sort(keys.begin(), keys.end());
     Counted out;
-    for (const auto& [key, c] : counts) {
-        (void)key;
-        const double p = static_cast<double>(c) / static_cast<double>(n);
+    for (std::size_t i = 0; i < keys.size();) {
+        std::size_t j = i + 1;
+        while (j < keys.size() && keys[j] == keys[i]) ++j;
+        const double p = static_cast<double>(j - i) / static_cast<double>(n);
         out.entropy -= xlog2x(p);
         ++out.support;
+        i = j;
     }
     return out;
 }
@@ -35,16 +43,15 @@ MiResult estimate_mutual_information(std::span<const std::uint32_t> x,
     if (x.empty()) throw std::invalid_argument("estimate_mutual_information: empty samples");
     const std::size_t n = x.size();
 
-    std::map<std::uint32_t, std::size_t> cx, cy;
-    std::map<std::uint64_t, std::size_t> cxy;
-    for (std::size_t i = 0; i < n; ++i) {
-        ++cx[x[i]];
-        ++cy[y[i]];
-        ++cxy[(static_cast<std::uint64_t>(x[i]) << 32) | y[i]];
-    }
-    const Counted hx = entropy_of_counts(cx, n);
-    const Counted hy = entropy_of_counts(cy, n);
-    const Counted hxy = entropy_of_counts(cxy, n);
+    std::vector<std::uint32_t> kx(x.begin(), x.end());
+    std::vector<std::uint32_t> ky(y.begin(), y.end());
+    std::vector<std::uint64_t> kxy;
+    kxy.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kxy.push_back((static_cast<std::uint64_t>(x[i]) << 32) | y[i]);
+    const Counted hx = entropy_of_keys(kx, n);
+    const Counted hy = entropy_of_keys(ky, n);
+    const Counted hxy = entropy_of_keys(kxy, n);
 
     MiResult res;
     res.samples = n;
@@ -60,9 +67,8 @@ MiResult estimate_mutual_information(std::span<const std::uint32_t> x,
 
 MiResult estimate_entropy(std::span<const std::uint32_t> x) {
     if (x.empty()) throw std::invalid_argument("estimate_entropy: empty samples");
-    std::map<std::uint32_t, std::size_t> cx;
-    for (std::uint32_t v : x) ++cx[v];
-    const Counted hx = entropy_of_counts(cx, x.size());
+    std::vector<std::uint32_t> kx(x.begin(), x.end());
+    const Counted hx = entropy_of_keys(kx, x.size());
     MiResult res;
     res.samples = x.size();
     res.plug_in = hx.entropy;

@@ -66,6 +66,11 @@ struct McOptions {
     std::size_t block_len = 64;   ///< symbols per sampled block
     std::size_t num_blocks = 16;  ///< independent blocks to average
     unsigned threads = 0;         ///< worker cap; 0 = hardware concurrency, 1 = serial
+    /// When > 0, overrides DriftParams::band_eps for the lattice passes:
+    /// adaptive-band pruning with a certified slack (lattice_engine.hpp).
+    /// Banding only lowers per-block evidences, so the estimate keeps its
+    /// lower-bound semantics. 0 keeps the params' own setting.
+    double band_eps = 0.0;
 };
 
 /// Monte-Carlo achievable rate of the deletion-insertion(-substitution)

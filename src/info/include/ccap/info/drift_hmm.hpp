@@ -25,12 +25,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "ccap/util/matrix.hpp"
 
 namespace ccap::info {
+
+class LatticeWorkspace;  // lattice_engine.hpp
+struct DriftTables;      // lattice_engine.hpp
 
 /// First-order Markov symbol source: initial distribution + row-stochastic
 /// transition matrix over the channel alphabet. Davey & MacKay observed
@@ -60,11 +65,26 @@ struct DriftParams {
     unsigned alphabet = 2;     ///< symbol alphabet size M >= 2
     int max_drift = 48;        ///< |received - consumed| clamp
     int max_insert_run = 10;   ///< per-symbol insertion run truncation
+    /// Adaptive-band pruning threshold, relative to the per-row forward
+    /// maximum: states below band_eps * row_max are trimmed off the band
+    /// edges and their mass is folded into a certified slack bound
+    /// (lattice_engine.hpp). 0 keeps the exact full-band sweep,
+    /// bit-identical to the pre-banding implementation.
+    double band_eps = 0.0;
 
     /// Transmission probability per channel use.
     [[nodiscard]] double p_t() const noexcept { return 1.0 - p_d - p_i; }
     /// Throws std::domain_error on invalid combinations.
     void validate() const;
+};
+
+/// Banded evidence with its certified truncation slack:
+///   log2_evidence <= exact log2 evidence <= log2_evidence + log2_slack.
+/// With band_eps = 0 the slack is exactly 0; it is +infinity only when the
+/// banded lattice died while pruned mass might still survive exactly.
+struct BandedEvidence {
+    double log2_evidence = -std::numeric_limits<double>::infinity();
+    double log2_slack = 0.0;
 };
 
 class DriftHmm {
@@ -73,10 +93,25 @@ public:
 
     [[nodiscard]] const DriftParams& params() const noexcept { return params_; }
 
+    /// Immutable transition/emission lookup tables, shareable across
+    /// threads (built once at construction).
+    [[nodiscard]] const DriftTables& tables() const noexcept { return *tables_; }
+
     /// log2 P(received | transmitted) under the truncated generative model.
     /// Returns -infinity when the pair is unreachable within the truncations.
+    /// The overload without a workspace leases a thread-local one; passing
+    /// your own LatticeWorkspace makes repeated calls allocation-free.
     [[nodiscard]] double log2_likelihood(std::span<const std::uint8_t> transmitted,
                                          std::span<const std::uint8_t> received) const;
+    [[nodiscard]] double log2_likelihood(std::span<const std::uint8_t> transmitted,
+                                         std::span<const std::uint8_t> received,
+                                         LatticeWorkspace& ws) const;
+
+    /// log2_likelihood plus the certified adaptive-band slack (0 when
+    /// params().band_eps == 0).
+    [[nodiscard]] BandedEvidence log2_likelihood_banded(
+        std::span<const std::uint8_t> transmitted, std::span<const std::uint8_t> received,
+        LatticeWorkspace& ws) const;
 
     /// Forward-backward posteriors. `priors` is an n x M row-stochastic
     /// matrix of per-position transmitted-symbol priors. Returns an n x M
@@ -86,6 +121,10 @@ public:
     /// towards their prior, as they must.
     [[nodiscard]] util::Matrix posteriors(const util::Matrix& priors,
                                           std::span<const std::uint8_t> received,
+                                          double* log2_evidence = nullptr) const;
+    [[nodiscard]] util::Matrix posteriors(const util::Matrix& priors,
+                                          std::span<const std::uint8_t> received,
+                                          LatticeWorkspace& ws,
                                           double* log2_evidence = nullptr) const;
 
     /// Candidate provider for segment_likelihoods: returns the candidate
@@ -108,6 +147,12 @@ public:
                                                    std::size_t seg_len,
                                                    std::size_t num_candidates,
                                                    const CandidateFn& candidates_for) const;
+    [[nodiscard]] util::Matrix segment_likelihoods(const util::Matrix& priors,
+                                                   std::span<const std::uint8_t> received,
+                                                   std::size_t seg_len,
+                                                   std::size_t num_candidates,
+                                                   const CandidateFn& candidates_for,
+                                                   LatticeWorkspace& ws) const;
 
     /// Convenience overload with one shared candidate set for all segments.
     [[nodiscard]] util::Matrix segment_likelihoods(
@@ -127,6 +172,9 @@ public:
     };
     [[nodiscard]] EventExpectations expected_events(std::span<const std::uint8_t> transmitted,
                                                     std::span<const std::uint8_t> received) const;
+    [[nodiscard]] EventExpectations expected_events(std::span<const std::uint8_t> transmitted,
+                                                    std::span<const std::uint8_t> received,
+                                                    LatticeWorkspace& ws) const;
 
     /// log2 P(received) when the transmitted sequence of length `tx_len` is
     /// drawn from a first-order Markov source: the forward pass runs over
@@ -135,11 +183,18 @@ public:
     /// symbol correlation. Returns -infinity when unreachable.
     [[nodiscard]] double log2_markov_marginal(const MarkovSource& source, std::size_t tx_len,
                                               std::span<const std::uint8_t> received) const;
+    [[nodiscard]] double log2_markov_marginal(const MarkovSource& source, std::size_t tx_len,
+                                              std::span<const std::uint8_t> received,
+                                              LatticeWorkspace& ws) const;
+    /// Markov marginal plus the certified adaptive-band slack.
+    [[nodiscard]] BandedEvidence log2_markov_marginal_banded(
+        const MarkovSource& source, std::size_t tx_len,
+        std::span<const std::uint8_t> received, LatticeWorkspace& ws) const;
 
 private:
-    struct Lattice;  // defined in the .cpp
-
     DriftParams params_;
+    /// Shared so DriftHmm stays cheaply copyable; the tables are immutable.
+    std::shared_ptr<const DriftTables> tables_;
 };
 
 }  // namespace ccap::info

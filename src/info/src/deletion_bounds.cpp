@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ccap/info/entropy.hpp"
+#include "ccap/info/lattice_engine.hpp"
 #include "ccap/util/thread_pool.hpp"
 
 namespace ccap::info {
@@ -111,6 +112,14 @@ MiEstimate parallel_mc_estimate(const McOptions& opts, util::Rng& rng, BlockFn&&
     return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
 }
 
+/// McOptions::band_eps > 0 overrides the params' own band setting for the
+/// Monte-Carlo lattice passes.
+DriftParams effective_params(const DriftParams& params, const McOptions& opts) {
+    DriftParams p = params;
+    if (opts.band_eps > 0.0) p.band_eps = opts.band_eps;
+    return p;
+}
+
 }  // namespace
 
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
@@ -120,13 +129,16 @@ MiEstimate markov_mutual_information_rate(const DriftParams& params, const Marko
     if (opts.block_len == 0 || opts.num_blocks == 0)
         throw std::invalid_argument("markov_mutual_information_rate: empty experiment");
 
-    const DriftHmm hmm(params);
+    const DriftHmm hmm(effective_params(params, opts));
     return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
         const std::vector<std::uint8_t> tx =
             simulate_markov_source(source, params.alphabet, opts.block_len, block_rng);
         const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
-        const double log_cond = hmm.log2_likelihood(tx, rx);
-        const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx);
+        // One leased workspace per pool worker: the lattice passes of a
+        // block reuse the same arenas, allocation-free at steady state.
+        ScopedWorkspace ws;
+        const double log_cond = hmm.log2_likelihood(tx, rx, ws);
+        const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx, ws);
         if (!std::isfinite(log_cond) || !std::isfinite(log_marg))
             return 0.0;  // outside the truncation: score zero information
         return (log_cond - log_marg) / static_cast<double>(opts.block_len);
@@ -146,7 +158,7 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, const McOption
     if (opts.block_len == 0 || opts.num_blocks == 0)
         throw std::invalid_argument("iid_mutual_information_rate: empty experiment");
 
-    const DriftHmm hmm(params);
+    const DriftHmm hmm(effective_params(params, opts));
     const unsigned m = params.alphabet;
     const util::Matrix uniform_priors(opts.block_len, m, 1.0 / static_cast<double>(m));
 
@@ -155,9 +167,11 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, const McOption
         for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
         const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
 
-        const double log_cond = hmm.log2_likelihood(tx, rx);
+        // One leased workspace per pool worker (see the Markov estimator).
+        ScopedWorkspace ws;
+        const double log_cond = hmm.log2_likelihood(tx, rx, ws);
         double log_marg = 0.0;
-        (void)hmm.posteriors(uniform_priors, rx, &log_marg);
+        (void)hmm.posteriors(uniform_priors, rx, ws, &log_marg);
         if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
             // Block fell outside the lattice truncation; score it zero
             // information, preserving the lower-bound semantics.

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "ccap/info/lattice_engine.hpp"
 
 namespace ccap::info {
 
@@ -47,267 +50,104 @@ void DriftParams::validate() const {
     if (alphabet < 2) throw std::domain_error("DriftParams: alphabet < 2");
     if (max_drift < 1 || max_insert_run < 1)
         throw std::domain_error("DriftParams: truncation bounds must be >= 1");
+    if (!(band_eps >= 0.0) || band_eps >= 1.0)
+        throw std::domain_error("DriftParams: band_eps must be in [0, 1)");
 }
 
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-struct Slices {
-    // Row j holds the (normalized) probability over drift in [-D, D];
-    // log2_scale[j] accumulates the normalization taken out of rows 0..j.
-    std::vector<std::vector<double>> rows;
-    std::vector<double> log2_scale;
-};
+void check_symbols(std::span<const std::uint8_t> seq, unsigned alphabet, const char* what) {
+    for (std::uint8_t s : seq)
+        if (s >= alphabet) throw std::out_of_range(std::string("DriftHmm: ") + what +
+                                                   " symbol out of alphabet");
+}
 
 }  // namespace
 
-struct DriftHmm::Lattice {
-    const DriftParams& p;
-    std::span<const std::uint8_t> rx;
-    std::size_t n;                 // transmitted length
-    std::size_t m;                 // received length
-    int d_max;                     // drift clamp
-    std::size_t width;             // 2*d_max + 1
-    double inv_m_alpha;            // 1/M emission prob of an insertion
-    std::vector<double> ins_pow;   // (p_i / M)^g for g = 0..max_insert_run
-    std::vector<double> emit_tab;  // M x M substitution table, row-major [r][s]
-    std::vector<double> trail_pow; // (p_i / M)^k for k = 0..m (trailing runs)
-
-    Lattice(const DriftParams& params, std::span<const std::uint8_t> received, std::size_t tx_len)
-        : p(params),
-          rx(received),
-          n(tx_len),
-          m(received.size()),
-          d_max(params.max_drift),
-          width(static_cast<std::size_t>(2 * params.max_drift + 1)),
-          inv_m_alpha(1.0 / static_cast<double>(params.alphabet)) {
-        ins_pow.resize(static_cast<std::size_t>(p.max_insert_run) + 1);
-        ins_pow[0] = 1.0;
-        for (std::size_t g = 1; g < ins_pow.size(); ++g)
-            ins_pow[g] = ins_pow[g - 1] * p.p_i * inv_m_alpha;
-        // Hoist the per-cell emission branch into one M x M table; emit()
-        // runs in the innermost (j, d, g) loops of every pass.
-        const auto m_alpha = static_cast<std::size_t>(p.alphabet);
-        const double p_sub = p.p_s / (static_cast<double>(p.alphabet) - 1.0);
-        emit_tab.assign(m_alpha * m_alpha, p_sub);
-        for (std::size_t s = 0; s < m_alpha; ++s) emit_tab[s * m_alpha + s] = 1.0 - p.p_s;
-        // Trailing-run lengths are bounded by the received length; a table
-        // replaces the std::pow call in trailing().
-        trail_pow.resize(m + 1);
-        trail_pow[0] = 1.0;
-        for (std::size_t k = 1; k <= m; ++k) trail_pow[k] = trail_pow[k - 1] * p.p_i * inv_m_alpha;
-    }
-
-    [[nodiscard]] std::size_t idx(int d) const noexcept {
-        return static_cast<std::size_t>(d + d_max);
-    }
-    [[nodiscard]] bool drift_ok(std::size_t j, int d) const noexcept {
-        if (d < -d_max || d > d_max) return false;
-        const long long r = static_cast<long long>(j) + d;
-        return r >= 0 && r <= static_cast<long long>(m);
-    }
-
-    /// P(received symbol r | transmitted symbol s): emission-table lookup.
-    [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const noexcept {
-        return emit_tab[static_cast<std::size_t>(r) * p.alphabet + s];
-    }
-
-    /// Emission averaged over a prior q(s) for received symbol r.
-    [[nodiscard]] double emit_prior(std::uint8_t r, std::span<const double> q) const noexcept {
-        const double* row = emit_tab.data() + static_cast<std::size_t>(r) * p.alphabet;
-        double e = 0.0;
-        for (std::size_t s = 0; s < q.size(); ++s) e += q[s] * row[s];
-        return e;
-    }
-
-    /// Trailing-insertion factor at final drift d (exact, no truncation).
-    [[nodiscard]] double trailing(int d) const noexcept {
-        const long long k = static_cast<long long>(m) - (static_cast<long long>(n) + d);
-        if (k < 0) return 0.0;
-        return trail_pow[static_cast<std::size_t>(k)] * (1.0 - p.p_i);
-    }
-
-    /// Forward pass. `prior_row(j)` must return a span of M prior
-    /// probabilities for transmitted position j (0-based).
-    template <typename PriorFn>
-    Slices forward(PriorFn&& prior_row) const {
-        Slices a;
-        a.rows.assign(n + 1, std::vector<double>(width, 0.0));
-        a.log2_scale.assign(n + 1, 0.0);
-        a.rows[0][idx(0)] = 1.0;
-
-        for (std::size_t j = 1; j <= n; ++j) {
-            const auto q = prior_row(j - 1);
-            auto& cur = a.rows[j];
-            const auto& prev = a.rows[j - 1];
-            for (int dp = -d_max; dp <= d_max; ++dp) {
-                if (!drift_ok(j - 1, dp)) continue;
-                const double ap = prev[idx(dp)];
-                if (ap == 0.0) continue;
-                const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
-                for (int g = 0; g <= p.max_insert_run; ++g) {
-                    const int d = dp + g - 1;
-                    if (!drift_ok(j, d)) continue;
-                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);  // received consumed
-                    if (r1 > m) break;
-                    double w = 0.0;
-                    // deletion after g insertions
-                    w += ins_pow[static_cast<std::size_t>(g)] * p.p_d;
-                    // transmission after g-1 insertions
-                    if (g >= 1)
-                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
-                             emit_prior(rx[r1 - 1], q);
-                    cur[idx(d)] += ap * w;
-                }
-            }
-            double norm = 0.0;
-            for (double v : cur) norm += v;
-            if (norm <= 0.0) {
-                a.log2_scale[j] = kNegInf;
-                continue;  // dead lattice; downstream sees zero evidence
-            }
-            for (double& v : cur) v /= norm;
-            a.log2_scale[j] = a.log2_scale[j - 1] + std::log2(norm);
-        }
-        return a;
-    }
-
-    /// Backward pass, symmetric to forward.
-    template <typename PriorFn>
-    Slices backward(PriorFn&& prior_row) const {
-        Slices b;
-        b.rows.assign(n + 1, std::vector<double>(width, 0.0));
-        b.log2_scale.assign(n + 1, 0.0);
-        {
-            auto& last = b.rows[n];
-            double norm = 0.0;
-            for (int d = -d_max; d <= d_max; ++d) {
-                if (!drift_ok(n, d)) continue;
-                last[idx(d)] = trailing(d);
-                norm += last[idx(d)];
-            }
-            if (norm > 0.0) {
-                for (double& v : last) v /= norm;
-                b.log2_scale[n] = std::log2(norm);
-            } else {
-                b.log2_scale[n] = kNegInf;
-            }
-        }
-        for (std::size_t j = n; j-- > 0;) {
-            const auto q = prior_row(j);
-            auto& cur = b.rows[j];
-            const auto& next = b.rows[j + 1];
-            for (int dp = -d_max; dp <= d_max; ++dp) {
-                if (!drift_ok(j, dp)) continue;
-                const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j) + dp);
-                double acc = 0.0;
-                for (int g = 0; g <= p.max_insert_run; ++g) {
-                    const int d = dp + g - 1;
-                    if (!drift_ok(j + 1, d)) continue;
-                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                    if (r1 > m) break;
-                    double w = ins_pow[static_cast<std::size_t>(g)] * p.p_d;
-                    if (g >= 1)
-                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
-                             emit_prior(rx[r1 - 1], q);
-                    acc += w * next[idx(d)];
-                }
-                cur[idx(dp)] = acc;
-            }
-            double norm = 0.0;
-            for (double v : cur) norm += v;
-            if (norm <= 0.0) {
-                b.log2_scale[j] = kNegInf;
-                continue;
-            }
-            for (double& v : cur) v /= norm;
-            b.log2_scale[j] = b.log2_scale[j + 1] + std::log2(norm);
-        }
-        return b;
-    }
-};
-
-DriftHmm::DriftHmm(DriftParams params) : params_(params) { params_.validate(); }
+DriftHmm::DriftHmm(DriftParams params) : params_(params) {
+    params_.validate();
+    tables_ = std::make_shared<const DriftTables>(params_);
+}
 
 double DriftHmm::log2_likelihood(std::span<const std::uint8_t> transmitted,
                                  std::span<const std::uint8_t> received) const {
-    const unsigned m_alpha = params_.alphabet;
-    for (std::uint8_t s : transmitted)
-        if (s >= m_alpha) throw std::out_of_range("DriftHmm: transmitted symbol out of alphabet");
-    for (std::uint8_t s : received)
-        if (s >= m_alpha) throw std::out_of_range("DriftHmm: received symbol out of alphabet");
+    ScopedWorkspace lease;
+    return log2_likelihood(transmitted, received, lease.get());
+}
 
-    Lattice lat(params_, received, transmitted.size());
-    // Point-mass priors at the actual transmitted symbols.
-    std::vector<double> point(m_alpha, 0.0);
-    const auto prior = [&](std::size_t j) -> std::span<const double> {
-        std::fill(point.begin(), point.end(), 0.0);
-        point[transmitted[j]] = 1.0;
-        return point;
-    };
-    const Slices a = lat.forward(prior);
-    if (a.log2_scale.back() == kNegInf) return kNegInf;
+double DriftHmm::log2_likelihood(std::span<const std::uint8_t> transmitted,
+                                 std::span<const std::uint8_t> received,
+                                 LatticeWorkspace& ws) const {
+    return log2_likelihood_banded(transmitted, received, ws).log2_evidence;
+}
 
-    double tail = 0.0;
-    for (int d = -params_.max_drift; d <= params_.max_drift; ++d)
-        if (lat.drift_ok(transmitted.size(), d))
-            tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
-    if (tail <= 0.0) return kNegInf;
-    return a.log2_scale.back() + std::log2(tail);
+BandedEvidence DriftHmm::log2_likelihood_banded(std::span<const std::uint8_t> transmitted,
+                                                std::span<const std::uint8_t> received,
+                                                LatticeWorkspace& ws) const {
+    check_symbols(transmitted, params_.alphabet, "transmitted");
+    check_symbols(received, params_.alphabet, "received");
+    LatticeEngine eng(params_, *tables_, received, transmitted.size(), ws);
+    eng.forward([&](std::size_t j, std::uint8_t r) { return eng.emit(r, transmitted[j]); },
+                params_.band_eps);
+    return eng.evidence();
 }
 
 util::Matrix DriftHmm::posteriors(const util::Matrix& priors,
                                   std::span<const std::uint8_t> received,
                                   double* log2_evidence) const {
+    ScopedWorkspace lease;
+    return posteriors(priors, received, lease.get(), log2_evidence);
+}
+
+util::Matrix DriftHmm::posteriors(const util::Matrix& priors,
+                                  std::span<const std::uint8_t> received,
+                                  LatticeWorkspace& ws, double* log2_evidence) const {
     const std::size_t n = priors.rows();
     const unsigned m_alpha = params_.alphabet;
     if (priors.cols() != m_alpha)
         throw std::invalid_argument("DriftHmm::posteriors: priors cols != alphabet");
     if (!priors.is_row_stochastic(1e-6) && n > 0)
         throw std::invalid_argument("DriftHmm::posteriors: priors not row-stochastic");
-    for (std::uint8_t s : received)
-        if (s >= m_alpha) throw std::out_of_range("DriftHmm: received symbol out of alphabet");
+    check_symbols(received, m_alpha, "received");
 
-    Lattice lat(params_, received, n);
-    const auto prior = [&](std::size_t j) { return priors.row(j); };
-    const Slices a = lat.forward(prior);
-    const Slices b = lat.backward(prior);
+    LatticeEngine eng(params_, *tables_, received, n, ws);
+    const auto emit_p = [&](std::size_t j, std::uint8_t r) {
+        return eng.emit_prior(r, priors.row(j));
+    };
+    eng.forward(emit_p, params_.band_eps);
+    eng.backward(emit_p);
 
-    if (log2_evidence != nullptr) {
-        double tail = 0.0;
-        for (int d = -params_.max_drift; d <= params_.max_drift; ++d)
-            if (lat.drift_ok(n, d)) tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
-        *log2_evidence =
-            (tail > 0.0 && a.log2_scale.back() != kNegInf)
-                ? a.log2_scale.back() + std::log2(tail)
-                : kNegInf;
-    }
+    if (log2_evidence != nullptr) *log2_evidence = eng.evidence().log2_evidence;
 
     util::Matrix post(n, m_alpha);
-    std::vector<double> w(m_alpha, 0.0);
+    const std::span<double> w = ws.scratch(m_alpha);
+    const auto& ins_pow = tables_->ins_pow;
     for (std::size_t j = 1; j <= n; ++j) {
         std::fill(w.begin(), w.end(), 0.0);
         double w_del = 0.0;
-        for (int dp = -params_.max_drift; dp <= params_.max_drift; ++dp) {
-            if (!lat.drift_ok(j - 1, dp)) continue;
-            const double ap = a.rows[j - 1][lat.idx(dp)];
+        int blo = 0, bhi = -1;
+        const bool beta_live = eng.beta_window(j, blo, bhi);
+        const double* arow = eng.alpha_row(j - 1);
+        const double* brow = eng.beta_row(j);
+        for (int dp = eng.band_lo(j - 1); dp <= eng.band_hi(j - 1); ++dp) {
+            const double ap = arow[eng.idx(dp)];
             if (ap == 0.0) continue;
             const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
             for (int g = 0; g <= params_.max_insert_run; ++g) {
                 const int d = dp + g - 1;
-                if (!lat.drift_ok(j, d)) continue;
+                if (!beta_live || d < blo || d > bhi) continue;
                 const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                if (r1 > lat.m) break;
-                const double beta = b.rows[j][lat.idx(d)];
+                const double beta = brow[eng.idx(d)];
                 if (beta == 0.0) continue;
-                w_del += ap * lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta;
+                w_del += ap * ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta;
                 if (g >= 1) {
-                    const double base = ap * lat.ins_pow[static_cast<std::size_t>(g - 1)] *
+                    const double base = ap * ins_pow[static_cast<std::size_t>(g - 1)] *
                                         params_.p_t() * beta;
                     const std::uint8_t r = received[r1 - 1];
                     for (unsigned s = 0; s < m_alpha; ++s)
-                        w[s] += base * lat.emit(r, static_cast<std::uint8_t>(s));
+                        w[s] += base * eng.emit(r, static_cast<std::uint8_t>(s));
                 }
             }
         }
@@ -329,57 +169,60 @@ util::Matrix DriftHmm::posteriors(const util::Matrix& priors,
 
 DriftHmm::EventExpectations DriftHmm::expected_events(
     std::span<const std::uint8_t> transmitted, std::span<const std::uint8_t> received) const {
-    const unsigned m_alpha = params_.alphabet;
-    for (std::uint8_t s : transmitted)
-        if (s >= m_alpha) throw std::out_of_range("expected_events: transmitted symbol");
-    for (std::uint8_t s : received)
-        if (s >= m_alpha) throw std::out_of_range("expected_events: received symbol");
+    ScopedWorkspace lease;
+    return expected_events(transmitted, received, lease.get());
+}
+
+DriftHmm::EventExpectations DriftHmm::expected_events(std::span<const std::uint8_t> transmitted,
+                                                      std::span<const std::uint8_t> received,
+                                                      LatticeWorkspace& ws) const {
+    check_symbols(transmitted, params_.alphabet, "transmitted");
+    check_symbols(received, params_.alphabet, "received");
 
     const std::size_t n = transmitted.size();
-    Lattice lat(params_, received, n);
-    std::vector<double> point(m_alpha, 0.0);
-    const auto prior = [&](std::size_t j) -> std::span<const double> {
-        std::fill(point.begin(), point.end(), 0.0);
-        point[transmitted[j]] = 1.0;
-        return point;
+    LatticeEngine eng(params_, *tables_, received, n, ws);
+    const auto emit_pt = [&](std::size_t j, std::uint8_t r) {
+        return eng.emit(r, transmitted[j]);
     };
-    const Slices a = lat.forward(prior);
-    const Slices b = lat.backward(prior);
+    eng.forward(emit_pt, params_.band_eps);
+    eng.backward(emit_pt);
 
     EventExpectations out;
     // Total evidence (forward route).
-    double tail = 0.0;
-    for (int d = -lat.d_max; d <= lat.d_max; ++d)
-        if (lat.drift_ok(n, d)) tail += a.rows[n][lat.idx(d)] * lat.trailing(d);
-    if (tail <= 0.0 || a.log2_scale[n] == kNegInf) {
+    const double tail = eng.tail();
+    if (tail <= 0.0 || eng.alpha_scale(n) == kNegInf) {
         out.log2_likelihood = kNegInf;
         return out;
     }
-    const double log2_evidence = a.log2_scale[n] + std::log2(tail);
+    const double log2_evidence = eng.alpha_scale(n) + std::log2(tail);
     out.log2_likelihood = log2_evidence;
 
+    const auto& ins_pow = tables_->ins_pow;
     for (std::size_t j = 1; j <= n; ++j) {
         // Per-position scale correction: the normalized slices hide
         // 2^{a_scale[j-1] + b_scale[j]}, which must be re-expressed
         // relative to the total evidence.
-        const double log2_factor = a.log2_scale[j - 1] + b.log2_scale[j] - log2_evidence;
+        const double log2_factor =
+            eng.alpha_scale(j - 1) + eng.beta_scale(j) - log2_evidence;
         if (log2_factor < -300.0) continue;  // numerically dead position
         const double factor = std::exp2(log2_factor);
         const std::uint8_t sym = transmitted[j - 1];
-        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
-            if (!lat.drift_ok(j - 1, dp)) continue;
-            const double alpha = a.rows[j - 1][lat.idx(dp)];
+        int blo = 0, bhi = -1;
+        const bool beta_live = eng.beta_window(j, blo, bhi);
+        const double* arow = eng.alpha_row(j - 1);
+        const double* brow = eng.beta_row(j);
+        for (int dp = eng.band_lo(j - 1); dp <= eng.band_hi(j - 1); ++dp) {
+            const double alpha = arow[eng.idx(dp)];
             if (alpha == 0.0) continue;
             const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
             for (int g = 0; g <= params_.max_insert_run; ++g) {
                 const int d = dp + g - 1;
-                if (!lat.drift_ok(j, d)) continue;
+                if (!beta_live || d < blo || d > bhi) continue;
                 const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                if (r1 > lat.m) break;
-                const double beta = b.rows[j][lat.idx(d)];
+                const double beta = brow[eng.idx(d)];
                 if (beta == 0.0) continue;
                 const double w_del =
-                    alpha * lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta *
+                    alpha * ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta *
                     factor;
                 if (w_del > 0.0) {
                     out.deletions += w_del;
@@ -388,8 +231,8 @@ DriftHmm::EventExpectations DriftHmm::expected_events(
                 if (g >= 1) {
                     const std::uint8_t r = received[r1 - 1];
                     const double w_tx = alpha *
-                                        lat.ins_pow[static_cast<std::size_t>(g - 1)] *
-                                        params_.p_t() * lat.emit(r, sym) * beta * factor;
+                                        ins_pow[static_cast<std::size_t>(g - 1)] *
+                                        params_.p_t() * eng.emit(r, sym) * beta * factor;
                     if (w_tx > 0.0) {
                         out.transmissions += w_tx;
                         out.insertions += w_tx * static_cast<double>(g - 1);
@@ -400,10 +243,11 @@ DriftHmm::EventExpectations DriftHmm::expected_events(
         }
     }
     // Trailing insertions: posterior over the final drift.
-    for (int d = -lat.d_max; d <= lat.d_max; ++d) {
-        if (!lat.drift_ok(n, d)) continue;
-        const double w = a.rows[n][lat.idx(d)] * lat.trailing(d) / tail;
-        const long long rest = static_cast<long long>(lat.m) - (static_cast<long long>(n) + d);
+    const double* last = eng.alpha_row(n);
+    for (int d = eng.band_lo(n); d <= eng.band_hi(n); ++d) {
+        const double w = last[eng.idx(d)] * eng.trailing(d) / tail;
+        const long long rest =
+            static_cast<long long>(eng.m()) - (static_cast<long long>(n) + d);
         if (w > 0.0 && rest > 0) out.insertions += w * static_cast<double>(rest);
     }
     return out;
@@ -411,55 +255,122 @@ DriftHmm::EventExpectations DriftHmm::expected_events(
 
 double DriftHmm::log2_markov_marginal(const MarkovSource& source, std::size_t tx_len,
                                       std::span<const std::uint8_t> received) const {
+    ScopedWorkspace lease;
+    return log2_markov_marginal(source, tx_len, received, lease.get());
+}
+
+double DriftHmm::log2_markov_marginal(const MarkovSource& source, std::size_t tx_len,
+                                      std::span<const std::uint8_t> received,
+                                      LatticeWorkspace& ws) const {
+    return log2_markov_marginal_banded(source, tx_len, received, ws).log2_evidence;
+}
+
+BandedEvidence DriftHmm::log2_markov_marginal_banded(const MarkovSource& source,
+                                                     std::size_t tx_len,
+                                                     std::span<const std::uint8_t> received,
+                                                     LatticeWorkspace& ws) const {
     const unsigned m_alpha = params_.alphabet;
     source.validate(m_alpha);
-    for (std::uint8_t s : received)
-        if (s >= m_alpha) throw std::out_of_range("log2_markov_marginal: received symbol");
+    check_symbols(received, m_alpha, "received");
 
-    Lattice lat(params_, received, tx_len);
-    const std::size_t width = lat.width;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double band_eps = params_.band_eps;
+    LatticeEngine eng(params_, *tables_, received, tx_len, ws);
+    const std::size_t width = eng.width();
+    const auto& ins_pow = tables_->ins_pow;
+    const int run = params_.max_insert_run;
 
     // Joint forward state: (drift, value of the just-consumed symbol).
     // Row-major [drift][symbol]; per-slice normalization with a log2 scale.
-    std::vector<double> cur(width * m_alpha, 0.0), next(width * m_alpha, 0.0);
+    std::span<double> cur = ws.scratch(width * m_alpha);
+    std::span<double> next = ws.scratch2(width * m_alpha);
+    std::span<double> pre = ws.scratch3(width * m_alpha);
     double log2_scale = 0.0;
+    double slack_rel = 0.0;
+    // Live drift window of `cur`; starts as the point mass at drift 0.
+    int wlo = 0, whi = 0;
 
-    std::vector<double> pre(width * m_alpha, 0.0);
+    // One joint step into row j. weight_of_prev(dp, s) is the Markov-
+    // weighted mass arriving at (previous-drift dp, new-symbol s).
     const auto step_into = [&](std::size_t j, auto&& weight_of_prev) {
+        int clo = 0, chi = -1;
+        if (!eng.valid_window(j, clo, chi) || wlo > whi) return false;
+        clo = std::max(clo, wlo - 1);
+        chi = std::min(chi, whi + run - 1);
+        if (clo > chi) return false;
         // Pre-aggregate the Markov-weighted mass arriving at each
         // (previous-drift, new-symbol) pair, once per step.
-        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp)
+        for (int dp = wlo; dp <= whi; ++dp)
             for (unsigned s = 0; s < m_alpha; ++s)
-                pre[lat.idx(dp) * m_alpha + s] =
-                    lat.drift_ok(j - 1, dp) ? weight_of_prev(dp, s) : 0.0;
-        std::fill(next.begin(), next.end(), 0.0);
-        for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
-            if (!lat.drift_ok(j - 1, dp)) continue;
+                pre[eng.idx(dp) * m_alpha + s] = weight_of_prev(dp, s);
+        for (int d = clo; d <= chi; ++d)
+            for (unsigned s = 0; s < m_alpha; ++s) next[eng.idx(d) * m_alpha + s] = 0.0;
+        for (int dp = wlo; dp <= whi; ++dp) {
             const std::size_t r0 = static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
-            for (int g = 0; g <= params_.max_insert_run; ++g) {
+            const int glo = std::max(0, clo - dp + 1);
+            const int ghi = std::min(run, chi - dp + 1);
+            for (int g = glo; g <= ghi; ++g) {
                 const int d = dp + g - 1;
-                if (!lat.drift_ok(j, d)) continue;
                 const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                if (r1 > lat.m) break;
-                const double w_del = lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
+                const double w_del = ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
                 for (unsigned s = 0; s < m_alpha; ++s) {
                     double w = w_del;
                     if (g >= 1)
-                        w += lat.ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
-                             lat.emit(received[r1 - 1], static_cast<std::uint8_t>(s));
+                        w += ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
+                             eng.emit(received[r1 - 1], static_cast<std::uint8_t>(s));
                     if (w == 0.0) continue;
-                    const double mass = pre[lat.idx(dp) * m_alpha + s];
-                    if (mass > 0.0) next[lat.idx(d) * m_alpha + s] += mass * w;
+                    const double mass = pre[eng.idx(dp) * m_alpha + s];
+                    if (mass > 0.0) next[eng.idx(d) * m_alpha + s] += mass * w;
                 }
             }
         }
+        double pruned = 0.0;
+        if (band_eps > 0.0) {
+            // Trim drift rows whose aggregate (over symbols) mass falls
+            // below band_eps times the best row; certified like the
+            // marginal lattice (THEORY.md section 11).
+            double row_max = 0.0;
+            for (int d = clo; d <= chi; ++d) {
+                double agg = 0.0;
+                for (unsigned s = 0; s < m_alpha; ++s) agg += next[eng.idx(d) * m_alpha + s];
+                row_max = std::max(row_max, agg);
+            }
+            const double thresh = band_eps * row_max;
+            const auto aggregate_of = [&](int d) {
+                double agg = 0.0;
+                for (unsigned s = 0; s < m_alpha; ++s) agg += next[eng.idx(d) * m_alpha + s];
+                return agg;
+            };
+            while (clo <= chi && aggregate_of(clo) < thresh) {
+                pruned += aggregate_of(clo);
+                for (unsigned s = 0; s < m_alpha; ++s) next[eng.idx(clo) * m_alpha + s] = 0.0;
+                ++clo;
+            }
+            while (chi >= clo && aggregate_of(chi) < thresh) {
+                pruned += aggregate_of(chi);
+                for (unsigned s = 0; s < m_alpha; ++s) next[eng.idx(chi) * m_alpha + s] = 0.0;
+                --chi;
+            }
+        }
         double norm = 0.0;
-        for (double v : next) norm += v;
-        if (norm <= 0.0) return false;
-        for (double& v : next) v /= norm;
+        for (int d = clo; d <= chi; ++d)
+            for (unsigned s = 0; s < m_alpha; ++s) norm += next[eng.idx(d) * m_alpha + s];
+        if (!(norm > 0.0)) {
+            slack_rel += pruned;
+            return false;
+        }
+        for (int d = clo; d <= chi; ++d)
+            for (unsigned s = 0; s < m_alpha; ++s) next[eng.idx(d) * m_alpha + s] /= norm;
+        slack_rel = (slack_rel + pruned) / norm;
         log2_scale += std::log2(norm);
-        cur.swap(next);
+        std::swap(cur, next);
+        wlo = clo;
+        whi = chi;
         return true;
+    };
+
+    const auto dead_result = [&] {
+        return BandedEvidence{kNegInf, slack_rel > 0.0 ? kInf : 0.0};
     };
 
     if (tx_len >= 1) {
@@ -467,30 +378,32 @@ double DriftHmm::log2_markov_marginal(const MarkovSource& source, std::size_t tx
         const bool ok = step_into(1, [&](int dp, unsigned s) {
             return dp == 0 ? source.initial[s] : 0.0;
         });
-        if (!ok) return kNegInf;
+        if (!ok) return dead_result();
     }
     for (std::size_t j = 2; j <= tx_len; ++j) {
         const bool ok = step_into(j, [&](int dp, unsigned s) {
             double mass = 0.0;
             for (unsigned sp = 0; sp < m_alpha; ++sp)
-                mass += cur[lat.idx(dp) * m_alpha + sp] * source.transition(sp, s);
+                mass += cur[eng.idx(dp) * m_alpha + sp] * source.transition(sp, s);
             return mass;
         });
-        if (!ok) return kNegInf;
+        if (!ok) return dead_result();
     }
 
     double tail = 0.0;
     if (tx_len == 0) {
-        tail = lat.trailing(0);
+        tail = eng.trailing(0);
     } else {
-        for (int d = -lat.d_max; d <= lat.d_max; ++d) {
-            if (!lat.drift_ok(tx_len, d)) continue;
+        for (int d = wlo; d <= whi; ++d) {
             for (unsigned s = 0; s < m_alpha; ++s)
-                tail += cur[lat.idx(d) * m_alpha + s] * lat.trailing(d);
+                tail += cur[eng.idx(d) * m_alpha + s] * eng.trailing(d);
         }
     }
-    if (tail <= 0.0) return kNegInf;
-    return log2_scale + std::log2(tail);
+    if (tail <= 0.0) return dead_result();
+    BandedEvidence out;
+    out.log2_evidence = log2_scale + std::log2(tail);
+    out.log2_slack = slack_rel > 0.0 ? std::log2(1.0 + slack_rel / tail) : 0.0;
+    return out;
 }
 
 util::Matrix DriftHmm::segment_likelihoods(
@@ -506,6 +419,16 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
                                            std::span<const std::uint8_t> received,
                                            std::size_t seg_len, std::size_t num_candidates,
                                            const CandidateFn& candidates_for) const {
+    ScopedWorkspace lease;
+    return segment_likelihoods(priors, received, seg_len, num_candidates, candidates_for,
+                               lease.get());
+}
+
+util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
+                                           std::span<const std::uint8_t> received,
+                                           std::size_t seg_len, std::size_t num_candidates,
+                                           const CandidateFn& candidates_for,
+                                           LatticeWorkspace& ws) const {
     const std::size_t n = priors.rows();
     const unsigned m_alpha = params_.alphabet;
     if (seg_len == 0 || n % seg_len != 0)
@@ -515,17 +438,21 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
     if (priors.cols() != m_alpha)
         throw std::invalid_argument("segment_likelihoods: priors cols != alphabet");
 
-    Lattice lat(params_, received, n);
-    const auto prior = [&](std::size_t j) { return priors.row(j); };
-    const Slices a = lat.forward(prior);
-    const Slices b = lat.backward(prior);
+    LatticeEngine eng(params_, *tables_, received, n, ws);
+    const auto emit_p = [&](std::size_t j, std::uint8_t r) {
+        return eng.emit_prior(r, priors.row(j));
+    };
+    eng.forward(emit_p, params_.band_eps);
+    eng.backward(emit_p);
 
     const std::size_t num_segments = n / seg_len;
     util::Matrix out(num_segments, num_candidates);
-    const std::size_t width = lat.width;
+    const std::size_t width = eng.width();
+    const auto& ins_pow = tables_->ins_pow;
+    const int run = params_.max_insert_run;
 
-    std::vector<double> cur(width), next(width);
-    std::vector<double> point(m_alpha, 0.0);
+    std::span<double> cur = ws.scratch(width);
+    std::span<double> next = ws.scratch2(width);
     for (std::size_t t = 0; t < num_segments; ++t) {
         const std::span<const std::vector<std::uint8_t>> candidates = candidates_for(t);
         if (candidates.size() != num_candidates)
@@ -541,35 +468,55 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
         for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
             // Propagate the forward slice at j0 through the segment with the
             // candidate's exact bits, then close with the backward slice.
-            cur.assign(a.rows[j0].begin(), a.rows[j0].end());
-            for (std::size_t l = 0; l < seg_len; ++l) {
+            std::fill(cur.begin(), cur.end(), 0.0);
+            int wlo = eng.band_lo(j0), whi = eng.band_hi(j0);
+            const double* arow = eng.alpha_row(j0);
+            for (int d = wlo; d <= whi; ++d) cur[eng.idx(d)] = arow[eng.idx(d)];
+            for (std::size_t l = 0; l < seg_len && wlo <= whi; ++l) {
                 const std::size_t j = j0 + l + 1;
-                std::fill(point.begin(), point.end(), 0.0);
-                point[candidates[ci][l]] = 1.0;
-                std::fill(next.begin(), next.end(), 0.0);
-                for (int dp = -lat.d_max; dp <= lat.d_max; ++dp) {
-                    if (!lat.drift_ok(j - 1, dp)) continue;
-                    const double ap = cur[lat.idx(dp)];
+                const std::uint8_t sym = candidates[ci][l];
+                int clo = 0, chi = -1;
+                if (!eng.valid_window(j, clo, chi)) {
+                    wlo = 1;
+                    whi = 0;
+                    break;
+                }
+                clo = std::max(clo, wlo - 1);
+                chi = std::min(chi, whi + run - 1);
+                if (clo > chi) {
+                    wlo = 1;
+                    whi = 0;
+                    break;
+                }
+                for (int d = clo; d <= chi; ++d) next[eng.idx(d)] = 0.0;
+                for (int dp = wlo; dp <= whi; ++dp) {
+                    const double ap = cur[eng.idx(dp)];
                     if (ap == 0.0) continue;
                     const std::size_t r0 =
                         static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
-                    for (int g = 0; g <= params_.max_insert_run; ++g) {
+                    const int glo = std::max(0, clo - dp + 1);
+                    const int ghi = std::min(run, chi - dp + 1);
+                    for (int g = glo; g <= ghi; ++g) {
                         const int d = dp + g - 1;
-                        if (!lat.drift_ok(j, d)) continue;
                         const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                        if (r1 > lat.m) break;
-                        double w = lat.ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
+                        double w = ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
                         if (g >= 1)
-                            w += lat.ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
-                                 lat.emit_prior(received[r1 - 1], point);
-                        next[lat.idx(d)] += ap * w;
+                            w += ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
+                                 eng.emit(received[r1 - 1], sym);
+                        next[eng.idx(d)] += ap * w;
                     }
                 }
-                cur.swap(next);
+                std::swap(cur, next);
+                wlo = clo;
+                whi = chi;
             }
             double like = 0.0;
-            const auto& beta = b.rows[j0 + seg_len];
-            for (std::size_t i = 0; i < width; ++i) like += cur[i] * beta[i];
+            int blo = 0, bhi = -1;
+            if (eng.beta_window(j0 + seg_len, blo, bhi)) {
+                const double* brow = eng.beta_row(j0 + seg_len);
+                const int lo2 = std::max(wlo, blo), hi2 = std::min(whi, bhi);
+                for (int d = lo2; d <= hi2; ++d) like += cur[eng.idx(d)] * brow[eng.idx(d)];
+            }
             out(t, ci) = like;
             row_norm += like;
         }

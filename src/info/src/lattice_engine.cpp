@@ -1,0 +1,47 @@
+#include "ccap/info/lattice_engine.hpp"
+
+namespace ccap::info {
+
+DriftTables::DriftTables(const DriftParams& p)
+    : p_t(p.p_t()), inv_m(1.0 / static_cast<double>(p.alphabet)) {
+    ins_pow.resize(static_cast<std::size_t>(p.max_insert_run) + 1);
+    ins_pow[0] = 1.0;
+    for (std::size_t g = 1; g < ins_pow.size(); ++g) ins_pow[g] = ins_pow[g - 1] * p.p_i * inv_m;
+    // Hoist the per-cell emission branch into one M x M table; emit()
+    // runs in the innermost (j, d, g) loops of every pass.
+    const auto m_alpha = static_cast<std::size_t>(p.alphabet);
+    const double p_sub = p.p_s / (static_cast<double>(p.alphabet) - 1.0);
+    emit_tab.assign(m_alpha * m_alpha, p_sub);
+    for (std::size_t s = 0; s < m_alpha; ++s) emit_tab[s * m_alpha + s] = 1.0 - p.p_s;
+    // Pre-folded branch weights; the products carry the same value bit for
+    // bit as the inline ins_pow[g] * p_d / ins_pow[g] * p_t() expressions.
+    del_w.resize(ins_pow.size());
+    tx_w.resize(ins_pow.size());
+    for (std::size_t g = 0; g < ins_pow.size(); ++g) {
+        del_w[g] = ins_pow[g] * p.p_d;
+        tx_w[g] = ins_pow[g] * p.p_t();
+    }
+}
+
+namespace {
+
+// Per-thread free list of workspaces. A lease pops (so nested leases on the
+// same thread get distinct arenas, e.g. a segment_likelihoods candidate
+// callback that itself runs a DriftHmm query) and the destructor pushes
+// back, so each pool worker converges on its own steady-state buffers.
+thread_local std::vector<std::unique_ptr<LatticeWorkspace>> tls_free_list;
+
+}  // namespace
+
+ScopedWorkspace::ScopedWorkspace() {
+    if (!tls_free_list.empty()) {
+        ws_ = std::move(tls_free_list.back());
+        tls_free_list.pop_back();
+    } else {
+        ws_ = std::make_unique<LatticeWorkspace>();
+    }
+}
+
+ScopedWorkspace::~ScopedWorkspace() { tls_free_list.push_back(std::move(ws_)); }
+
+}  // namespace ccap::info

@@ -1,0 +1,589 @@
+// Tests for the zero-allocation banded lattice engine (lattice_engine.hpp).
+//
+// The contract under test has three layers:
+//   1. band_eps = 0 is *bit-identical* to the seed DriftHmm implementation
+//      (asserted with EXPECT_EQ against a faithful re-implementation of the
+//      seed's vector<vector<double>> lattice embedded below);
+//   2. band_eps > 0 only lowers the evidence, and the exact-minus-banded
+//      error is always within the certified slack (docs/THEORY.md §11);
+//   3. reusing one LatticeWorkspace across heterogeneous calls changes
+//      nothing — results are bit-identical to fresh-workspace runs, and the
+//      Monte-Carlo estimators stay thread-count invariant with per-worker
+//      workspaces (the ParallelMc test also runs under TSan in tier1).
+#include "ccap/info/lattice_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using ccap::info::BandedEvidence;
+using ccap::info::DriftHmm;
+using ccap::info::DriftParams;
+using ccap::info::LatticeWorkspace;
+using ccap::info::MarkovSource;
+using ccap::info::McOptions;
+using ccap::util::Matrix;
+using ccap::util::Rng;
+
+using Bits = std::vector<std::uint8_t>;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Faithful re-implementation of the pre-engine (seed) lattice: full-band
+// vector<vector<double>> rows, identical loop structure and floating-point
+// operation order. This is the bit-identity reference.
+// ---------------------------------------------------------------------------
+
+struct LegacySlices {
+    std::vector<std::vector<double>> rows;
+    std::vector<double> log2_scale;
+};
+
+struct LegacyLattice {
+    const DriftParams& p;
+    std::span<const std::uint8_t> rx;
+    std::size_t n, m;
+    int d_max;
+    std::size_t width;
+    double inv_m_alpha;
+    std::vector<double> ins_pow, emit_tab, trail_pow;
+
+    LegacyLattice(const DriftParams& params, std::span<const std::uint8_t> received,
+                  std::size_t tx_len)
+        : p(params),
+          rx(received),
+          n(tx_len),
+          m(received.size()),
+          d_max(params.max_drift),
+          width(static_cast<std::size_t>(2 * params.max_drift + 1)),
+          inv_m_alpha(1.0 / static_cast<double>(params.alphabet)) {
+        ins_pow.resize(static_cast<std::size_t>(p.max_insert_run) + 1);
+        ins_pow[0] = 1.0;
+        for (std::size_t g = 1; g < ins_pow.size(); ++g)
+            ins_pow[g] = ins_pow[g - 1] * p.p_i * inv_m_alpha;
+        const auto m_alpha = static_cast<std::size_t>(p.alphabet);
+        const double p_sub = p.p_s / (static_cast<double>(p.alphabet) - 1.0);
+        emit_tab.assign(m_alpha * m_alpha, p_sub);
+        for (std::size_t s = 0; s < m_alpha; ++s) emit_tab[s * m_alpha + s] = 1.0 - p.p_s;
+        trail_pow.resize(m + 1);
+        trail_pow[0] = 1.0;
+        for (std::size_t k = 1; k <= m; ++k)
+            trail_pow[k] = trail_pow[k - 1] * p.p_i * inv_m_alpha;
+    }
+
+    [[nodiscard]] std::size_t idx(int d) const { return static_cast<std::size_t>(d + d_max); }
+    [[nodiscard]] bool drift_ok(std::size_t j, int d) const {
+        if (d < -d_max || d > d_max) return false;
+        const long long r = static_cast<long long>(j) + d;
+        return r >= 0 && r <= static_cast<long long>(m);
+    }
+    [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const {
+        return emit_tab[static_cast<std::size_t>(r) * p.alphabet + s];
+    }
+    [[nodiscard]] double emit_prior(std::uint8_t r, std::span<const double> q) const {
+        const double* row = emit_tab.data() + static_cast<std::size_t>(r) * p.alphabet;
+        double e = 0.0;
+        for (std::size_t s = 0; s < q.size(); ++s) e += q[s] * row[s];
+        return e;
+    }
+    [[nodiscard]] double trailing(int d) const {
+        const long long k = static_cast<long long>(m) - (static_cast<long long>(n) + d);
+        if (k < 0) return 0.0;
+        return trail_pow[static_cast<std::size_t>(k)] * (1.0 - p.p_i);
+    }
+
+    template <typename PriorFn>
+    LegacySlices forward(PriorFn&& prior_row) const {
+        LegacySlices a;
+        a.rows.assign(n + 1, std::vector<double>(width, 0.0));
+        a.log2_scale.assign(n + 1, 0.0);
+        a.rows[0][idx(0)] = 1.0;
+        for (std::size_t j = 1; j <= n; ++j) {
+            const auto q = prior_row(j - 1);
+            auto& cur = a.rows[j];
+            const auto& prev = a.rows[j - 1];
+            for (int dp = -d_max; dp <= d_max; ++dp) {
+                if (!drift_ok(j - 1, dp)) continue;
+                const double ap = prev[idx(dp)];
+                if (ap == 0.0) continue;
+                const std::size_t r0 =
+                    static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+                for (int g = 0; g <= p.max_insert_run; ++g) {
+                    const int d = dp + g - 1;
+                    if (!drift_ok(j, d)) continue;
+                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                    if (r1 > m) break;
+                    double w = 0.0;
+                    w += ins_pow[static_cast<std::size_t>(g)] * p.p_d;
+                    if (g >= 1)
+                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
+                             emit_prior(rx[r1 - 1], q);
+                    cur[idx(d)] += ap * w;
+                }
+            }
+            double norm = 0.0;
+            for (double v : cur) norm += v;
+            if (norm <= 0.0) {
+                a.log2_scale[j] = kNegInf;
+                continue;
+            }
+            for (double& v : cur) v /= norm;
+            a.log2_scale[j] = a.log2_scale[j - 1] + std::log2(norm);
+        }
+        return a;
+    }
+
+    template <typename PriorFn>
+    LegacySlices backward(PriorFn&& prior_row) const {
+        LegacySlices b;
+        b.rows.assign(n + 1, std::vector<double>(width, 0.0));
+        b.log2_scale.assign(n + 1, 0.0);
+        {
+            auto& last = b.rows[n];
+            double norm = 0.0;
+            for (int d = -d_max; d <= d_max; ++d) {
+                if (!drift_ok(n, d)) continue;
+                last[idx(d)] = trailing(d);
+                norm += last[idx(d)];
+            }
+            if (norm > 0.0) {
+                for (double& v : last) v /= norm;
+                b.log2_scale[n] = std::log2(norm);
+            } else {
+                b.log2_scale[n] = kNegInf;
+            }
+        }
+        for (std::size_t j = n; j-- > 0;) {
+            const auto q = prior_row(j);
+            auto& cur = b.rows[j];
+            const auto& next = b.rows[j + 1];
+            for (int dp = -d_max; dp <= d_max; ++dp) {
+                if (!drift_ok(j, dp)) continue;
+                const std::size_t r0 =
+                    static_cast<std::size_t>(static_cast<long long>(j) + dp);
+                double acc = 0.0;
+                for (int g = 0; g <= p.max_insert_run; ++g) {
+                    const int d = dp + g - 1;
+                    if (!drift_ok(j + 1, d)) continue;
+                    const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                    if (r1 > m) break;
+                    double w = ins_pow[static_cast<std::size_t>(g)] * p.p_d;
+                    if (g >= 1)
+                        w += ins_pow[static_cast<std::size_t>(g - 1)] * p.p_t() *
+                             emit_prior(rx[r1 - 1], q);
+                    acc += w * next[idx(d)];
+                }
+                cur[idx(dp)] = acc;
+            }
+            double norm = 0.0;
+            for (double v : cur) norm += v;
+            if (norm <= 0.0) {
+                b.log2_scale[j] = kNegInf;
+                continue;
+            }
+            for (double& v : cur) v /= norm;
+            b.log2_scale[j] = b.log2_scale[j + 1] + std::log2(norm);
+        }
+        return b;
+    }
+};
+
+double legacy_log2_likelihood(const DriftParams& params, const Bits& tx, const Bits& rx) {
+    LegacyLattice lat(params, rx, tx.size());
+    std::vector<double> point(params.alphabet, 0.0);
+    const auto prior = [&](std::size_t j) -> std::span<const double> {
+        std::fill(point.begin(), point.end(), 0.0);
+        point[tx[j]] = 1.0;
+        return point;
+    };
+    const LegacySlices a = lat.forward(prior);
+    if (a.log2_scale.back() == kNegInf) return kNegInf;
+    double tail = 0.0;
+    for (int d = -params.max_drift; d <= params.max_drift; ++d)
+        if (lat.drift_ok(tx.size(), d)) tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
+    if (tail <= 0.0) return kNegInf;
+    return a.log2_scale.back() + std::log2(tail);
+}
+
+Matrix legacy_posteriors(const DriftParams& params, const Matrix& priors, const Bits& rx,
+                         double* log2_evidence) {
+    const std::size_t n = priors.rows();
+    const unsigned m_alpha = params.alphabet;
+    LegacyLattice lat(params, rx, n);
+    const auto prior = [&](std::size_t j) { return priors.row(j); };
+    const LegacySlices a = lat.forward(prior);
+    const LegacySlices b = lat.backward(prior);
+
+    if (log2_evidence != nullptr) {
+        double tail = 0.0;
+        for (int d = -params.max_drift; d <= params.max_drift; ++d)
+            if (lat.drift_ok(n, d)) tail += a.rows.back()[lat.idx(d)] * lat.trailing(d);
+        *log2_evidence = (tail > 0.0 && a.log2_scale.back() != kNegInf)
+                             ? a.log2_scale.back() + std::log2(tail)
+                             : kNegInf;
+    }
+
+    Matrix post(n, m_alpha);
+    std::vector<double> w(m_alpha, 0.0);
+    for (std::size_t j = 1; j <= n; ++j) {
+        std::fill(w.begin(), w.end(), 0.0);
+        double w_del = 0.0;
+        for (int dp = -params.max_drift; dp <= params.max_drift; ++dp) {
+            if (!lat.drift_ok(j - 1, dp)) continue;
+            const double ap = a.rows[j - 1][lat.idx(dp)];
+            if (ap == 0.0) continue;
+            const std::size_t r0 =
+                static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+            for (int g = 0; g <= params.max_insert_run; ++g) {
+                const int d = dp + g - 1;
+                if (!lat.drift_ok(j, d)) continue;
+                const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                if (r1 > lat.m) break;
+                const double beta = b.rows[j][lat.idx(d)];
+                if (beta == 0.0) continue;
+                w_del += ap * lat.ins_pow[static_cast<std::size_t>(g)] * params.p_d * beta;
+                if (g >= 1) {
+                    const double base = ap * lat.ins_pow[static_cast<std::size_t>(g - 1)] *
+                                        params.p_t() * beta;
+                    const std::uint8_t r = rx[r1 - 1];
+                    for (unsigned s = 0; s < m_alpha; ++s)
+                        w[s] += base * lat.emit(r, static_cast<std::uint8_t>(s));
+                }
+            }
+        }
+        double norm = 0.0;
+        for (unsigned s = 0; s < m_alpha; ++s) {
+            const double v = priors(j - 1, s) * (w[s] + w_del);
+            post(j - 1, s) = v;
+            norm += v;
+        }
+        if (norm > 0.0) {
+            for (unsigned s = 0; s < m_alpha; ++s) post(j - 1, s) /= norm;
+        } else {
+            for (unsigned s = 0; s < m_alpha; ++s) post(j - 1, s) = priors(j - 1, s);
+        }
+    }
+    return post;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+Bits random_symbols(std::size_t len, unsigned alphabet, Rng& rng) {
+    Bits out(len);
+    for (auto& s : out) s = static_cast<std::uint8_t>(rng.uniform_below(alphabet));
+    return out;
+}
+
+Matrix random_priors(std::size_t rows, unsigned alphabet, Rng& rng) {
+    Matrix m(rows, alphabet);
+    for (std::size_t j = 0; j < rows; ++j) {
+        double sum = 0.0;
+        for (unsigned s = 0; s < alphabet; ++s) {
+            m(j, s) = 0.05 + rng.uniform();
+            sum += m(j, s);
+        }
+        for (unsigned s = 0; s < alphabet; ++s) m(j, s) /= sum;
+    }
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// band_eps parameter validation
+// ---------------------------------------------------------------------------
+
+TEST(LatticeEngine, BandEpsValidation) {
+    DriftParams p{0.05, 0.05, 0.01, 2, 16, 8};
+    EXPECT_NO_THROW(p.validate());
+    p.band_eps = 0.5;
+    EXPECT_NO_THROW(p.validate());
+    p.band_eps = -1e-9;
+    EXPECT_THROW(p.validate(), std::domain_error);
+    p.band_eps = 1.0;
+    EXPECT_THROW(p.validate(), std::domain_error);
+    p.band_eps = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(p.validate(), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Exact-mode (band_eps = 0) bit-identity against the seed implementation
+// ---------------------------------------------------------------------------
+
+TEST(LatticeEngine, ExactModeBitIdenticalToLegacyLikelihood) {
+    Rng rng(20250805);
+    for (const double pd : {0.0, 0.02, 0.1}) {
+        for (const double pi : {0.0, 0.03, 0.08}) {
+            DriftParams p{pd, pi, 0.02, 2, 12, 6};
+            const DriftHmm hmm(p);
+            for (int rep = 0; rep < 4; ++rep) {
+                const Bits tx = random_symbols(48, p.alphabet, rng);
+                const Bits rx = ccap::info::simulate_drift_channel(tx, p, rng);
+                const double legacy = legacy_log2_likelihood(p, tx, rx);
+                const double fresh = hmm.log2_likelihood(tx, rx);
+                // EXPECT_EQ on doubles is exact binary equality — that is
+                // the contract, not an approximation.
+                EXPECT_EQ(legacy, fresh)
+                    << "pd=" << pd << " pi=" << pi << " rep=" << rep;
+            }
+        }
+    }
+}
+
+TEST(LatticeEngine, ExactModeBitIdenticalToLegacyPosteriors) {
+    Rng rng(424242);
+    DriftParams p{0.06, 0.04, 0.03, 4, 10, 6};
+    const DriftHmm hmm(p);
+    for (int rep = 0; rep < 3; ++rep) {
+        const Bits tx = random_symbols(32, p.alphabet, rng);
+        const Bits rx = ccap::info::simulate_drift_channel(tx, p, rng);
+        const Matrix priors = random_priors(tx.size(), p.alphabet, rng);
+
+        double legacy_ev = 0.0, fresh_ev = 0.0;
+        const Matrix legacy = legacy_posteriors(p, priors, rx, &legacy_ev);
+        const Matrix fresh = hmm.posteriors(priors, rx, &fresh_ev);
+
+        EXPECT_EQ(legacy_ev, fresh_ev);
+        ASSERT_EQ(legacy.rows(), fresh.rows());
+        ASSERT_EQ(legacy.cols(), fresh.cols());
+        for (std::size_t j = 0; j < legacy.rows(); ++j)
+            for (std::size_t s = 0; s < legacy.cols(); ++s)
+                EXPECT_EQ(legacy(j, s), fresh(j, s)) << "j=" << j << " s=" << s;
+    }
+}
+
+TEST(LatticeEngine, DeadLatticeStaysDeadAndBitIdentical) {
+    // Clean channel + mismatched received: unreachable within truncations.
+    DriftParams p{0.0, 0.0, 0.0, 2, 8, 4};
+    const DriftHmm hmm(p);
+    const Bits tx = {0, 1, 1, 0};
+    const Bits rx = {0, 0, 1, 0};
+    EXPECT_EQ(legacy_log2_likelihood(p, tx, rx), hmm.log2_likelihood(tx, rx));
+    EXPECT_TRUE(std::isinf(hmm.log2_likelihood(tx, rx)));
+
+    // Posteriors on a dead lattice fall back to the priors, as in the seed.
+    Rng rng(7);
+    const Matrix priors = random_priors(tx.size(), p.alphabet, rng);
+    double legacy_ev = 0.0, fresh_ev = 0.0;
+    const Matrix legacy = legacy_posteriors(p, priors, rx, &legacy_ev);
+    const Matrix fresh = hmm.posteriors(priors, rx, &fresh_ev);
+    EXPECT_EQ(legacy_ev, fresh_ev);
+    for (std::size_t j = 0; j < legacy.rows(); ++j)
+        for (std::size_t s = 0; s < legacy.cols(); ++s)
+            EXPECT_EQ(legacy(j, s), fresh(j, s));
+}
+
+// ---------------------------------------------------------------------------
+// Banded mode: evidence only drops, and the drop is within certified slack
+// ---------------------------------------------------------------------------
+
+TEST(LatticeEngine, BandedErrorWithinCertifiedSlack) {
+    Rng rng(99173);
+    // Headroom for the slack comparison itself: the bound is proved for
+    // exact arithmetic; accumulated rounding in the comparison needs a few
+    // ulps of grace, far below any meaningful violation.
+    constexpr double kFpSlop = 1e-6;
+    for (const double pd : {0.01, 0.05, 0.15}) {
+        for (const double pi : {0.01, 0.05, 0.15}) {
+            DriftParams exact_p{pd, pi, 0.02, 2, 16, 8};
+            const DriftHmm exact_hmm(exact_p);
+            const Bits tx = random_symbols(96, exact_p.alphabet, rng);
+            const Bits rx = ccap::info::simulate_drift_channel(tx, exact_p, rng);
+            const double exact = exact_hmm.log2_likelihood(tx, rx);
+            ASSERT_TRUE(std::isfinite(exact));
+
+            for (const double eps : {1e-12, 1e-8, 1e-4}) {
+                DriftParams banded_p = exact_p;
+                banded_p.band_eps = eps;
+                const DriftHmm banded_hmm(banded_p);
+                ccap::info::ScopedWorkspace ws;
+                const BandedEvidence ev = banded_hmm.log2_likelihood_banded(tx, rx, ws);
+                ASSERT_TRUE(std::isfinite(ev.log2_evidence))
+                    << "pd=" << pd << " pi=" << pi << " eps=" << eps;
+                // Pruning only removes probability mass: banded <= exact.
+                EXPECT_LE(ev.log2_evidence, exact + kFpSlop);
+                // ... and the loss is certified.
+                EXPECT_GE(ev.log2_slack, 0.0);
+                EXPECT_LE(exact - ev.log2_evidence, ev.log2_slack + kFpSlop)
+                    << "pd=" << pd << " pi=" << pi << " eps=" << eps;
+            }
+        }
+    }
+}
+
+TEST(LatticeEngine, ZeroEpsBandedEvidenceHasZeroSlack) {
+    Rng rng(31337);
+    DriftParams p{0.05, 0.05, 0.01, 2, 16, 8};
+    const DriftHmm hmm(p);
+    const Bits tx = random_symbols(64, p.alphabet, rng);
+    const Bits rx = ccap::info::simulate_drift_channel(tx, p, rng);
+    ccap::info::ScopedWorkspace ws;
+    const BandedEvidence ev = hmm.log2_likelihood_banded(tx, rx, ws);
+    EXPECT_EQ(ev.log2_slack, 0.0);
+    EXPECT_EQ(ev.log2_evidence, hmm.log2_likelihood(tx, rx));
+}
+
+TEST(LatticeEngine, BandedMarkovMarginalWithinSlack) {
+    Rng rng(5150);
+    DriftParams exact_p{0.05, 0.03, 0.01, 2, 16, 8};
+    const MarkovSource source = MarkovSource::binary_repeat(0.8);
+    const DriftHmm exact_hmm(exact_p);
+    const Bits tx = random_symbols(64, exact_p.alphabet, rng);
+    const Bits rx = ccap::info::simulate_drift_channel(tx, exact_p, rng);
+    const double exact = exact_hmm.log2_markov_marginal(source, tx.size(), rx);
+    ASSERT_TRUE(std::isfinite(exact));
+
+    for (const double eps : {1e-12, 1e-6}) {
+        DriftParams banded_p = exact_p;
+        banded_p.band_eps = eps;
+        const DriftHmm banded_hmm(banded_p);
+        ccap::info::ScopedWorkspace ws;
+        const BandedEvidence ev =
+            banded_hmm.log2_markov_marginal_banded(source, tx.size(), rx, ws);
+        ASSERT_TRUE(std::isfinite(ev.log2_evidence));
+        EXPECT_LE(ev.log2_evidence, exact + 1e-6);
+        EXPECT_LE(exact - ev.log2_evidence, ev.log2_slack + 1e-6) << "eps=" << eps;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse: one arena across heterogeneous calls, bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(LatticeEngine, WorkspaceReuseIsBitIdentical) {
+    Rng rng(8086);
+    DriftParams p{0.05, 0.04, 0.02, 2, 12, 6};
+    const DriftHmm hmm(p);
+    const MarkovSource source = MarkovSource::binary_repeat(0.7);
+
+    // Two different problem sizes so the shared workspace is exercised both
+    // growing and shrinking between calls (stale high-water cells must never
+    // leak into a smaller problem).
+    const Bits tx_a = random_symbols(40, p.alphabet, rng);
+    const Bits rx_a = ccap::info::simulate_drift_channel(tx_a, p, rng);
+    const Bits tx_b = random_symbols(24, p.alphabet, rng);
+    const Bits rx_b = ccap::info::simulate_drift_channel(tx_b, p, rng);
+    const Matrix priors_a = random_priors(tx_a.size(), p.alphabet, rng);
+    const Matrix priors_b = random_priors(tx_b.size(), p.alphabet, rng);
+    const std::vector<Bits> candidates = {{0, 0, 0, 0}, {0, 1, 0, 1}, {1, 1, 1, 1}};
+    const DriftHmm::CandidateFn cand_fn = [&](std::size_t) {
+        return std::span<const Bits>(candidates);
+    };
+
+    // Reference: every call on its own fresh workspace.
+    const auto fresh = [&] {
+        struct Out {
+            double lik_a, lik_b, markov_b;
+            Matrix post_a{0, 0}, seg_b{0, 0};
+            DriftHmm::EventExpectations ev_a;
+        } out{};
+        {
+            LatticeWorkspace ws;
+            out.lik_a = hmm.log2_likelihood(tx_a, rx_a, ws);
+        }
+        {
+            LatticeWorkspace ws;
+            out.post_a = hmm.posteriors(priors_a, rx_a, ws);
+        }
+        {
+            LatticeWorkspace ws;
+            out.ev_a = hmm.expected_events(tx_a, rx_a, ws);
+        }
+        {
+            LatticeWorkspace ws;
+            out.lik_b = hmm.log2_likelihood(tx_b, rx_b, ws);
+        }
+        {
+            LatticeWorkspace ws;
+            out.seg_b = hmm.segment_likelihoods(priors_b, rx_b, 4, candidates.size(),
+                                                cand_fn, ws);
+        }
+        {
+            LatticeWorkspace ws;
+            out.markov_b = hmm.log2_markov_marginal(source, tx_b.size(), rx_b, ws);
+        }
+        return out;
+    }();
+
+    // Same sequence of calls through ONE shared workspace, twice over.
+    LatticeWorkspace shared;
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_EQ(fresh.lik_a, hmm.log2_likelihood(tx_a, rx_a, shared)) << round;
+        const Matrix post_a = hmm.posteriors(priors_a, rx_a, shared);
+        for (std::size_t j = 0; j < post_a.rows(); ++j)
+            for (std::size_t s = 0; s < post_a.cols(); ++s)
+                EXPECT_EQ(fresh.post_a(j, s), post_a(j, s));
+        const auto ev_a = hmm.expected_events(tx_a, rx_a, shared);
+        EXPECT_EQ(fresh.ev_a.deletions, ev_a.deletions);
+        EXPECT_EQ(fresh.ev_a.insertions, ev_a.insertions);
+        EXPECT_EQ(fresh.ev_a.transmissions, ev_a.transmissions);
+        EXPECT_EQ(fresh.ev_a.substitutions, ev_a.substitutions);
+        EXPECT_EQ(fresh.ev_a.log2_likelihood, ev_a.log2_likelihood);
+        EXPECT_EQ(fresh.lik_b, hmm.log2_likelihood(tx_b, rx_b, shared)) << round;
+        const Matrix seg_b =
+            hmm.segment_likelihoods(priors_b, rx_b, 4, candidates.size(), cand_fn, shared);
+        for (std::size_t t = 0; t < seg_b.rows(); ++t)
+            for (std::size_t c = 0; c < seg_b.cols(); ++c)
+                EXPECT_EQ(fresh.seg_b(t, c), seg_b(t, c));
+        EXPECT_EQ(fresh.markov_b, hmm.log2_markov_marginal(source, tx_b.size(), rx_b, shared))
+            << round;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker workspaces in the Monte-Carlo estimators: thread-count
+// invariance with banding on. Named ParallelMc* so tier1's TSan stage
+// (ctest -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc') runs it.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMcWorkspace, BandedIidEstimateInvariantInThreadCount) {
+    DriftParams p{0.05, 0.03, 0.01, 2, 16, 8};
+    McOptions opts;
+    opts.block_len = 48;
+    opts.num_blocks = 12;
+    opts.band_eps = 1e-8;
+
+    opts.threads = 1;
+    Rng rng_serial(2026);
+    const auto serial = ccap::info::iid_mutual_information_rate(p, opts, rng_serial);
+
+    opts.threads = 8;
+    Rng rng_parallel(2026);
+    const auto parallel = ccap::info::iid_mutual_information_rate(p, opts, rng_parallel);
+
+    EXPECT_EQ(serial.rate, parallel.rate);
+    EXPECT_EQ(serial.sem, parallel.sem);
+    EXPECT_EQ(serial.blocks, parallel.blocks);
+}
+
+TEST(ParallelMcWorkspace, BandedMarkovEstimateInvariantInThreadCount) {
+    DriftParams p{0.04, 0.02, 0.0, 2, 16, 8};
+    const MarkovSource source = MarkovSource::binary_repeat(0.8);
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 8;
+    opts.band_eps = 1e-10;
+
+    opts.threads = 1;
+    Rng rng_serial(11);
+    const auto serial = ccap::info::markov_mutual_information_rate(p, source, opts, rng_serial);
+
+    opts.threads = 8;
+    Rng rng_parallel(11);
+    const auto parallel =
+        ccap::info::markov_mutual_information_rate(p, source, opts, rng_parallel);
+
+    EXPECT_EQ(serial.rate, parallel.rate);
+    EXPECT_EQ(serial.sem, parallel.sem);
+}
+
+}  // namespace
