@@ -114,6 +114,7 @@ int main() {
         .field("block_len", static_cast<std::uint64_t>(opts.block_len))
         .field("blocks", static_cast<std::uint64_t>(opts.num_blocks))
         .field("hardware_threads", static_cast<std::uint64_t>(hw))
+        .field("batch", static_cast<std::uint64_t>(info::resolved_mc_batch(opts, dp)))
         .field("serial_sec", serial_sec)
         .field("parallel_sec", parallel_sec)
         .field("speedup", parallel_sec > 0.0 ? serial_sec / parallel_sec : 0.0)

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in BENCH_*.json baseline in one command.
+#
+#   ./scripts/bench_all.sh            # rebuild benches, rerun, refresh baselines
+#
+# Builds the bench harnesses in build/bench_build (tests/examples off so the
+# turnaround stays short), runs every harness that persists a BENCH record,
+# and copies the fresh record over each baseline that is checked in at the
+# repo root. Records for benches without a checked-in baseline are left in
+# build/bench_build for inspection; check one in by copying it to the repo
+# root once, after which this script keeps it fresh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build/bench_build
+cmake -B "$BUILD" -S . \
+    -DCCAP_BUILD_BENCH=ON \
+    -DCCAP_BUILD_TESTS=OFF \
+    -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target \
+    bench_e1_theorem1_upper \
+    bench_e3_theorem5_lower \
+    bench_e4_convergence \
+    bench_x10_lattice_kernel \
+    bench_x11_batch_lattice
+
+# Each harness writes BENCH_<name>.json into its working directory.
+(
+    cd "$BUILD"
+    ./bench/bench_e1_theorem1_upper
+    ./bench/bench_e3_theorem5_lower
+    ./bench/bench_e4_convergence
+    ./bench/bench_x10_lattice_kernel
+    ./bench/bench_x11_batch_lattice
+)
+
+refreshed=0
+for baseline in BENCH_*.json; do
+    [[ -e "$baseline" ]] || continue
+    if [[ -f "$BUILD/$baseline" ]]; then
+        cp "$BUILD/$baseline" "$baseline"
+        echo "bench_all: refreshed $baseline"
+        refreshed=$((refreshed + 1))
+    else
+        echo "bench_all: warning: no fresh record for checked-in $baseline" >&2
+    fi
+done
+echo "bench_all: $refreshed baseline(s) refreshed"

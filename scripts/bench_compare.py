@@ -16,21 +16,26 @@ are better-higher; anything else is informational only.
 
 --lenient downgrades regressions in *timing* metrics to warnings (shared
 machines make wall-clocks noisy) while still failing on non-timing
-regressions such as bit_identical flipping to 0. scripts/tier1.sh uses
-this mode when a checked-in baseline exists.
+regressions such as bit_identical flipping to 0, and treats a missing
+baseline file as a warning (a new bench has no checked-in record yet).
+scripts/tier1.sh uses this mode when a checked-in baseline exists.
+
+A missing or unreadable input is reported as a one-line message, never a
+traceback.
 
 Exit status: 0 = no fatal regression, 1 = regression, 2 = usage/IO error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
 HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup")
 # Provenance / configuration fields are never compared.
-SKIP = {"name", "git_rev", "threads", "p_d", "p_i", "p_s", "band_eps"}
+SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps"}
 
 
 def classify(key: str):
@@ -45,15 +50,20 @@ def classify(key: str):
     return direction, any(m in k for m in TIMING_MARKERS)
 
 
-def load(path: str) -> dict:
+def load(path: str, role: str) -> dict:
+    """Read one BENCH record; exits with a one-line message (never a
+    traceback) when the file is missing or malformed."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
+    except FileNotFoundError:
+        print(f"bench_compare: {role} file not found: {path}", file=sys.stderr)
+        sys.exit(2)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"bench_compare: cannot read {path}: {exc}", file=sys.stderr)
+        print(f"bench_compare: cannot read {role} {path}: {exc}", file=sys.stderr)
         sys.exit(2)
     if not isinstance(data, dict):
-        print(f"bench_compare: {path} is not a flat JSON object", file=sys.stderr)
+        print(f"bench_compare: {role} {path} is not a flat JSON object", file=sys.stderr)
         sys.exit(2)
     return data
 
@@ -68,8 +78,14 @@ def main() -> int:
                     help="timing regressions warn instead of fail")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    if args.lenient and not os.path.exists(args.baseline):
+        # A brand-new bench has no checked-in baseline yet; in the lenient
+        # (CI gate) mode that is advisory, not fatal.
+        print(f"bench_compare: warning: no baseline at {args.baseline}; "
+              "nothing to compare (run scripts/bench_all.sh to create one)")
+        return 0
+    base = load(args.baseline, "baseline")
+    cand = load(args.candidate, "candidate")
 
     shared = [k for k in base if k in cand and k not in SKIP]
     only_base = [k for k in base if k not in cand and k not in SKIP]

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + tests, then the concurrency suite under TSan.
 #
-#   ./scripts/tier1.sh            # both stages
+#   ./scripts/tier1.sh            # standard + TSan stages
 #   CCAP_SKIP_TSAN=1 ./scripts/tier1.sh   # standard stage only
+#   CCAP_RUN_ASAN=1 ./scripts/tier1.sh    # additionally run the info/util
+#                                         # tests under -fsanitize=address
+#                                         # (opt-in: ~3x slower, catches the
+#                                         # arena over/under-reads the SoA
+#                                         # lattice layouts are prone to)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +31,16 @@ for baseline in BENCH_*.json; do
         fi
     done
 done
+
+if [[ "${CCAP_RUN_ASAN:-0}" == "1" ]]; then
+    echo "== tier1: info/util tests under -fsanitize=address (opt-in) =="
+    cmake -B build-asan -S . \
+        -DCCAP_SANITIZE=address \
+        -DCCAP_BUILD_BENCH=OFF \
+        -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build build-asan -j"$(nproc)" --target ccap_util_tests ccap_info_tests
+    (cd build-asan && ctest --output-on-failure -R 'ccap_util|ccap_info|Lattice|BatchLattice|ParallelMc|Drift')
+fi
 
 if [[ "${CCAP_SKIP_TSAN:-0}" == "1" ]]; then
     echo "== tier1: TSan stage skipped (CCAP_SKIP_TSAN=1) =="

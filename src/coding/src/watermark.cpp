@@ -106,6 +106,9 @@ WatermarkCode::DecodeResult WatermarkCode::decode(std::span<const std::uint8_t> 
                     codebook_[c][j] ^ watermark_[t * params_.chunk_bits + j];
         return seg_candidates;
     };
+    // segment_likelihoods advances all q candidate substitutions of a segment
+    // in lockstep through the batched SoA lattice, so one decode pass costs a
+    // single batched sweep per segment rather than q scalar sweeps.
     const util::Matrix likelihoods =
         hmm.segment_likelihoods(priors, received, params_.chunk_bits, q, provider, ws);
 

@@ -1,0 +1,484 @@
+// Batched structure-of-arrays lattice kernel for the drift HMM.
+//
+// Every Monte-Carlo capacity bound reduces to thousands of *independent*
+// forward/backward sweeps over the drift lattice. The scalar LatticeEngine
+// (lattice_engine.hpp) walks one sequence at a time, so each inner-loop
+// trip pays row bookkeeping, band-edge branches and an emission-table
+// gather per cell. BatchLatticeEngine advances B sequences of the same
+// transmitted length in lockstep instead:
+//
+//   * Rows are laid out structure-of-arrays, [drift_state][lane]: the cell
+//     for (row j, drift d, lane l) lives at (j * width + idx(d)) * B + l,
+//     so the hot inner loops run over contiguous lanes, branch-free and
+//     auto-vectorizable (CCAP_NATIVE_ARCH picks up AVX2/FMA where
+//     available). All arenas come from the same grow-only LatticeWorkspace
+//     the scalar engine uses — steady state is allocation-free.
+//
+//   * Per-row band windows and transition weights are computed once and
+//     shared across lanes. The emission factor of a transmission landing
+//     at drift d depends only on (row, d) — received index (j-1) + d — so
+//     one emission plane per row replaces the scalar engine's per-(source,
+//     run-length) emission gathers, a max_insert_run-fold reduction.
+//
+//   * Received sequences may have ragged lengths. They are packed into a
+//     zero-padded SoA arena; the union drift window is swept and, after
+//     accumulation, each lane's cells beyond its own valid window
+//     (d > m_l - j) are masked back to exactly 0.0. Because the low edge
+//     of the valid window is lane-independent and interleaved +0.0
+//     contributions are exact no-ops on non-negative cells, every lane's
+//     normalized rows, scales and evidences are BIT-IDENTICAL to the
+//     scalar engine at band_eps = 0 (EXPECT_EQ-asserted in
+//     tests/info_batch_lattice_test.cpp).
+//
+//   * Adaptive-band mode (band_eps > 0) keeps one shared band: a drift
+//     column is trimmed only when every lane with mass in the current row
+//     is below its own band_eps * row_max threshold, and the pruned mass
+//     is accumulated per lane. Each lane therefore keeps its own certified
+//     slack bound (banded <= exact <= banded + slack, THEORY.md section
+//     11); the shared band is the union of what per-lane banding would
+//     keep, so batched banded evidence is never below the scalar banded
+//     evidence, and the bound is never looser per lane.
+//
+// DriftHmm's *_batch entry points (drift_hmm.hpp, implemented in
+// batch_lattice.cpp) wrap this engine; deletion_bounds.cpp feeds each
+// Monte-Carlo thread's blocks through them in McOptions::batch-sized
+// tiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "ccap/info/drift_hmm.hpp"
+#include "ccap/info/lattice_engine.hpp"
+
+namespace ccap::info {
+
+class BatchLatticeEngine {
+public:
+    /// Binds parameters, tables and a workspace to one lockstep call over
+    /// `received.size()` lanes sharing transmitted length `tx_len`.
+    /// Allocation-free once the workspace has warmed up.
+    BatchLatticeEngine(const DriftParams& params, const DriftTables& tables,
+                       std::span<const std::span<const std::uint8_t>> received,
+                       std::size_t tx_len, LatticeWorkspace& ws)
+        : p_(&params),
+          t_(&tables),
+          n_(tx_len),
+          lanes_(received.size()),
+          d_max_(params.max_drift),
+          width_(static_cast<std::size_t>(2 * params.max_drift + 1)) {
+        const std::size_t L = lanes_;
+        const auto ll = ws.lane_longs(2 * L);
+        m_ = ll.subspan(0, L);
+        alive_ = ll.subspan(L, L);
+        std::size_t m_max = 0;
+        for (std::size_t l = 0; l < L; ++l) {
+            m_[l] = static_cast<long long>(received[l].size());
+            m_max = std::max(m_max, received[l].size());
+        }
+        m_max_ = m_max;
+        // Zero-padded SoA pack of the received sequences; the pad symbol is
+        // arbitrary — cells that would consume it are masked back to zero.
+        rx_ = ws.rx_bytes(std::max<std::size_t>(1, m_max * L));
+        std::fill(rx_.begin(), rx_.end(), 0);
+        for (std::size_t l = 0; l < L; ++l) {
+            const auto& r = received[l];
+            for (std::size_t k = 0; k < r.size(); ++k) rx_[k * L + l] = r[k];
+        }
+        trail_ = ws.trail(m_max + 1);
+        trail_[0] = 1.0;
+        for (std::size_t k = 1; k <= m_max; ++k)
+            trail_[k] = trail_[k - 1] * params.p_i * t_->inv_m;
+        row_stride_ = width_ * L;
+        alpha_ = ws.alpha((n_ + 1) * row_stride_);
+        beta_ = ws.beta((n_ + 1) * row_stride_);
+        scale_a_ = ws.scales_a((n_ + 1) * L);
+        scale_b_ = ws.scales_b((n_ + 1) * L);
+        band_ = ws.bands(2 * (n_ + 1));
+        emit_ = ws.scratch(row_stride_);
+        const auto ld = ws.lane_doubles(5 * L);
+        norm_ = ld.subspan(0, L);
+        pruned_ = ld.subspan(L, L);
+        slack_ = ld.subspan(2 * L, L);
+        rmax_ = ld.subspan(3 * L, L);
+        acc_ = ld.subspan(4 * L, L);
+    }
+
+    [[nodiscard]] std::size_t n() const noexcept { return n_; }
+    [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+    [[nodiscard]] std::size_t m(std::size_t lane) const noexcept {
+        return static_cast<std::size_t>(m_[lane]);
+    }
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+    [[nodiscard]] int d_max() const noexcept { return d_max_; }
+    [[nodiscard]] std::size_t idx(int d) const noexcept {
+        return static_cast<std::size_t>(d + d_max_);
+    }
+
+    /// P(received symbol r | transmitted symbol s): emission-table lookup.
+    [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const noexcept {
+        return t_->emit_tab[static_cast<std::size_t>(r) * p_->alphabet + s];
+    }
+
+    /// SoA-packed received symbol of `lane` at position k (k < m(lane)).
+    [[nodiscard]] std::uint8_t rx(std::size_t lane, std::size_t k) const noexcept {
+        return rx_[k * lanes_ + lane];
+    }
+
+    /// Trailing-insertion factor of `lane` at final drift d.
+    [[nodiscard]] double trailing(std::size_t lane, int d) const noexcept {
+        const long long k = m_[lane] - (static_cast<long long>(n_) + d);
+        if (k < 0) return 0.0;
+        return trail_[static_cast<std::size_t>(k)] * (1.0 - p_->p_i);
+    }
+
+    /// Union drift window of row j over all lanes: the low edge is
+    /// lane-independent, the high edge uses the longest received sequence.
+    bool union_window(std::size_t j, int& lo, int& hi) const noexcept {
+        const long long vlo = std::max<long long>(-d_max_, -static_cast<long long>(j));
+        const long long vhi = std::min<long long>(
+            d_max_, static_cast<long long>(m_max_) - static_cast<long long>(j));
+        if (vlo > vhi) return false;
+        lo = static_cast<int>(vlo);
+        hi = static_cast<int>(vhi);
+        return true;
+    }
+
+    // Flat SoA row accessors (valid after the corresponding pass); the cell
+    // for (drift d, lane l) is row[idx(d) * lanes() + l].
+    [[nodiscard]] const double* alpha_row(std::size_t j) const noexcept {
+        return alpha_.data() + j * row_stride_;
+    }
+    [[nodiscard]] const double* beta_row(std::size_t j) const noexcept {
+        return beta_.data() + j * row_stride_;
+    }
+    [[nodiscard]] double alpha_scale(std::size_t j, std::size_t lane) const noexcept {
+        return scale_a_[j * lanes_ + lane];
+    }
+    [[nodiscard]] double beta_scale(std::size_t j, std::size_t lane) const noexcept {
+        return scale_b_[j * lanes_ + lane];
+    }
+    [[nodiscard]] int band_lo(std::size_t j) const noexcept { return band_[2 * j]; }
+    [[nodiscard]] int band_hi(std::size_t j) const noexcept { return band_[2 * j + 1]; }
+    [[nodiscard]] bool all_dead() const noexcept { return all_dead_; }
+    [[nodiscard]] bool lane_alive(std::size_t lane) const noexcept {
+        return alive_[lane] != 0;
+    }
+
+    /// Shared window the backward pass sweeps for row j (see
+    /// LatticeEngine::beta_window): forward band while banded and alive,
+    /// union valid window otherwise.
+    bool beta_window(std::size_t j, int& lo, int& hi) const noexcept {
+        if (banded_ && !all_dead_) {
+            lo = band_lo(j);
+            hi = band_hi(j);
+            return lo <= hi;
+        }
+        return union_window(j, lo, hi);
+    }
+
+    /// Lockstep forward pass. emit_plane(ed, j, rxr) must fill ed[0..lanes)
+    /// with each lane's emission factor for its received symbol rxr[l] at
+    /// transmitted position j — a whole-lane-row contract so callers can
+    /// vectorize the fill (batch_lattice.cpp specializes the binary
+    /// alphabet into branchless selects). With band_eps = 0, every lane's
+    /// rows/scales/evidence are bit-identical to a scalar LatticeEngine
+    /// run on that lane alone.
+    template <typename PlaneFn>
+    void forward(PlaneFn&& emit_plane, double band_eps) {
+        constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+        const std::size_t L = lanes_;
+        banded_ = band_eps > 0.0;
+        all_dead_ = false;
+        for (std::size_t l = 0; l < L; ++l) {
+            slack_[l] = 0.0;
+            alive_[l] = 1;
+            scale_a_[l] = 0.0;
+        }
+        double* c0 = alpha_.data() + idx(0) * L;
+        for (std::size_t l = 0; l < L; ++l) c0[l] = 1.0;
+        band_[0] = 0;
+        band_[1] = 0;
+
+        const int run = p_->max_insert_run;
+        for (std::size_t j = 1; j <= n_; ++j) {
+            const int plo = band_lo(j - 1), phi = band_hi(j - 1);
+            int clo = 0, chi = -1;
+            if (!union_window(j, clo, chi) || plo > phi) return kill_all_from(j);
+            clo = std::max(clo, plo - 1);
+            chi = std::min(chi, phi + run - 1);
+            if (clo > chi) return kill_all_from(j);
+
+            double* __restrict cur = alpha_.data() + j * row_stride_;
+            const double* __restrict prev = alpha_.data() + (j - 1) * row_stride_;
+
+            // One emission plane per row: a transmission landing at drift d
+            // consumed received index (j-1) + d regardless of where it came
+            // from. Lowest emission-reachable drift is the previous band lo.
+            for (int d = std::max(clo, plo); d <= chi; ++d) {
+                const std::uint8_t* rxr =
+                    rx_.data() +
+                    static_cast<std::size_t>(static_cast<long long>(j - 1) + d) * L;
+                emit_plane(emit_.data() + idx(d) * L, j - 1, rxr);
+            }
+
+            std::fill(cur + idx(clo) * L, cur + (idx(chi) + 1) * L, 0.0);
+            for (int dp = plo; dp <= phi; ++dp) {
+                const double* __restrict ap = prev + idx(dp) * L;
+                const int glo = std::max(0, clo - dp + 1);
+                const int ghi = std::min(run, chi - dp + 1);
+                int g = glo;
+                if (g == 0 && g <= ghi) {
+                    const double w0 = t_->del_w[0];
+                    double* __restrict c = cur + (idx(dp) - 1) * L;
+                    for (std::size_t l = 0; l < L; ++l) c[l] += ap[l] * w0;
+                    g = 1;
+                }
+                for (; g <= ghi; ++g) {
+                    const double dw = t_->del_w[static_cast<std::size_t>(g)];
+                    const double tw = t_->tx_w[static_cast<std::size_t>(g - 1)];
+                    const std::size_t cell = (idx(dp) + static_cast<std::size_t>(g) - 1) * L;
+                    double* __restrict c = cur + cell;
+                    const double* __restrict e = emit_.data() + cell;
+                    for (std::size_t l = 0; l < L; ++l) c[l] += ap[l] * (dw + tw * e[l]);
+                }
+            }
+
+            // Mask each lane's cells beyond its own valid window: their
+            // accumulation consumed pad symbols and must read exactly 0.
+            for (std::size_t l = 0; l < L; ++l) {
+                const long long hi_l = m_[l] - static_cast<long long>(j);
+                if (hi_l >= chi) continue;
+                const int from = static_cast<int>(std::max<long long>(clo, hi_l + 1));
+                for (int d = from; d <= chi; ++d) cur[idx(d) * L + l] = 0.0;
+            }
+
+            for (std::size_t l = 0; l < L; ++l) pruned_[l] = 0.0;
+            if (band_eps > 0.0) {
+                for (std::size_t l = 0; l < L; ++l) rmax_[l] = 0.0;
+                for (int d = clo; d <= chi; ++d) {
+                    const double* c = cur + idx(d) * L;
+                    for (std::size_t l = 0; l < L; ++l) rmax_[l] = std::max(rmax_[l], c[l]);
+                }
+                // Shared band: trim a drift column only when every lane
+                // with mass this row is below its own threshold, so no
+                // lane is ever pruned harder than its scalar banded run.
+                const auto trimmable = [&](int d) {
+                    const double* c = cur + idx(d) * L;
+                    for (std::size_t l = 0; l < L; ++l)
+                        if (rmax_[l] > 0.0 && !(c[l] < band_eps * rmax_[l])) return false;
+                    return true;
+                };
+                while (clo <= chi && trimmable(clo)) {
+                    double* c = cur + idx(clo) * L;
+                    for (std::size_t l = 0; l < L; ++l) {
+                        pruned_[l] += c[l];
+                        c[l] = 0.0;
+                    }
+                    ++clo;
+                }
+                while (chi >= clo && trimmable(chi)) {
+                    double* c = cur + idx(chi) * L;
+                    for (std::size_t l = 0; l < L; ++l) {
+                        pruned_[l] += c[l];
+                        c[l] = 0.0;
+                    }
+                    --chi;
+                }
+            }
+
+            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
+            for (int d = clo; d <= chi; ++d) {
+                const double* c = cur + idx(d) * L;
+                for (std::size_t l = 0; l < L; ++l) norm_[l] += c[l];
+            }
+            bool any_alive = false;
+            for (std::size_t l = 0; l < L; ++l) {
+                if (alive_[l] == 0) {
+                    scale_a_[j * L + l] = kNegInf;
+                    norm_[l] = 1.0;  // keeps the shared division a no-op on zeros
+                    continue;
+                }
+                if (!(norm_[l] > 0.0)) {
+                    slack_[l] += pruned_[l];
+                    alive_[l] = 0;
+                    scale_a_[j * L + l] = kNegInf;
+                    norm_[l] = 1.0;
+                    continue;
+                }
+                slack_[l] = (slack_[l] + pruned_[l]) / norm_[l];
+                scale_a_[j * L + l] = scale_a_[(j - 1) * L + l] + std::log2(norm_[l]);
+                any_alive = true;
+            }
+            if (!any_alive) return kill_all_from(j);
+            for (int d = clo; d <= chi; ++d) {
+                double* c = cur + idx(d) * L;
+                for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
+            }
+            band_[2 * j] = clo;
+            band_[2 * j + 1] = chi;
+        }
+    }
+
+    /// Lockstep backward pass, symmetric to forward (same emit_plane
+    /// contract), swept over beta_window(). Lanes whose cells are zero
+    /// propagate zeros, so ragged lanes need no masking here.
+    template <typename PlaneFn>
+    void backward(PlaneFn&& emit_plane) {
+        constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+        const std::size_t L = lanes_;
+        const int run = p_->max_insert_run;
+        {
+            double* last = beta_.data() + n_ * row_stride_;
+            int lo = 0, hi = -1;
+            const bool live = beta_window(n_, lo, hi);
+            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
+            if (live) {
+                for (int d = lo; d <= hi; ++d) {
+                    double* c = last + idx(d) * L;
+                    for (std::size_t l = 0; l < L; ++l) {
+                        c[l] = trailing(l, d);
+                        norm_[l] += c[l];
+                    }
+                }
+            }
+            for (std::size_t l = 0; l < L; ++l) {
+                if (norm_[l] > 0.0) {
+                    scale_b_[n_ * L + l] = std::log2(norm_[l]);
+                } else {
+                    scale_b_[n_ * L + l] = kNegInf;
+                    norm_[l] = 1.0;
+                }
+            }
+            if (live) {
+                for (int d = lo; d <= hi; ++d) {
+                    double* c = last + idx(d) * L;
+                    for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
+                }
+            }
+        }
+        for (std::size_t j = n_; j-- > 0;) {
+            double* cur = beta_.data() + j * row_stride_;
+            const double* next = beta_.data() + (j + 1) * row_stride_;
+            int lo = 0, hi = -1;
+            if (!beta_window(j, lo, hi)) {
+                for (std::size_t l = 0; l < L; ++l) scale_b_[j * L + l] = kNegInf;
+                continue;
+            }
+            int nlo = 0, nhi = -1;
+            const bool next_live = beta_window(j + 1, nlo, nhi);
+            if (next_live) {
+                // Emission plane: a transmission into next-row drift d
+                // consumed received index j + d.
+                for (int d = std::max(nlo, lo); d <= nhi; ++d) {
+                    const std::uint8_t* rxr =
+                        rx_.data() +
+                        static_cast<std::size_t>(static_cast<long long>(j) + d) * L;
+                    emit_plane(emit_.data() + idx(d) * L, j, rxr);
+                }
+            }
+            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
+            for (int dp = lo; dp <= hi; ++dp) {
+                for (std::size_t l = 0; l < L; ++l) acc_[l] = 0.0;
+                if (next_live) {
+                    const int glo = std::max(0, nlo - dp + 1);
+                    const int ghi = std::min(run, nhi - dp + 1);
+                    int g = glo;
+                    if (g == 0 && g <= ghi) {
+                        const double w0 = t_->del_w[0];
+                        const double* nb = next + (idx(dp) - 1) * L;
+                        for (std::size_t l = 0; l < L; ++l) acc_[l] += w0 * nb[l];
+                        g = 1;
+                    }
+                    for (; g <= ghi; ++g) {
+                        const double dw = t_->del_w[static_cast<std::size_t>(g)];
+                        const double tw = t_->tx_w[static_cast<std::size_t>(g - 1)];
+                        const std::size_t cell =
+                            (idx(dp) + static_cast<std::size_t>(g) - 1) * L;
+                        const double* nb = next + cell;
+                        const double* e = emit_.data() + cell;
+                        for (std::size_t l = 0; l < L; ++l)
+                            acc_[l] += (dw + tw * e[l]) * nb[l];
+                    }
+                }
+                double* c = cur + idx(dp) * L;
+                for (std::size_t l = 0; l < L; ++l) {
+                    c[l] = acc_[l];
+                    norm_[l] += acc_[l];
+                }
+            }
+            for (std::size_t l = 0; l < L; ++l) {
+                if (norm_[l] > 0.0) {
+                    scale_b_[j * L + l] = scale_b_[(j + 1) * L + l] + std::log2(norm_[l]);
+                } else {
+                    scale_b_[j * L + l] = kNegInf;
+                    norm_[l] = 1.0;
+                }
+            }
+            for (int dp = lo; dp <= hi; ++dp) {
+                double* c = cur + idx(dp) * L;
+                for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
+            }
+        }
+    }
+
+    /// Unnormalized closing mass of `lane` (see LatticeEngine::tail).
+    [[nodiscard]] double tail(std::size_t lane) const noexcept {
+        double t = 0.0;
+        const double* last = alpha_.data() + n_ * row_stride_;
+        for (int d = band_lo(n_); d <= band_hi(n_); ++d)
+            t += last[idx(d) * lanes_ + lane] * trailing(lane, d);
+        return t;
+    }
+
+    /// log2 evidence and certified band slack of `lane` after forward().
+    [[nodiscard]] BandedEvidence evidence(std::size_t lane) const noexcept {
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        BandedEvidence out;
+        const double t = tail(lane);
+        const double scale = scale_a_[n_ * lanes_ + lane];
+        if (!(t > 0.0) || scale == -kInf) {
+            out.log2_evidence = -kInf;
+            out.log2_slack = slack_[lane] > 0.0 ? kInf : 0.0;
+            return out;
+        }
+        out.log2_evidence = scale + std::log2(t);
+        out.log2_slack = slack_[lane] > 0.0 ? std::log2(1.0 + slack_[lane] / t) : 0.0;
+        return out;
+    }
+
+private:
+    void kill_all_from(std::size_t j) noexcept {
+        constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+        all_dead_ = true;
+        for (std::size_t l = 0; l < lanes_; ++l) alive_[l] = 0;
+        for (std::size_t k = j; k <= n_; ++k) {
+            for (std::size_t l = 0; l < lanes_; ++l) scale_a_[k * lanes_ + l] = kNegInf;
+            band_[2 * k] = 1;
+            band_[2 * k + 1] = 0;
+        }
+    }
+
+    const DriftParams* p_;
+    const DriftTables* t_;
+    std::size_t n_;
+    std::size_t lanes_;
+    std::size_t m_max_ = 0;
+    int d_max_;
+    std::size_t width_;
+    std::size_t row_stride_ = 0;
+    std::span<long long> m_, alive_;
+    std::span<std::uint8_t> rx_;
+    std::span<double> trail_;
+    std::span<double> alpha_, beta_, scale_a_, scale_b_;
+    std::span<double> emit_;
+    std::span<double> norm_, pruned_, slack_, rmax_, acc_;
+    std::span<int> band_;
+    bool all_dead_ = false;
+    bool banded_ = false;
+};
+
+}  // namespace ccap::info

@@ -71,7 +71,22 @@ struct McOptions {
     /// Banding only lowers per-block evidences, so the estimate keeps its
     /// lower-bound semantics. 0 keeps the params' own setting.
     double band_eps = 0.0;
+    /// Lattice lanes advanced in lockstep per Monte-Carlo tile
+    /// (batch_lattice.hpp): each thread's blocks are fed through the
+    /// batched structure-of-arrays engine in tiles of this many blocks.
+    /// 0 picks a cache-friendly tile automatically; 1 forces the scalar
+    /// one-block-at-a-time path. Block seeding is per block, not per
+    /// tile, and batched lanes are bit-identical to scalar sweeps at
+    /// band_eps = 0, so the estimate does not depend on this knob (with
+    /// band_eps > 0 the shared union band may prune slightly less than
+    /// scalar banding — never more, so the lower bound stands).
+    std::size_t batch = 0;
 };
+
+/// The lane count the estimators actually use for `opts`: opts.batch,
+/// auto-resolved (0) to a tile that keeps the hot rows cache-resident,
+/// and clamped to opts.num_blocks.
+[[nodiscard]] std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params);
 
 /// Monte-Carlo achievable rate of the deletion-insertion(-substitution)
 /// channel with iid uniform inputs: E[log2 P(Y|X) - log2 P(Y)] / block_len.

@@ -113,6 +113,15 @@ public:
         std::span<const std::uint8_t> transmitted, std::span<const std::uint8_t> received,
         LatticeWorkspace& ws) const;
 
+    /// log2 P(received) when transmitted symbols are drawn independently
+    /// from the per-position priors (n = priors.rows()): the forward pass
+    /// of posteriors() without the backward sweep, bit-identical to the
+    /// evidence posteriors() reports but at half the cost. The Monte-Carlo
+    /// iid marginal is computed this way.
+    [[nodiscard]] BandedEvidence log2_prior_marginal_banded(
+        const util::Matrix& priors, std::span<const std::uint8_t> received,
+        LatticeWorkspace& ws) const;
+
     /// Forward-backward posteriors. `priors` is an n x M row-stochastic
     /// matrix of per-position transmitted-symbol priors. Returns an n x M
     /// matrix of posteriors P(t_j = s | received). If `log2_evidence` is
@@ -190,6 +199,39 @@ public:
     [[nodiscard]] BandedEvidence log2_markov_marginal_banded(
         const MarkovSource& source, std::size_t tx_len,
         std::span<const std::uint8_t> received, LatticeWorkspace& ws) const;
+
+    // Batched lockstep counterparts (BatchLatticeEngine, batch_lattice.hpp;
+    // implemented in batch_lattice.cpp). Each takes one lane per sequence;
+    // transmitted lengths must agree across lanes (that is the lockstep
+    // shape), received lengths may be ragged. At params().band_eps == 0
+    // every lane's result is bit-identical to the scalar call on that lane
+    // alone; in banded mode each lane keeps its own certified slack.
+    using SymbolSpan = std::span<const std::uint8_t>;
+
+    /// Batched log2_likelihood_banded: lane i pairs transmitted[i] with
+    /// received[i].
+    [[nodiscard]] std::vector<BandedEvidence> log2_likelihood_batch(
+        std::span<const SymbolSpan> transmitted, std::span<const SymbolSpan> received,
+        LatticeWorkspace& ws) const;
+
+    /// Batched log2_prior_marginal_banded: one shared priors matrix, one
+    /// received sequence per lane.
+    [[nodiscard]] std::vector<BandedEvidence> log2_prior_marginal_batch(
+        const util::Matrix& priors, std::span<const SymbolSpan> received,
+        LatticeWorkspace& ws) const;
+
+    /// Batched posteriors: one shared priors matrix, one received sequence
+    /// per lane; returns one posterior matrix per lane. If `log2_evidence`
+    /// is non-null it receives one evidence per lane.
+    [[nodiscard]] std::vector<util::Matrix> posteriors_batch(
+        const util::Matrix& priors, std::span<const SymbolSpan> received,
+        LatticeWorkspace& ws, std::vector<double>* log2_evidence = nullptr) const;
+
+    /// Batched expected_events: lane i pairs transmitted[i] with
+    /// received[i].
+    [[nodiscard]] std::vector<EventExpectations> expected_events_batch(
+        std::span<const SymbolSpan> transmitted, std::span<const SymbolSpan> received,
+        LatticeWorkspace& ws) const;
 
 private:
     DriftParams params_;

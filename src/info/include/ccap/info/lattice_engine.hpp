@@ -75,6 +75,24 @@ public:
         return grab(u32_, cells);
     }
 
+    // Arenas for the batched structure-of-arrays engine (batch_lattice.hpp).
+    /// Small per-lane double buffers (norms, pruned mass, slack, ...).
+    [[nodiscard]] std::span<double> lane_doubles(std::size_t cells) {
+        return grab(lane_d_, cells);
+    }
+    /// Small per-lane integer buffers (received lengths, alive flags).
+    [[nodiscard]] std::span<long long> lane_longs(std::size_t cells) {
+        return grab(lane_ll_, cells);
+    }
+    /// SoA-packed received symbols, [position][lane], padded per lane.
+    [[nodiscard]] std::span<std::uint8_t> rx_bytes(std::size_t cells) {
+        return grab(rx_u8_, cells);
+    }
+    /// SoA-packed transmitted symbols, [position][lane].
+    [[nodiscard]] std::span<std::uint8_t> tx_bytes(std::size_t cells) {
+        return grab(tx_u8_, cells);
+    }
+
 private:
     template <typename T>
     static std::span<T> grab(std::vector<T>& v, std::size_t n) {
@@ -82,9 +100,11 @@ private:
         return {v.data(), n};
     }
 
-    std::vector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_;
+    std::vector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_, lane_d_;
     std::vector<int> band_;
+    std::vector<long long> lane_ll_;
     std::vector<std::uint32_t> u32_;
+    std::vector<std::uint8_t> rx_u8_, tx_u8_;
 };
 
 /// RAII lease on a thread-local LatticeWorkspace. Acquisition pops from a

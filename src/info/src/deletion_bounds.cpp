@@ -112,6 +112,31 @@ MiEstimate parallel_mc_estimate(const McOptions& opts, util::Rng& rng, BlockFn&&
     return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
 }
 
+/// Batched variant: blocks are grouped into tiles of `batch` consecutive
+/// blocks and each tile runs its lattice sweeps through the lockstep
+/// engine. Seeding stays per block (substream by block index, folded in
+/// block order), so the samples — and hence the estimate — are the same
+/// as the scalar path for any batch/threads combination at band_eps = 0.
+/// sample_tile(b0, out) must fill out[i] with the sample of block b0 + i.
+template <typename TileFn>
+MiEstimate parallel_mc_estimate_tiles(const McOptions& opts, std::size_t batch,
+                                      util::Rng& rng, TileFn&& sample_tile) {
+    const std::uint64_t root = rng.next();
+    std::vector<double> samples(opts.num_blocks, 0.0);
+    const std::size_t tiles = (opts.num_blocks + batch - 1) / batch;
+    util::parallel_for(
+        util::ThreadPool::shared(), tiles,
+        [&](std::size_t t) {
+            const std::size_t b0 = t * batch;
+            const std::size_t b1 = std::min(b0 + batch, opts.num_blocks);
+            sample_tile(root, b0, std::span<double>(samples).subspan(b0, b1 - b0));
+        },
+        opts.threads);
+    util::RunningStats stats;
+    for (double v : samples) stats.add(v);
+    return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
+}
+
 /// McOptions::band_eps > 0 overrides the params' own band setting for the
 /// Monte-Carlo lattice passes.
 DriftParams effective_params(const DriftParams& params, const McOptions& opts) {
@@ -122,6 +147,22 @@ DriftParams effective_params(const DriftParams& params, const McOptions& opts) {
 
 }  // namespace
 
+std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) {
+    std::size_t b = opts.batch;
+    if (b == 0) {
+        // Auto: size the tile so the hot set of a lockstep row step —
+        // previous and current alpha rows plus the emission plane, each
+        // width * batch doubles — stays around 32 KiB (L1-resident on
+        // common cores), clamped to a sensible lane range.
+        const std::size_t width = static_cast<std::size_t>(2 * params.max_drift + 1);
+        constexpr std::size_t kTileBytes = 32 * 1024;
+        b = kTileBytes / (3 * width * sizeof(double));
+        b = std::clamp<std::size_t>(b, 4, 16);
+    }
+    if (opts.num_blocks > 0) b = std::min(b, opts.num_blocks);
+    return std::max<std::size_t>(1, b);
+}
+
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
                                           const McOptions& opts, util::Rng& rng) {
     params.validate();
@@ -130,19 +171,51 @@ MiEstimate markov_mutual_information_rate(const DriftParams& params, const Marko
         throw std::invalid_argument("markov_mutual_information_rate: empty experiment");
 
     const DriftHmm hmm(effective_params(params, opts));
-    return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
-        const std::vector<std::uint8_t> tx =
-            simulate_markov_source(source, params.alphabet, opts.block_len, block_rng);
-        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
-        // One leased workspace per pool worker: the lattice passes of a
-        // block reuse the same arenas, allocation-free at steady state.
-        ScopedWorkspace ws;
-        const double log_cond = hmm.log2_likelihood(tx, rx, ws);
-        const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx, ws);
-        if (!std::isfinite(log_cond) || !std::isfinite(log_marg))
-            return 0.0;  // outside the truncation: score zero information
-        return (log_cond - log_marg) / static_cast<double>(opts.block_len);
-    });
+    const std::size_t batch = resolved_mc_batch(opts, params);
+    if (batch <= 1) {
+        return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
+            const std::vector<std::uint8_t> tx =
+                simulate_markov_source(source, params.alphabet, opts.block_len, block_rng);
+            const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
+            // One leased workspace per pool worker: the lattice passes of a
+            // block reuse the same arenas, allocation-free at steady state.
+            ScopedWorkspace ws;
+            const double log_cond = hmm.log2_likelihood(tx, rx, ws);
+            const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx, ws);
+            if (!std::isfinite(log_cond) || !std::isfinite(log_marg))
+                return 0.0;  // outside the truncation: score zero information
+            return (log_cond - log_marg) / static_cast<double>(opts.block_len);
+        });
+    }
+    // Batched tile: the conditional likelihoods of a tile run in lockstep;
+    // the joint (drift, symbol) Markov marginal has no batched counterpart
+    // yet and stays scalar per lane.
+    return parallel_mc_estimate_tiles(
+        opts, batch, rng,
+        [&](std::uint64_t root, std::size_t b0, std::span<double> out) {
+            const std::size_t lanes = out.size();
+            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
+            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                util::Rng block_rng(util::substream_seed(root, b0 + i));
+                tx[i] = simulate_markov_source(source, params.alphabet, opts.block_len,
+                                               block_rng);
+                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
+                txv[i] = tx[i];
+                rxv[i] = rx[i];
+            }
+            ScopedWorkspace ws;
+            const std::vector<BandedEvidence> cond =
+                hmm.log2_likelihood_batch(txv, rxv, ws);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                const double log_cond = cond[i].log2_evidence;
+                const double log_marg =
+                    hmm.log2_markov_marginal(source, opts.block_len, rx[i], ws);
+                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                             ? (log_cond - log_marg) / static_cast<double>(opts.block_len)
+                             : 0.0;
+            }
+        });
 }
 
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
@@ -161,24 +234,58 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, const McOption
     const DriftHmm hmm(effective_params(params, opts));
     const unsigned m = params.alphabet;
     const util::Matrix uniform_priors(opts.block_len, m, 1.0 / static_cast<double>(m));
+    const std::size_t batch = resolved_mc_batch(opts, params);
 
-    return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
-        std::vector<std::uint8_t> tx(opts.block_len);
-        for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
-        const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
+    if (batch <= 1) {
+        return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
+            std::vector<std::uint8_t> tx(opts.block_len);
+            for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
+            const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
 
-        // One leased workspace per pool worker (see the Markov estimator).
-        ScopedWorkspace ws;
-        const double log_cond = hmm.log2_likelihood(tx, rx, ws);
-        double log_marg = 0.0;
-        (void)hmm.posteriors(uniform_priors, rx, ws, &log_marg);
-        if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
-            // Block fell outside the lattice truncation; score it zero
-            // information, preserving the lower-bound semantics.
-            return 0.0;
-        }
-        return (log_cond - log_marg) / static_cast<double>(opts.block_len);
-    });
+            // One leased workspace per pool worker (see the Markov
+            // estimator). The marginal needs only the forward evidence.
+            ScopedWorkspace ws;
+            const double log_cond = hmm.log2_likelihood(tx, rx, ws);
+            const double log_marg =
+                hmm.log2_prior_marginal_banded(uniform_priors, rx, ws).log2_evidence;
+            if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
+                // Block fell outside the lattice truncation; score it zero
+                // information, preserving the lower-bound semantics.
+                return 0.0;
+            }
+            return (log_cond - log_marg) / static_cast<double>(opts.block_len);
+        });
+    }
+    // Batched tile: both the point-prior conditional and the uniform-prior
+    // marginal of a tile's blocks run in lockstep through the SoA engine.
+    return parallel_mc_estimate_tiles(
+        opts, batch, rng,
+        [&](std::uint64_t root, std::size_t b0, std::span<double> out) {
+            const std::size_t lanes = out.size();
+            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
+            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                util::Rng block_rng(util::substream_seed(root, b0 + i));
+                tx[i].resize(opts.block_len);
+                for (auto& s : tx[i])
+                    s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
+                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
+                txv[i] = tx[i];
+                rxv[i] = rx[i];
+            }
+            ScopedWorkspace ws;
+            const std::vector<BandedEvidence> cond =
+                hmm.log2_likelihood_batch(txv, rxv, ws);
+            const std::vector<BandedEvidence> marg =
+                hmm.log2_prior_marginal_batch(uniform_priors, rxv, ws);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                const double log_cond = cond[i].log2_evidence;
+                const double log_marg = marg[i].log2_evidence;
+                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                             ? (log_cond - log_marg) / static_cast<double>(opts.block_len)
+                             : 0.0;
+            }
+        });
 }
 
 MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t block_len,

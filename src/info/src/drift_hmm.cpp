@@ -94,6 +94,29 @@ BandedEvidence DriftHmm::log2_likelihood_banded(std::span<const std::uint8_t> tr
     return eng.evidence();
 }
 
+BandedEvidence DriftHmm::log2_prior_marginal_banded(const util::Matrix& priors,
+                                                    std::span<const std::uint8_t> received,
+                                                    LatticeWorkspace& ws) const {
+    const std::size_t n = priors.rows();
+    const unsigned m_alpha = params_.alphabet;
+    if (priors.cols() != m_alpha)
+        throw std::invalid_argument(
+            "DriftHmm::log2_prior_marginal_banded: priors cols != alphabet");
+    if (!priors.is_row_stochastic(1e-6) && n > 0)
+        throw std::invalid_argument(
+            "DriftHmm::log2_prior_marginal_banded: priors not row-stochastic");
+    check_symbols(received, m_alpha, "received");
+
+    // The backward pass never touches the forward rows, scales or slack,
+    // so this forward-only evidence is bit-identical to the one
+    // posteriors() reports — at half the lattice cost.
+    LatticeEngine eng(params_, *tables_, received, n, ws);
+    eng.forward(
+        [&](std::size_t j, std::uint8_t r) { return eng.emit_prior(r, priors.row(j)); },
+        params_.band_eps);
+    return eng.evidence();
+}
+
 util::Matrix DriftHmm::posteriors(const util::Matrix& priors,
                                   std::span<const std::uint8_t> received,
                                   double* log2_evidence) const {
@@ -451,8 +474,19 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
     const auto& ins_pow = tables_->ins_pow;
     const int run = params_.max_insert_run;
 
-    std::span<double> cur = ws.scratch(width);
-    std::span<double> next = ws.scratch2(width);
+    // All candidates of a segment share the same drift-window trajectory
+    // (the recurrence is value-independent), so the per-candidate
+    // propagation runs as one structure-of-arrays batch with the
+    // candidates as lanes: cell (drift d, candidate c) at idx(d) * C + c.
+    // Per (drift, candidate) the emission is computed once — received
+    // index (j-1) + d is source-independent — instead of once per (source,
+    // run-length); per-candidate results match the old one-candidate-at-a-
+    // time loop bit for bit (the term order per cell is unchanged). This
+    // is the watermark inner decoder's hot loop (coding/watermark.cpp).
+    const std::size_t C = num_candidates;
+    std::span<double> cur = ws.scratch(width * C);
+    std::span<double> next = ws.scratch2(width * C);
+    std::span<double> esc = ws.scratch3(width * C);
     for (std::size_t t = 0; t < num_segments; ++t) {
         const std::span<const std::vector<std::uint8_t>> candidates = candidates_for(t);
         if (candidates.size() != num_candidates)
@@ -464,67 +498,87 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
                 if (s >= m_alpha) throw std::out_of_range("segment_likelihoods: candidate symbol");
         }
         const std::size_t j0 = t * seg_len;
-        double row_norm = 0.0;
-        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-            // Propagate the forward slice at j0 through the segment with the
-            // candidate's exact bits, then close with the backward slice.
-            std::fill(cur.begin(), cur.end(), 0.0);
-            int wlo = eng.band_lo(j0), whi = eng.band_hi(j0);
-            const double* arow = eng.alpha_row(j0);
-            for (int d = wlo; d <= whi; ++d) cur[eng.idx(d)] = arow[eng.idx(d)];
-            for (std::size_t l = 0; l < seg_len && wlo <= whi; ++l) {
-                const std::size_t j = j0 + l + 1;
-                const std::uint8_t sym = candidates[ci][l];
-                int clo = 0, chi = -1;
-                if (!eng.valid_window(j, clo, chi)) {
-                    wlo = 1;
-                    whi = 0;
-                    break;
-                }
-                clo = std::max(clo, wlo - 1);
-                chi = std::min(chi, whi + run - 1);
-                if (clo > chi) {
-                    wlo = 1;
-                    whi = 0;
-                    break;
-                }
-                for (int d = clo; d <= chi; ++d) next[eng.idx(d)] = 0.0;
-                for (int dp = wlo; dp <= whi; ++dp) {
-                    const double ap = cur[eng.idx(dp)];
-                    if (ap == 0.0) continue;
-                    const std::size_t r0 =
-                        static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
-                    const int glo = std::max(0, clo - dp + 1);
-                    const int ghi = std::min(run, chi - dp + 1);
-                    for (int g = glo; g <= ghi; ++g) {
-                        const int d = dp + g - 1;
-                        const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                        double w = ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
-                        if (g >= 1)
-                            w += ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t() *
-                                 eng.emit(received[r1 - 1], sym);
-                        next[eng.idx(d)] += ap * w;
-                    }
-                }
-                std::swap(cur, next);
-                wlo = clo;
-                whi = chi;
-            }
-            double like = 0.0;
-            int blo = 0, bhi = -1;
-            if (eng.beta_window(j0 + seg_len, blo, bhi)) {
-                const double* brow = eng.beta_row(j0 + seg_len);
-                const int lo2 = std::max(wlo, blo), hi2 = std::min(whi, bhi);
-                for (int d = lo2; d <= hi2; ++d) like += cur[eng.idx(d)] * brow[eng.idx(d)];
-            }
-            out(t, ci) = like;
-            row_norm += like;
+        // Broadcast the forward slice at j0 to every candidate lane.
+        std::fill(cur.begin(), cur.end(), 0.0);
+        int wlo = eng.band_lo(j0), whi = eng.band_hi(j0);
+        const double* arow = eng.alpha_row(j0);
+        for (int d = wlo; d <= whi; ++d) {
+            const double a = arow[eng.idx(d)];
+            double* base = cur.data() + eng.idx(d) * C;
+            for (std::size_t ci = 0; ci < C; ++ci) base[ci] = a;
         }
+        for (std::size_t l = 0; l < seg_len && wlo <= whi; ++l) {
+            const std::size_t j = j0 + l + 1;
+            int clo = 0, chi = -1;
+            if (!eng.valid_window(j, clo, chi)) {
+                wlo = 1;
+                whi = 0;
+                break;
+            }
+            clo = std::max(clo, wlo - 1);
+            chi = std::min(chi, whi + run - 1);
+            if (clo > chi) {
+                wlo = 1;
+                whi = 0;
+                break;
+            }
+            std::fill(next.begin() + static_cast<std::ptrdiff_t>(eng.idx(clo) * C),
+                      next.begin() + static_cast<std::ptrdiff_t>((eng.idx(chi) + 1) * C),
+                      0.0);
+            // Emission plane over (destination drift, candidate).
+            for (int d = std::max(clo, wlo); d <= chi; ++d) {
+                const std::uint8_t r =
+                    received[static_cast<std::size_t>(static_cast<long long>(j - 1) + d)];
+                const double* erow =
+                    tables_->emit_tab.data() + static_cast<std::size_t>(r) * m_alpha;
+                double* ebase = esc.data() + eng.idx(d) * C;
+                for (std::size_t ci = 0; ci < C; ++ci) ebase[ci] = erow[candidates[ci][l]];
+            }
+            for (int dp = wlo; dp <= whi; ++dp) {
+                const double* ap = cur.data() + eng.idx(dp) * C;
+                const int glo = std::max(0, clo - dp + 1);
+                const int ghi = std::min(run, chi - dp + 1);
+                int g = glo;
+                if (g == 0 && g <= ghi) {
+                    const double w0 = ins_pow[0] * params_.p_d;
+                    double* cell = next.data() + (eng.idx(dp) - 1) * C;
+                    for (std::size_t ci = 0; ci < C; ++ci) cell[ci] += ap[ci] * w0;
+                    g = 1;
+                }
+                for (; g <= ghi; ++g) {
+                    const double wd = ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
+                    const double wt = ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t();
+                    const std::size_t cell_off =
+                        (eng.idx(dp) + static_cast<std::size_t>(g) - 1) * C;
+                    double* cell = next.data() + cell_off;
+                    const double* e = esc.data() + cell_off;
+                    for (std::size_t ci = 0; ci < C; ++ci)
+                        cell[ci] += ap[ci] * (wd + wt * e[ci]);
+                }
+            }
+            std::swap(cur, next);
+            wlo = clo;
+            whi = chi;
+        }
+        // Close every candidate lane with the backward slice.
+        for (std::size_t ci = 0; ci < C; ++ci) out(t, ci) = 0.0;
+        int blo = 0, bhi = -1;
+        if (eng.beta_window(j0 + seg_len, blo, bhi)) {
+            const double* brow = eng.beta_row(j0 + seg_len);
+            const int lo2 = std::max(wlo, blo), hi2 = std::min(whi, bhi);
+            for (int d = lo2; d <= hi2; ++d) {
+                const double b = brow[eng.idx(d)];
+                const double* base = cur.data() + eng.idx(d) * C;
+                for (std::size_t ci = 0; ci < C; ++ci) out(t, ci) += base[ci] * b;
+            }
+        }
+        double row_norm = 0.0;
+        for (std::size_t ci = 0; ci < C; ++ci) row_norm += out(t, ci);
         if (row_norm > 0.0) {
-            for (std::size_t ci = 0; ci < candidates.size(); ++ci) out(t, ci) /= row_norm;
+            for (std::size_t ci = 0; ci < C; ++ci) out(t, ci) /= row_norm;
         } else {
-            for (std::size_t ci = 0; ci < candidates.size(); ++ci)
-                out(t, ci) = 1.0 / static_cast<double>(candidates.size());
+            for (std::size_t ci = 0; ci < C; ++ci)
+                out(t, ci) = 1.0 / static_cast<double>(num_candidates);
         }
     }
     return out;

@@ -1,0 +1,396 @@
+// Lockstep-vs-scalar contract of the batched structure-of-arrays lattice
+// engine (batch_lattice.hpp): at band_eps = 0 every lane of every batched
+// operation is bit-identical (EXPECT_EQ, not NEAR) to the scalar
+// LatticeEngine run on that lane alone, across ragged batch sizes, dead
+// lanes and workspace reuse; in banded mode each lane keeps its own
+// certified slack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccap/info/batch_lattice.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/info/drift_hmm.hpp"
+#include "ccap/info/lattice_engine.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::info;
+using ccap::util::Matrix;
+using ccap::util::Rng;
+
+using SymbolSpan = DriftHmm::SymbolSpan;
+
+struct Lanes {
+    std::vector<std::vector<std::uint8_t>> tx;
+    std::vector<std::vector<std::uint8_t>> rx;
+
+    [[nodiscard]] std::vector<SymbolSpan> tx_spans() const { return spans(tx); }
+    [[nodiscard]] std::vector<SymbolSpan> rx_spans() const { return spans(rx); }
+
+private:
+    static std::vector<SymbolSpan> spans(const std::vector<std::vector<std::uint8_t>>& v) {
+        std::vector<SymbolSpan> out;
+        out.reserve(v.size());
+        for (const auto& s : v) out.emplace_back(s);
+        return out;
+    }
+};
+
+/// Ragged batch: lane lengths come from real channel draws, plus (for
+/// batches of 3+) one empty-received lane and one lane whose received
+/// sequence is truncated far below n - max_drift, so its lattice dies
+/// mid-pass and the dead-lane bookkeeping is exercised.
+Lanes make_lanes(const DriftParams& params, std::size_t n, std::size_t batch,
+                 std::uint64_t seed) {
+    Lanes lanes;
+    Rng rng(seed);
+    for (std::size_t b = 0; b < batch; ++b) {
+        std::vector<std::uint8_t> tx(n);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(params.alphabet));
+        std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
+        if (batch >= 3 && b == 1) rx.clear();
+        if (batch >= 3 && b == 2) {
+            rx.resize(std::min<std::size_t>(rx.size(), 1));  // << n - max_drift: lattice dies
+        }
+        lanes.tx.push_back(std::move(tx));
+        lanes.rx.push_back(std::move(rx));
+    }
+    return lanes;
+}
+
+Matrix random_priors(std::size_t n, unsigned alphabet, Rng& rng) {
+    Matrix priors(n, alphabet);
+    for (std::size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (unsigned s = 0; s < alphabet; ++s) {
+            priors(j, s) = 0.05 + rng.uniform();
+            sum += priors(j, s);
+        }
+        for (unsigned s = 0; s < alphabet; ++s) priors(j, s) /= sum;
+    }
+    return priors;
+}
+
+const DriftParams kParams{0.12, 0.06, 0.03, 2, 10, 6};
+constexpr std::size_t kBatchSizes[] = {1, 3, 8, 13};  // incl. non-power-of-two
+
+TEST(BatchLattice, LikelihoodBitIdenticalToScalarPerLane) {
+    const DriftHmm hmm(kParams);
+    const std::size_t n = 40;
+    for (std::size_t batch : kBatchSizes) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0x1234 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got =
+            hmm.log2_likelihood_batch(lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const BandedEvidence want =
+                hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].log2_evidence, want.log2_evidence) << "lane " << b << " B=" << batch;
+            EXPECT_EQ(got[b].log2_slack, 0.0) << "lane " << b;
+        }
+    }
+}
+
+// Alphabets wider than binary take the generic emission-gather path of
+// TxEmitPlane / PriorEmitPlane (batch_lattice.cpp) instead of the
+// branchless binary selects; pin its identity separately.
+TEST(BatchLattice, QuaternaryAlphabetBitIdenticalToScalarPerLane) {
+    DriftParams params = kParams;
+    params.alphabet = 4;
+    const DriftHmm hmm(params);
+    const std::size_t n = 32;
+    Rng prior_rng(11);
+    const Matrix priors = random_priors(n, params.alphabet, prior_rng);
+    for (std::size_t batch : {std::size_t{3}, std::size_t{8}}) {
+        const Lanes lanes = make_lanes(params, n, batch, 0x4444 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got =
+            hmm.log2_likelihood_batch(lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+        const std::vector<BandedEvidence> marg =
+            hmm.log2_prior_marginal_batch(priors, lanes.rx_spans(), batch_ws);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const BandedEvidence want =
+                hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].log2_evidence, want.log2_evidence) << "lane " << b;
+            const BandedEvidence want_m =
+                hmm.log2_prior_marginal_banded(priors, lanes.rx[b], scalar_ws);
+            EXPECT_EQ(marg[b].log2_evidence, want_m.log2_evidence) << "lane " << b;
+        }
+    }
+}
+
+TEST(BatchLattice, PriorMarginalBitIdenticalToScalarPerLane) {
+    const DriftHmm hmm(kParams);
+    const std::size_t n = 36;
+    Rng prior_rng(77);
+    const Matrix priors = random_priors(n, kParams.alphabet, prior_rng);
+    for (std::size_t batch : kBatchSizes) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0x9876 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got =
+            hmm.log2_prior_marginal_batch(priors, lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            // The forward-only scalar marginal is itself defined as
+            // bit-identical to the evidence posteriors() reports; check the
+            // batch lane against both.
+            const BandedEvidence want =
+                hmm.log2_prior_marginal_banded(priors, lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].log2_evidence, want.log2_evidence) << "lane " << b << " B=" << batch;
+            double via_posteriors = 0.0;
+            (void)hmm.posteriors(priors, lanes.rx[b], scalar_ws, &via_posteriors);
+            EXPECT_EQ(got[b].log2_evidence, via_posteriors) << "lane " << b;
+        }
+    }
+}
+
+TEST(BatchLattice, PosteriorsBitIdenticalToScalarPerLane) {
+    const DriftHmm hmm(kParams);
+    const std::size_t n = 32;
+    Rng prior_rng(31);
+    const Matrix priors = random_priors(n, kParams.alphabet, prior_rng);
+    for (std::size_t batch : kBatchSizes) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0x4444 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        std::vector<double> got_ev;
+        const std::vector<Matrix> got =
+            hmm.posteriors_batch(priors, lanes.rx_spans(), batch_ws, &got_ev);
+        ASSERT_EQ(got.size(), batch);
+        ASSERT_EQ(got_ev.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            double want_ev = 0.0;
+            const Matrix want = hmm.posteriors(priors, lanes.rx[b], scalar_ws, &want_ev);
+            EXPECT_EQ(got_ev[b], want_ev) << "lane " << b << " B=" << batch;
+            ASSERT_EQ(got[b].rows(), want.rows());
+            ASSERT_EQ(got[b].cols(), want.cols());
+            for (std::size_t j = 0; j < want.rows(); ++j)
+                for (std::size_t s = 0; s < want.cols(); ++s)
+                    EXPECT_EQ(got[b](j, s), want(j, s))
+                        << "lane " << b << " pos " << j << " sym " << s;
+        }
+    }
+}
+
+TEST(BatchLattice, ExpectedEventsBitIdenticalToScalarPerLane) {
+    const DriftHmm hmm(kParams);
+    const std::size_t n = 28;
+    for (std::size_t batch : kBatchSizes) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0x7777 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<DriftHmm::EventExpectations> got =
+            hmm.expected_events_batch(lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const DriftHmm::EventExpectations want =
+                hmm.expected_events(lanes.tx[b], lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].deletions, want.deletions) << "lane " << b << " B=" << batch;
+            EXPECT_EQ(got[b].insertions, want.insertions) << "lane " << b;
+            EXPECT_EQ(got[b].transmissions, want.transmissions) << "lane " << b;
+            EXPECT_EQ(got[b].substitutions, want.substitutions) << "lane " << b;
+            EXPECT_EQ(got[b].log2_likelihood, want.log2_likelihood) << "lane " << b;
+        }
+    }
+}
+
+/// The pre-batching per-candidate inner loop of segment_likelihoods,
+/// kept verbatim as the bit-identity reference for the candidate-batched
+/// production path (drift_hmm.cpp).
+Matrix reference_segment_likelihoods(const DriftHmm& hmm, const Matrix& priors,
+                                     std::span<const std::uint8_t> received, std::size_t seg_len,
+                                     const std::vector<std::vector<std::uint8_t>>& candidates,
+                                     LatticeWorkspace& ws) {
+    const DriftParams& params = hmm.params();
+    const DriftTables& tables = hmm.tables();
+    const std::size_t n = priors.rows();
+    LatticeEngine eng(params, tables, received, n, ws);
+    const auto emit_p = [&](std::size_t j, std::uint8_t r) {
+        return eng.emit_prior(r, priors.row(j));
+    };
+    eng.forward(emit_p, params.band_eps);
+    eng.backward(emit_p);
+
+    const std::size_t num_segments = n / seg_len;
+    Matrix out(num_segments, candidates.size());
+    const std::size_t width = eng.width();
+    const auto& ins_pow = tables.ins_pow;
+    const int run = params.max_insert_run;
+
+    std::span<double> cur = ws.scratch(width);
+    std::span<double> next = ws.scratch2(width);
+    for (std::size_t t = 0; t < num_segments; ++t) {
+        const std::size_t j0 = t * seg_len;
+        double row_norm = 0.0;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            std::fill(cur.begin(), cur.end(), 0.0);
+            int wlo = eng.band_lo(j0), whi = eng.band_hi(j0);
+            const double* arow = eng.alpha_row(j0);
+            for (int d = wlo; d <= whi; ++d) cur[eng.idx(d)] = arow[eng.idx(d)];
+            for (std::size_t l = 0; l < seg_len && wlo <= whi; ++l) {
+                const std::size_t j = j0 + l + 1;
+                const std::uint8_t sym = candidates[ci][l];
+                int clo = 0, chi = -1;
+                if (!eng.valid_window(j, clo, chi)) {
+                    wlo = 1;
+                    whi = 0;
+                    break;
+                }
+                clo = std::max(clo, wlo - 1);
+                chi = std::min(chi, whi + run - 1);
+                if (clo > chi) {
+                    wlo = 1;
+                    whi = 0;
+                    break;
+                }
+                for (int d = clo; d <= chi; ++d) next[eng.idx(d)] = 0.0;
+                for (int dp = wlo; dp <= whi; ++dp) {
+                    const double ap = cur[eng.idx(dp)];
+                    if (ap == 0.0) continue;
+                    const std::size_t r0 =
+                        static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
+                    const int glo = std::max(0, clo - dp + 1);
+                    const int ghi = std::min(run, chi - dp + 1);
+                    for (int g = glo; g <= ghi; ++g) {
+                        const int d = dp + g - 1;
+                        const std::size_t r1 = r0 + static_cast<std::size_t>(g);
+                        double w = ins_pow[static_cast<std::size_t>(g)] * params.p_d;
+                        if (g >= 1)
+                            w += ins_pow[static_cast<std::size_t>(g - 1)] * params.p_t() *
+                                 eng.emit(received[r1 - 1], sym);
+                        next[eng.idx(d)] += ap * w;
+                    }
+                }
+                std::swap(cur, next);
+                wlo = clo;
+                whi = chi;
+            }
+            double like = 0.0;
+            int blo = 0, bhi = -1;
+            if (eng.beta_window(j0 + seg_len, blo, bhi)) {
+                const double* brow = eng.beta_row(j0 + seg_len);
+                const int lo2 = std::max(wlo, blo), hi2 = std::min(whi, bhi);
+                for (int d = lo2; d <= hi2; ++d) like += cur[eng.idx(d)] * brow[eng.idx(d)];
+            }
+            out(t, ci) = like;
+            row_norm += like;
+        }
+        if (row_norm > 0.0) {
+            for (std::size_t ci = 0; ci < candidates.size(); ++ci) out(t, ci) /= row_norm;
+        } else {
+            for (std::size_t ci = 0; ci < candidates.size(); ++ci)
+                out(t, ci) = 1.0 / static_cast<double>(candidates.size());
+        }
+    }
+    return out;
+}
+
+TEST(BatchLattice, SegmentLikelihoodsBitIdenticalToPerCandidateReference) {
+    const DriftHmm hmm(kParams);
+    const std::size_t seg_len = 4;
+    const std::size_t n = 32;
+    // All 2^4 binary candidates — the watermark inner decoder's shape.
+    std::vector<std::vector<std::uint8_t>> candidates;
+    for (unsigned v = 0; v < 16; ++v) {
+        std::vector<std::uint8_t> c(seg_len);
+        for (std::size_t l = 0; l < seg_len; ++l) c[l] = (v >> l) & 1U;
+        candidates.push_back(std::move(c));
+    }
+    Rng rng(2025);
+    const Matrix priors = random_priors(n, kParams.alphabet, rng);
+    std::vector<std::uint8_t> tx(n);
+    for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(kParams.alphabet));
+    for (std::size_t m_case = 0; m_case < 3; ++m_case) {
+        std::vector<std::uint8_t> rx = simulate_drift_channel(tx, kParams, rng);
+        if (m_case == 1) rx.clear();           // all-deleted: uniform fallback rows
+        if (m_case == 2) rx.resize(1);         // dead lattice
+        LatticeWorkspace got_ws, want_ws;
+        const Matrix got = hmm.segment_likelihoods(priors, rx, seg_len, candidates.size(),
+                                                   [&](std::size_t) {
+                                                       return std::span<const std::vector<
+                                                           std::uint8_t>>(candidates);
+                                                   },
+                                                   got_ws);
+        const Matrix want =
+            reference_segment_likelihoods(hmm, priors, rx, seg_len, candidates, want_ws);
+        ASSERT_EQ(got.rows(), want.rows());
+        ASSERT_EQ(got.cols(), want.cols());
+        for (std::size_t t = 0; t < want.rows(); ++t)
+            for (std::size_t ci = 0; ci < want.cols(); ++ci)
+                EXPECT_EQ(got(t, ci), want(t, ci))
+                    << "case " << m_case << " seg " << t << " cand " << ci;
+    }
+}
+
+TEST(BatchLattice, WorkspaceReuseIsBitIdentical) {
+    // The arenas never shrink and never zero, so a workspace warmed on a
+    // larger/other-shaped batch must not leak state into later calls.
+    const DriftHmm hmm(kParams);
+    const Lanes small = make_lanes(kParams, 24, 3, 0xAAAA);
+    const Lanes large = make_lanes(kParams, 48, 13, 0xBBBB);
+
+    LatticeWorkspace fresh;
+    const std::vector<BandedEvidence> want =
+        hmm.log2_likelihood_batch(small.tx_spans(), small.rx_spans(), fresh);
+
+    LatticeWorkspace reused;
+    Rng prior_rng(5);
+    (void)hmm.log2_likelihood_batch(large.tx_spans(), large.rx_spans(), reused);
+    (void)hmm.posteriors_batch(random_priors(48, kParams.alphabet, prior_rng),
+                               large.rx_spans(), reused);
+    const std::vector<BandedEvidence> got =
+        hmm.log2_likelihood_batch(small.tx_spans(), small.rx_spans(), reused);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t b = 0; b < want.size(); ++b) {
+        EXPECT_EQ(got[b].log2_evidence, want[b].log2_evidence) << "lane " << b;
+        EXPECT_EQ(got[b].log2_slack, want[b].log2_slack) << "lane " << b;
+    }
+}
+
+TEST(BatchLattice, BandedBatchKeepsPerLaneCertifiedSlack) {
+    // In banded mode the engine trims the shared union band only where
+    // every live lane is below its own threshold, so per lane:
+    //   banded <= exact <= banded + slack  (up to fp slop), and the union
+    // band never prunes more than the lane's own scalar band would.
+    DriftParams banded = kParams;
+    banded.band_eps = 1e-4;
+    const DriftHmm exact_hmm(kParams);
+    const DriftHmm banded_hmm(banded);
+    constexpr double kSlop = 1e-6;
+    const std::size_t n = 48;
+    for (std::size_t batch : {std::size_t{3}, std::size_t{8}}) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0xD00D + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got =
+            banded_hmm.log2_likelihood_batch(lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const double exact =
+                exact_hmm.log2_likelihood(lanes.tx[b], lanes.rx[b], scalar_ws);
+            if (!std::isfinite(exact)) continue;  // dead lanes certify via +inf slack
+            ASSERT_TRUE(std::isfinite(got[b].log2_evidence)) << "lane " << b;
+            EXPECT_GE(got[b].log2_slack, 0.0) << "lane " << b;
+            EXPECT_LE(got[b].log2_evidence, exact + kSlop) << "lane " << b;
+            EXPECT_LE(exact, got[b].log2_evidence + got[b].log2_slack + kSlop) << "lane " << b;
+            // Union banding is no tighter than the lane's own scalar band.
+            const BandedEvidence scalar =
+                banded_hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws);
+            EXPECT_GE(got[b].log2_evidence, scalar.log2_evidence - kSlop) << "lane " << b;
+        }
+    }
+}
+
+TEST(BatchLattice, LockstepRequiresEqualTransmittedLengths) {
+    const DriftHmm hmm(kParams);
+    const std::vector<std::uint8_t> a(8, 0), b(9, 1), rx(8, 0);
+    const std::vector<SymbolSpan> tx{SymbolSpan(a), SymbolSpan(b)};
+    const std::vector<SymbolSpan> rxs{SymbolSpan(rx), SymbolSpan(rx)};
+    LatticeWorkspace ws;
+    EXPECT_THROW((void)hmm.log2_likelihood_batch(tx, rxs, ws), std::invalid_argument);
+}
+
+}  // namespace

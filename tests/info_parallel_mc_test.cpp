@@ -85,4 +85,71 @@ TEST(ParallelMcDeterminism, RepeatedCallsWithSameRngDiffer) {
     EXPECT_NE(first.rate, second.rate);
 }
 
+TEST(ParallelMcDeterminism, IidRateInvariantInBatch) {
+    // Batched tiles (McOptions::batch) are a layout transform, not a
+    // numerics change: per-block seeding is untouched and lockstep lanes
+    // are bit-identical to scalar sweeps at band_eps = 0, so the estimate
+    // must not depend on the tile size — including batch = 1 (the scalar
+    // path), ragged final tiles, and the auto-picked default.
+    const DriftParams p{0.15, 0.05, 0.02, 2, 32, 8};
+    McOptions opts;
+    opts.block_len = 48;
+    opts.num_blocks = 11;
+    opts.threads = 2;
+
+    opts.batch = 1;
+    Rng scalar_rng(0xC0FFEE);
+    const MiEstimate scalar = iid_mutual_information_rate(p, opts, scalar_rng);
+    EXPECT_GT(scalar.rate, 0.0);
+
+    for (std::size_t batch : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                              std::size_t{64}}) {
+        opts.batch = batch;
+        Rng rng(0xC0FFEE);
+        expect_bit_identical(scalar, iid_mutual_information_rate(p, opts, rng));
+    }
+}
+
+TEST(ParallelMcDeterminism, MarkovRateInvariantInBatch) {
+    const DriftParams p{0.2, 0.0, 0.0, 2, 32, 8};
+    const MarkovSource src = MarkovSource::binary_repeat(0.8);
+    McOptions opts;
+    opts.block_len = 40;
+    opts.num_blocks = 10;
+    opts.threads = 2;
+
+    opts.batch = 1;
+    Rng scalar_rng(0xBEEF);
+    const MiEstimate scalar = markov_mutual_information_rate(p, src, opts, scalar_rng);
+    EXPECT_GT(scalar.rate, 0.0);
+
+    for (std::size_t batch : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+        opts.batch = batch;
+        Rng rng(0xBEEF);
+        expect_bit_identical(scalar, markov_mutual_information_rate(p, src, opts, rng));
+    }
+}
+
+TEST(ParallelMcDeterminism, BatchedBandedRateInvariantInThreadCount) {
+    // The batched banded path (shared union band) must still be
+    // deterministic and thread-invariant, and must stay a certified lower
+    // bound relative to the exact batched estimate.
+    DriftParams p{0.1, 0.03, 0.01, 2, 32, 8};
+    McOptions opts;
+    opts.block_len = 64;
+    opts.num_blocks = 8;
+    opts.band_eps = 1e-8;
+    opts.batch = 8;
+
+    opts.threads = 1;
+    Rng serial_rng(0xABCD);
+    const MiEstimate serial = iid_mutual_information_rate(p, opts, serial_rng);
+
+    for (unsigned threads : {2U, 8U}) {
+        opts.threads = threads;
+        Rng rng(0xABCD);
+        expect_bit_identical(serial, iid_mutual_information_rate(p, opts, rng));
+    }
+}
+
 }  // namespace

@@ -159,6 +159,7 @@ int cmd_sweep(const Args& args) {
     const auto mi_blocks = static_cast<std::size_t>(args.number("mi-blocks", 0));
     const auto mi_block_len = static_cast<std::size_t>(args.number("mi-block-len", 64));
     const double band_eps = args.number("band-eps", 0.0);
+    const auto mc_batch = static_cast<std::size_t>(args.number("mc-batch", 0));
     const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
     // Materialize the grid, evaluate the points in parallel, print in order.
     std::vector<std::pair<double, double>> grid;
@@ -186,6 +187,7 @@ int cmd_sweep(const Args& args) {
                 opts.num_blocks = mi_blocks;
                 opts.threads = 1;  // the grid is already parallel
                 opts.band_eps = band_eps;
+                opts.batch = mc_batch;
                 // Independent substream per grid point: deterministic under
                 // any thread count, like the estimators themselves.
                 util::Rng rng(util::substream_seed(seed, i));
@@ -216,6 +218,9 @@ int cmd_mi(const Args& args) {
     opts.threads = threads_from(args);
     // Adaptive-band lattice pruning; 0 (default) keeps the exact sweep.
     opts.band_eps = args.number("band-eps", 0.0);
+    // Lockstep lattice lanes per Monte-Carlo tile; 0 (default) auto-tiles,
+    // 1 forces the scalar path. Does not change the estimate.
+    opts.batch = static_cast<std::size_t>(args.number("mc-batch", 0));
     util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
 
     const double stay = args.number("markov-stay", -1.0);
@@ -242,14 +247,17 @@ void usage() {
         "  simulate  --sent FILE --received FILE [--pd X --pi Y --ps Z --bits N\n"
         "            --len L --seed S]\n"
         "  sweep     [--bits N --threads T --mi-blocks K --mi-block-len L\n"
-        "            --band-eps E --seed S]\n"
+        "            --band-eps E --mc-batch B --seed S]\n"
         "  mi        [--pd X --pi Y --ps Z --bits N --block L --blocks K\n"
-        "            --seed S --threads T --markov-stay Q --band-eps E]\n"
+        "            --seed S --threads T --markov-stay Q --band-eps E\n"
+        "            --mc-batch B]\n"
         "  windows   --sent FILE --received FILE [--window W]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
-        "results are a slightly looser lower bound); 0 is exact.\n",
+        "results are a slightly looser lower bound); 0 is exact.\n"
+        "--mc-batch B advances B Monte-Carlo blocks in lockstep through the\n"
+        "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n",
         stderr);
 }
 
