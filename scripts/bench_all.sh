@@ -22,7 +22,8 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
     bench_e3_theorem5_lower \
     bench_e4_convergence \
     bench_x10_lattice_kernel \
-    bench_x11_batch_lattice
+    bench_x11_batch_lattice \
+    bench_x12_fault_injection
 
 # Each harness writes BENCH_<name>.json into its working directory.
 (
@@ -32,6 +33,7 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
     ./bench/bench_e4_convergence
     ./bench/bench_x10_lattice_kernel
     ./bench/bench_x11_batch_lattice
+    ./bench/bench_x12_fault_injection
 )
 
 refreshed=0

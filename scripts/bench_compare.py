@@ -21,9 +21,12 @@ baseline file as a warning (a new bench has no checked-in record yet).
 scripts/tier1.sh uses this mode when a checked-in baseline exists.
 
 A missing or unreadable input is reported as a one-line message, never a
-traceback.
+traceback. Records whose identity fields differ ("name", "fault_profile")
+were measured under different conditions and are refused outright: a
+baseline taken under one fault-profile suite never gates a run of another.
 
-Exit status: 0 = no fatal regression, 1 = regression, 2 = usage/IO error.
+Exit status: 0 = no fatal regression, 1 = regression, 2 = usage/IO error
+(including an identity mismatch).
 """
 
 import argparse
@@ -35,7 +38,13 @@ LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
 HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup")
 # Provenance / configuration fields are never compared.
-SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps"}
+SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
+        "fault_profile"}
+# Identity fields: records measured under different identities (a different
+# bench, or a different fault-profile suite) are incomparable — numbers from
+# one fault mix must never gate numbers from another. Mismatch is a usage
+# error (exit 2), not a regression.
+IDENTITY = ("name", "fault_profile")
 
 
 def classify(key: str):
@@ -86,6 +95,13 @@ def main() -> int:
         return 0
     base = load(args.baseline, "baseline")
     cand = load(args.candidate, "candidate")
+
+    for key in IDENTITY:
+        if key in base and key in cand and base[key] != cand[key]:
+            print(f"bench_compare: {key} mismatch: baseline '{base[key]}' vs "
+                  f"candidate '{cand[key]}' — records are not comparable",
+                  file=sys.stderr)
+            return 2
 
     shared = [k for k in base if k in cand and k not in SKIP]
     only_base = [k for k in base if k not in cand and k not in SKIP]

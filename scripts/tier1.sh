@@ -8,6 +8,12 @@
 #                                         # (opt-in: ~3x slower, catches the
 #                                         # arena over/under-reads the SoA
 #                                         # lattice layouts are prone to)
+#   CCAP_RUN_UBSAN=1 ./scripts/tier1.sh   # additionally run the core/info
+#                                         # tests under -fsanitize=undefined
+#                                         # (opt-in: cheap; catches the
+#                                         # overflow/shift bugs the backoff
+#                                         # and fault-schedule arithmetic
+#                                         # could hide)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,18 @@ if [[ "${CCAP_RUN_ASAN:-0}" == "1" ]]; then
     (cd build-asan && ctest --output-on-failure -R 'ccap_util|ccap_info|Lattice|BatchLattice|ParallelMc|Drift')
 fi
 
+if [[ "${CCAP_RUN_UBSAN:-0}" == "1" ]]; then
+    echo "== tier1: core/info tests under -fsanitize=undefined (opt-in) =="
+    cmake -B build-ubsan -S . \
+        -DCCAP_SANITIZE=undefined \
+        -DCCAP_BUILD_BENCH=OFF \
+        -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build build-ubsan -j"$(nproc)" --target ccap_core_tests ccap_info_tests
+    # Run the binaries directly: every test they hold runs under UBSan
+    # (a ctest -R filter would only match a subset of the discovered names).
+    (cd build-ubsan && ./tests/ccap_core_tests && ./tests/ccap_info_tests)
+fi
+
 if [[ "${CCAP_SKIP_TSAN:-0}" == "1" ]]; then
     echo "== tier1: TSan stage skipped (CCAP_SKIP_TSAN=1) =="
     exit 0
@@ -52,6 +70,6 @@ cmake -B build-tsan -S . \
     -DCCAP_SANITIZE=thread \
     -DCCAP_BUILD_BENCH=OFF \
     -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target ccap_util_tests ccap_info_tests
-(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc')
+cmake --build build-tsan -j"$(nproc)" --target ccap_util_tests ccap_info_tests ccap_core_tests
+(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc|FaultInjectionParallel')
 echo "== tier1: OK =="

@@ -1,0 +1,198 @@
+// Fault injection for the Definition-1 channel and its feedback path.
+//
+// The paper's achievability results (Theorems 3/4, Appendix A) assume the
+// feedback path is "perfect and instantaneous" and that the channel's
+// parameters hold for the whole run. Real covert channels violate both:
+// schedulers stall in bursts, loads drift, and the return path is itself a
+// lossy covert channel. This module makes those imperfections first-class
+// and *deterministic*, so every degraded run is replayable bit for bit:
+//
+//   * FaultProfile — a seeded, clock-indexed fault schedule: periodic burst
+//     deletion storms, smooth non-stationary extra deletion probability
+//     delta(t), and stuck-at substitution windows.
+//   * FaultyChannel — a decorator over any SymbolChannel (Definition-1,
+//     bursty, ...) applying the profile per use. With a null profile it is
+//     a bit-identical passthrough: no RNG draws, no outcome rewrites.
+//   * FeedbackLink — the return path, with report loss probability,
+//     payload corruption, and fixed-plus-jittered delay. A link whose
+//     parameters are all zero is the paper's perfect feedback path.
+//
+// The hardened protocols in feedback_protocols.hpp drive both; benches
+// plot their graceful-degradation curves against the closed forms in
+// protocol_analysis.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccap/coding/bitvec.hpp"
+#include "ccap/core/deletion_insertion_channel.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace ccap::core {
+
+/// Deterministic fault schedule, indexed by the channel-use clock t = 0, 1,
+/// 2, ... Every component is optional; a default-constructed profile is the
+/// null profile (no faults).
+struct FaultProfile {
+    /// Stamped into bench records so baselines from different profiles are
+    /// never compared against each other (scripts/bench_compare.py).
+    std::string name = "none";
+
+    // --- Burst deletion storms -------------------------------------------
+    // During uses [k * storm_period, k * storm_period + storm_len) every
+    // delivery (transmission or insertion) is blacked out: the receiver
+    // sees nothing, the sender's queue semantics are untouched.
+    std::uint64_t storm_period = 0;  ///< 0 disables storms
+    std::uint64_t storm_len = 0;
+
+    // --- Non-stationary deletion drift -----------------------------------
+    // Extra per-use delivery-drop probability
+    //   delta(t) = drift_amplitude * (1 - cos(2 pi t / drift_period)) / 2,
+    // a smooth P_d(t) swing peaking at drift_amplitude mid-period and
+    // returning to the nominal parameters at the period boundaries.
+    double drift_amplitude = 0.0;    ///< 0 disables drift
+    std::uint64_t drift_period = 0;
+
+    // --- Stuck-at substitutions ------------------------------------------
+    // During uses [k * stuck_period, k * stuck_period + stuck_len) every
+    // delivered symbol is replaced by stuck_symbol (a jammed shared
+    // resource reads as a constant).
+    std::uint64_t stuck_period = 0;  ///< 0 disables stuck-at windows
+    std::uint64_t stuck_len = 0;
+    std::uint32_t stuck_symbol = 0;
+
+    /// True when no fault component is active — FaultyChannel passes
+    /// through bit-identically.
+    [[nodiscard]] bool is_null() const noexcept;
+
+    /// Throws std::domain_error / std::invalid_argument when malformed
+    /// (non-finite or out-of-range amplitude, window longer than period,
+    /// active component with a zero period).
+    void validate() const;
+
+    // Named presets used by benches and the CLI.
+    [[nodiscard]] static FaultProfile storms(std::uint64_t period, std::uint64_t len);
+    [[nodiscard]] static FaultProfile drifting(double amplitude, std::uint64_t period);
+    [[nodiscard]] static FaultProfile stuck_at(std::uint64_t period, std::uint64_t len,
+                                               std::uint32_t symbol);
+};
+
+/// What FaultyChannel did to the underlying outcome stream.
+struct FaultStats {
+    std::uint64_t uses = 0;
+    std::uint64_t storm_drops = 0;   ///< deliveries blacked out by storms
+    std::uint64_t drift_drops = 0;   ///< deliveries dropped by delta(t)
+    std::uint64_t stuck_overrides = 0;  ///< delivered symbols forced to stuck_symbol
+
+    [[nodiscard]] std::uint64_t injected_faults() const noexcept {
+        return storm_drops + drift_drops + stuck_overrides;
+    }
+};
+
+/// One injected fault, for replay/debug logs (bounded; see FaultyChannel).
+struct InjectedFault {
+    enum class Kind : std::uint8_t { storm_drop, drift_drop, stuck_override };
+    std::uint64_t use = 0;
+    Kind kind = Kind::storm_drop;
+};
+
+/// Decorator over any SymbolChannel applying a FaultProfile per use. The
+/// schedule clock is the decorator's own use counter, so the same profile
+/// and seed replay the same fault sequence over any inner channel. The
+/// inner channel's RNG stream is never touched: drift draws come from the
+/// decorator's own generator, and the null profile draws nothing at all.
+class FaultyChannel final : public SymbolChannel {
+public:
+    /// Does not take ownership of `inner`; it must outlive the decorator.
+    FaultyChannel(SymbolChannel& inner, FaultProfile profile, std::uint64_t seed);
+
+    /// Nominal long-run parameters of the *inner* channel. Faults push the
+    /// realized event rates away from these — quantifying that gap is what
+    /// the estimators are for.
+    [[nodiscard]] const DiChannelParams& params() const noexcept override {
+        return inner_->params();
+    }
+    [[nodiscard]] const FaultProfile& profile() const noexcept { return profile_; }
+    [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+    /// Injected-fault log, capped at kMaxLoggedFaults entries (the stats
+    /// counters keep exact totals past the cap).
+    [[nodiscard]] const std::vector<InjectedFault>& fault_log() const noexcept {
+        return fault_log_;
+    }
+
+    [[nodiscard]] ChannelUseOutcome use(std::uint32_t queued) override;
+
+    static constexpr std::size_t kMaxLoggedFaults = 4096;
+
+private:
+    [[nodiscard]] bool in_window(std::uint64_t t, std::uint64_t period,
+                                 std::uint64_t len) const noexcept {
+        return period != 0 && len != 0 && (t % period) < len;
+    }
+    void log_fault(std::uint64_t t, InjectedFault::Kind kind);
+
+    SymbolChannel* inner_;
+    FaultProfile profile_;
+    bool null_profile_;
+    util::Rng rng_;
+    FaultStats stats_;
+    std::vector<InjectedFault> fault_log_;
+};
+
+// ---------------------------------------------------------------------------
+// Feedback link
+// ---------------------------------------------------------------------------
+
+struct FeedbackLinkParams {
+    double p_loss = 0.0;     ///< per-report loss probability
+    double p_corrupt = 0.0;  ///< per-report payload-corruption probability
+    std::uint64_t delay = 0;   ///< fixed report latency, in channel uses
+    std::uint64_t jitter = 0;  ///< extra uniform latency in [0, jitter]
+
+    /// The paper's perfect feedback path: lossless, clean, instantaneous.
+    [[nodiscard]] bool perfect() const noexcept {
+        return p_loss == 0.0 && p_corrupt == 0.0 && delay == 0 && jitter == 0;
+    }
+    /// Throws std::domain_error on non-finite or out-of-range probabilities.
+    void validate() const;
+};
+
+/// Running totals of what the link did to the report stream.
+struct FeedbackStats {
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t corrupted = 0;  ///< frames damaged in flight (bits flipped)
+};
+
+/// Seeded model of the feedback path. Reports are framed as bit vectors so
+/// protocols can CRC-protect them (coding/crc.hpp); corruption flips one to
+/// three random frame bits — always within CRC-16's guaranteed detection
+/// distance for the short frames the protocols use, so a corrupted frame is
+/// *detectably* corrupted, never silently wrong.
+class FeedbackLink {
+public:
+    struct Delivery {
+        bool lost = false;
+        std::uint64_t delay = 0;   ///< uses until arrival (0 when lost)
+        coding::Bits bits;         ///< frame as (possibly corrupted) bits
+    };
+
+    FeedbackLink(FeedbackLinkParams params, std::uint64_t seed);
+
+    [[nodiscard]] const FeedbackLinkParams& params() const noexcept { return params_; }
+    [[nodiscard]] const FeedbackStats& stats() const noexcept { return stats_; }
+
+    /// One report over the return path. A perfect link forwards the frame
+    /// untouched without consuming any randomness, so zero-fault protocol
+    /// runs replay the unhardened protocols bit for bit.
+    [[nodiscard]] Delivery transmit(std::span<const std::uint8_t> frame_bits);
+
+private:
+    FeedbackLinkParams params_;
+    util::Rng rng_;
+    FeedbackStats stats_;
+};
+
+}  // namespace ccap::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ccap/core/deletion_insertion_channel.hpp"
+#include "ccap/core/fault_injection.hpp"
 
 namespace ccap::core {
 
@@ -28,6 +29,17 @@ struct ProtocolRun {
     std::size_t symbol_errors = 0;      ///< received[i] != message[i]
     bool reliable = false;              ///< every position matches
 
+    // Robustness counters. The unhardened protocols fill retransmissions
+    // and leave the rest zero, so a hardened run over a faultless channel
+    // and a perfect link compares EXPECT_EQ-equal to the plain run.
+    std::uint64_t retransmissions = 0;  ///< uses that re-offered an already-offered symbol
+    std::uint64_t timeouts = 0;         ///< report waits abandoned after the timeout
+    std::uint64_t resync_events = 0;    ///< valid feedback that repaired stale sender state
+    std::uint64_t acks_lost = 0;        ///< feedback frames the link dropped
+    std::uint64_t acks_corrupted = 0;   ///< feedback frames damaged in flight (CRC-caught)
+
+    bool operator==(const ProtocolRun&) const = default;
+
     /// Raw symbols moved per channel use.
     [[nodiscard]] double symbols_per_use() const noexcept {
         return channel_uses == 0
@@ -37,6 +49,11 @@ struct ProtocolRun {
     /// Measured information rate in bits/use: symbols_per_use times the
     /// M-ary symmetric capacity at the *measured* symbol error rate.
     [[nodiscard]] double measured_info_rate(unsigned bits_per_symbol) const;
+    /// Achieved-rate-vs-bound gap: predicted minus measured, in bits/use.
+    /// Positive = the run fell short of the closed-form prediction.
+    [[nodiscard]] double rate_gap(double predicted_rate, unsigned bits_per_symbol) const {
+        return predicted_rate - measured_info_rate(bits_per_symbol);
+    }
 };
 
 /// Theorem 3: resend-until-received. Requires P_i == 0 (pure deletion
@@ -69,6 +86,68 @@ struct ProtocolRun {
 [[nodiscard]] ProtocolRun run_go_back_n(SymbolChannel& channel,
                                         std::span<const std::uint32_t> message,
                                         std::uint64_t delay);
+
+// ---------------------------------------------------------------------------
+// Hardened protocols: the feedback path is a FeedbackLink (loss, corruption,
+// delay, jitter) instead of the paper's perfect wire, and the forward
+// channel may be a FaultyChannel. Every report frame is CRC-16 protected,
+// so a corrupted report is *detected* and treated as missing — it can never
+// silently flip an ACK into a NACK or vice versa. Over a perfect link each
+// hardened run is bit-identical (EXPECT_EQ on ProtocolRun) to its
+// unhardened counterpart: the link consumes no randomness and every report
+// arrives intact after exactly `delay` uses.
+// ---------------------------------------------------------------------------
+
+struct HardenedOptions {
+    /// Uses the sender waits for a report before declaring it lost and
+    /// retransmitting. Must be >= the link's worst-case latency
+    /// (delay + jitter) so a report in flight is never abandoned.
+    std::uint64_t timeout = 8;
+    /// Capped exponential backoff: after k *consecutive* lost reports the
+    /// sender waits min(timeout * backoff_mult^k, backoff_cap) uses. Any
+    /// report arrival (even a corrupted one) resets the level.
+    std::uint64_t backoff_mult = 2;
+    std::uint64_t backoff_cap = 64;
+    /// Safety valve for pathological fault profiles: when nonzero, a run
+    /// that exceeds this many channel uses stops early with
+    /// reliable == false instead of spinning forever.
+    std::uint64_t channel_use_cap = 0;
+
+    /// Throws std::invalid_argument on a zero timeout/multiplier or a cap
+    /// below the base timeout.
+    void validate() const;
+};
+
+/// Stop-and-wait with per-attempt reports, timeout + retransmit, and capped
+/// exponential backoff. Duplicate deliveries caused by lost ACKs are
+/// discarded by the receiver (alternating-sequence discipline), so the run
+/// stays reliable for any ack-loss probability < 1. Requires P_i == 0.
+/// Closed-form expected rate: protocol_analysis.hpp
+/// hardened_stop_and_wait_rate.
+[[nodiscard]] ProtocolRun run_hardened_stop_and_wait(SymbolChannel& channel,
+                                                     std::span<const std::uint32_t> message,
+                                                     FeedbackLink& link,
+                                                     const HardenedOptions& options);
+
+/// Counter protocol whose count reports ride the lossy link. Reports carry
+/// the receiver's cumulative count (CRC-protected); the sender offers
+/// message[view] under its latest valid view, so a lost or corrupted count
+/// leaves the sender briefly stale and the next valid count *resyncs* it
+/// (resync_events) instead of desynchronizing the rest of the run.
+[[nodiscard]] ProtocolRun run_hardened_counter_protocol(SymbolChannel& channel,
+                                                        std::span<const std::uint32_t> message,
+                                                        FeedbackLink& link,
+                                                        const HardenedOptions& options);
+
+/// Go-back-N tolerant of lost outcome reports: each report carries the
+/// receiver's in-order count, so when the report that would have triggered
+/// a rewind is lost, a later report's count still steers the window back to
+/// the symbol the receiver actually needs. The link's fixed delay plays the
+/// role of the plain protocol's pipeline depth. Requires P_i == 0.
+[[nodiscard]] ProtocolRun run_hardened_go_back_n(SymbolChannel& channel,
+                                                 std::span<const std::uint32_t> message,
+                                                 FeedbackLink& link,
+                                                 const HardenedOptions& options);
 
 // ---------------------------------------------------------------------------
 // Quantum-level synchronization-mechanism simulations (Figs. 1, 3).

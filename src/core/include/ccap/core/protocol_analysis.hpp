@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "ccap/core/channel_params.hpp"
+#include "ccap/core/fault_injection.hpp"
+#include "ccap/core/feedback_protocols.hpp"
 
 namespace ccap::core {
 
@@ -54,6 +56,20 @@ struct CommonEventOptimum {
 /// Expected rate of go-back-N pipelining under the same delayed feedback:
 /// N(1 - P_d)/(1 + P_d * D) — each loss costs the D-slot pipeline flush.
 [[nodiscard]] double go_back_n_rate(const DiChannelParams& p, std::uint64_t delay);
+
+/// Exact expected rate (bits/use) of run_hardened_stop_and_wait over a
+/// deletion channel with an imperfect feedback link (THEORY.md §12). The
+/// per-symbol Markov chain has states (A: not yet delivered, B: delivered
+/// but unacknowledged) x (backoff level); a lost report at level l costs
+/// 1 + min(timeout * mult^l, cap) uses, any arrival costs
+/// 1 + delay + jitter/2 on average and resets the level. As the ack-loss
+/// and corruption probabilities go to 0 this collapses to the delayed
+/// stop-and-wait closed form N(1 - P_d)/(1 + delay).
+/// Throws std::domain_error when P_d, p_loss, or p_corrupt is 1 (the
+/// expected time diverges).
+[[nodiscard]] double hardened_stop_and_wait_rate(const DiChannelParams& p,
+                                                 const FeedbackLinkParams& link,
+                                                 const HardenedOptions& options);
 
 /// Definition-1 parameters induced by the *naive* covert pair (sender
 /// writes every quantum it gets, receiver believes every sample) under a

@@ -7,6 +7,9 @@
 namespace ccap::core {
 
 void DiChannelParams::validate() const {
+    // isfinite first: NaN sails through every < comparison below.
+    if (!std::isfinite(p_d) || !std::isfinite(p_i) || !std::isfinite(p_s))
+        throw std::domain_error("DiChannelParams: non-finite probability");
     if (p_d < 0.0 || p_i < 0.0 || p_s < 0.0)
         throw std::domain_error("DiChannelParams: negative probability");
     if (p_s > 1.0) throw std::domain_error("DiChannelParams: p_s > 1");

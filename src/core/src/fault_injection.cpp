@@ -1,0 +1,158 @@
+#include "ccap/core/fault_injection.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ccap::core {
+
+bool FaultProfile::is_null() const noexcept {
+    const bool storms_off = storm_period == 0 || storm_len == 0;
+    const bool drift_off = drift_amplitude == 0.0 || drift_period == 0;
+    const bool stuck_off = stuck_period == 0 || stuck_len == 0;
+    return storms_off && drift_off && stuck_off;
+}
+
+void FaultProfile::validate() const {
+    if (!std::isfinite(drift_amplitude) || drift_amplitude < 0.0 || drift_amplitude > 1.0)
+        throw std::domain_error("FaultProfile: drift_amplitude must be finite in [0,1]");
+    if (storm_len > 0 && storm_period == 0)
+        throw std::invalid_argument("FaultProfile: storm_len without storm_period");
+    if (storm_period > 0 && storm_len > storm_period)
+        throw std::invalid_argument("FaultProfile: storm_len exceeds storm_period");
+    if (drift_amplitude > 0.0 && drift_period == 0)
+        throw std::invalid_argument("FaultProfile: drift_amplitude without drift_period");
+    if (stuck_len > 0 && stuck_period == 0)
+        throw std::invalid_argument("FaultProfile: stuck_len without stuck_period");
+    if (stuck_period > 0 && stuck_len > stuck_period)
+        throw std::invalid_argument("FaultProfile: stuck_len exceeds stuck_period");
+}
+
+FaultProfile FaultProfile::storms(std::uint64_t period, std::uint64_t len) {
+    FaultProfile p;
+    p.name = "storms";
+    p.storm_period = period;
+    p.storm_len = len;
+    p.validate();
+    return p;
+}
+
+FaultProfile FaultProfile::drifting(double amplitude, std::uint64_t period) {
+    FaultProfile p;
+    p.name = "drift";
+    p.drift_amplitude = amplitude;
+    p.drift_period = period;
+    p.validate();
+    return p;
+}
+
+FaultProfile FaultProfile::stuck_at(std::uint64_t period, std::uint64_t len,
+                                    std::uint32_t symbol) {
+    FaultProfile p;
+    p.name = "stuck";
+    p.stuck_period = period;
+    p.stuck_len = len;
+    p.stuck_symbol = symbol;
+    p.validate();
+    return p;
+}
+
+FaultyChannel::FaultyChannel(SymbolChannel& inner, FaultProfile profile, std::uint64_t seed)
+    : inner_(&inner),
+      profile_(std::move(profile)),
+      null_profile_(profile_.is_null()),
+      rng_(seed) {
+    profile_.validate();
+}
+
+void FaultyChannel::log_fault(std::uint64_t t, InjectedFault::Kind kind) {
+    if (fault_log_.size() < kMaxLoggedFaults) fault_log_.push_back({t, kind});
+}
+
+ChannelUseOutcome FaultyChannel::use(std::uint32_t queued) {
+    ChannelUseOutcome out = inner_->use(queued);
+    const std::uint64_t t = stats_.uses++;
+    if (null_profile_) return out;  // bit-identical passthrough, no RNG draws
+
+    if (out.delivered) {
+        // Blackout faults drop the delivery but preserve `consumed`: the
+        // sender's queue semantics (and the inner channel's own state) are
+        // exactly what they were — only the receiver's view changes, which
+        // is what a scheduler stall or a jammed return path does.
+        if (in_window(t, profile_.storm_period, profile_.storm_len)) {
+            out.delivered.reset();
+            out.kind = ChannelEvent::deletion;
+            ++stats_.storm_drops;
+            log_fault(t, InjectedFault::Kind::storm_drop);
+        } else if (profile_.drift_amplitude > 0.0 && profile_.drift_period > 0) {
+            const double phase = static_cast<double>(t % profile_.drift_period) /
+                                 static_cast<double>(profile_.drift_period);
+            const double delta = profile_.drift_amplitude *
+                                 (1.0 - std::cos(2.0 * std::numbers::pi * phase)) / 2.0;
+            if (delta > 0.0 && rng_.bernoulli(delta)) {
+                out.delivered.reset();
+                out.kind = ChannelEvent::deletion;
+                ++stats_.drift_drops;
+                log_fault(t, InjectedFault::Kind::drift_drop);
+            }
+        }
+    }
+    if (out.delivered && in_window(t, profile_.stuck_period, profile_.stuck_len)) {
+        const std::uint32_t stuck =
+            profile_.stuck_symbol & (inner_->params().alphabet() - 1U);
+        if (*out.delivered != stuck) {
+            out.delivered = stuck;
+            ++stats_.stuck_overrides;
+            log_fault(t, InjectedFault::Kind::stuck_override);
+        }
+    }
+    return out;
+}
+
+void FeedbackLinkParams::validate() const {
+    if (!std::isfinite(p_loss) || p_loss < 0.0 || p_loss > 1.0)
+        throw std::domain_error("FeedbackLinkParams: p_loss must be finite in [0,1]");
+    if (!std::isfinite(p_corrupt) || p_corrupt < 0.0 || p_corrupt > 1.0)
+        throw std::domain_error("FeedbackLinkParams: p_corrupt must be finite in [0,1]");
+}
+
+FeedbackLink::FeedbackLink(FeedbackLinkParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+    params_.validate();
+}
+
+FeedbackLink::Delivery FeedbackLink::transmit(std::span<const std::uint8_t> frame_bits) {
+    ++stats_.sent;
+    Delivery d;
+    d.bits.assign(frame_bits.begin(), frame_bits.end());
+    if (params_.perfect()) return d;  // no RNG draws on the perfect link
+
+    // Fixed draw order (loss, corruption, jitter) keeps replays aligned
+    // regardless of which branches fire.
+    const bool lost = params_.p_loss > 0.0 && rng_.bernoulli(params_.p_loss);
+    const bool corrupt = params_.p_corrupt > 0.0 && rng_.bernoulli(params_.p_corrupt);
+    d.delay = params_.delay;
+    if (params_.jitter > 0) d.delay += rng_.uniform_below(params_.jitter + 1);
+    if (lost) {
+        d.lost = true;
+        d.delay = 0;
+        ++stats_.lost;
+        return d;
+    }
+    if (corrupt && !d.bits.empty()) {
+        // Flip 1..3 distinct positions. CRC-16-CCITT has Hamming distance
+        // >= 4 on the short frames the protocols send, so every corruption
+        // injected here is detected by the receiver-side CRC check.
+        const std::uint64_t flips =
+            1 + rng_.uniform_below(std::min<std::uint64_t>(3, d.bits.size()));
+        for (std::uint64_t f = 0; f < flips; ++f) {
+            const std::size_t pos =
+                static_cast<std::size_t>(rng_.uniform_below(d.bits.size()));
+            d.bits[pos] ^= 1U;
+        }
+        ++stats_.corrupted;
+    }
+    return d;
+}
+
+}  // namespace ccap::core

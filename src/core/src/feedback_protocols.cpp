@@ -1,13 +1,36 @@
 #include "ccap/core/feedback_protocols.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
+#include <vector>
 
+#include "ccap/coding/crc.hpp"
 #include "ccap/info/entropy.hpp"
 #include "ccap/util/rng.hpp"
 
 namespace ccap::core {
+namespace {
+
+/// Shared tail accounting: mismatches plus any undelivered suffix (capped
+/// hardened runs can stop short) count as symbol errors; reliable means the
+/// full message arrived error-free.
+void finalize_errors(ProtocolRun& run, std::span<const std::uint32_t> message) {
+    const std::size_t n = std::min(run.received.size(), message.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (run.received[i] != message[i]) ++run.symbol_errors;
+    run.symbol_errors += message.size() - n;
+    run.reliable = run.received.size() == message.size() && run.symbol_errors == 0;
+}
+
+/// Report frames are the receiver's cumulative count (32 bits, MSB-first),
+/// optionally followed by protocol-specific flag bits, CRC-16 protected.
+coding::Bits make_report(std::uint64_t count) {
+    return coding::append_crc16(coding::bits_from_uint(count, 32));
+}
+
+}  // namespace
 
 double ProtocolRun::measured_info_rate(unsigned bits_per_symbol) const {
     if (message_len == 0 || channel_uses == 0) return 0.0;
@@ -25,8 +48,7 @@ ProtocolRun run_stop_and_wait(SymbolChannel& channel,
         throw std::domain_error("run_stop_and_wait: Theorem 3 protocol requires P_i == 0");
     ProtocolRun run;
     run.message_len = message.size();
-    std::vector<std::uint32_t> received;
-    received.reserve(message.size());
+    run.received.reserve(message.size());
     for (std::uint32_t symbol : message) {
         // Perfect feedback: the sender learns after each use whether the
         // receiver got the symbol, and resends until it did.
@@ -34,15 +56,13 @@ ProtocolRun run_stop_and_wait(SymbolChannel& channel,
             const auto out = channel.use(symbol);
             ++run.channel_uses;
             if (out.delivered) {
-                received.push_back(*out.delivered);
+                run.received.push_back(*out.delivered);
                 break;
             }
+            ++run.retransmissions;
         }
     }
-    for (std::size_t i = 0; i < message.size(); ++i)
-        if (received[i] != message[i]) ++run.symbol_errors;
-    run.reliable = run.symbol_errors == 0;
-    run.received = std::move(received);
+    finalize_errors(run, message);
     return run;
 }
 
@@ -71,19 +91,20 @@ ProtocolRun run_counter_protocol(SymbolChannel& channel,
         if (out.delivered) {
             received.push_back(*out.delivered);
             was_insertion.push_back(out.kind == ChannelEvent::insertion);
+        } else {
+            // Deletions leave the counters unequal (receiver_count stays
+            // below the sender's offer), so the same symbol is re-offered
+            // next use — "the sender then does nothing and waits for the
+            // next opportunity" collapses to a retry here because feedback
+            // is instantaneous.
+            ++run.retransmissions;
         }
-        // Deletions leave the counters unequal (receiver_count stays below
-        // the sender's offer), so the same symbol is re-offered next use —
-        // "the sender then does nothing and waits for the next opportunity"
-        // collapses to a retry here because feedback is instantaneous.
     }
 
-    for (std::size_t i = 0; i < message.size(); ++i) {
+    for (std::size_t i = 0; i < received.size(); ++i)
         if (was_insertion[i]) ++run.garbage_positions;
-        if (received[i] != message[i]) ++run.symbol_errors;
-    }
-    run.reliable = run.symbol_errors == 0;
     run.received = std::move(received);
+    finalize_errors(run, message);
     return run;
 }
 
@@ -104,11 +125,10 @@ ProtocolRun run_delayed_stop_and_wait(SymbolChannel& channel,
                 run.received.push_back(*out.delivered);
                 break;
             }
+            ++run.retransmissions;
         }
     }
-    for (std::size_t i = 0; i < message.size(); ++i)
-        if (run.received[i] != message[i]) ++run.symbol_errors;
-    run.reliable = run.symbol_errors == 0;
+    finalize_errors(run, message);
     return run;
 }
 
@@ -128,12 +148,17 @@ ProtocolRun run_go_back_n(SymbolChannel& channel,
     std::deque<SlotOutcome> in_flight;  // outcomes become known `delay` slots later
     std::size_t send_ptr = 0;
     std::size_t recv_next = 0;
+    std::size_t send_high = 0;  // one past the highest index ever sent
     while (recv_next < message.size()) {
         ++run.channel_uses;
         SlotOutcome slot;
         if (send_ptr < message.size()) {
             slot.idx = send_ptr;
             slot.sent = true;
+            if (slot.idx < send_high)
+                ++run.retransmissions;
+            else
+                send_high = slot.idx + 1;
             const auto out = channel.use(message[send_ptr]);
             ++send_ptr;
             if (out.delivered) {
@@ -157,9 +182,274 @@ ProtocolRun run_go_back_n(SymbolChannel& channel,
             if (past.sent && !past.accepted && send_ptr > past.idx) send_ptr = past.idx;
         }
     }
-    for (std::size_t i = 0; i < message.size(); ++i)
-        if (run.received[i] != message[i]) ++run.symbol_errors;
-    run.reliable = run.symbol_errors == 0;
+    finalize_errors(run, message);
+    return run;
+}
+
+// ---------------------------------------------------------------------------
+// Hardened protocols
+// ---------------------------------------------------------------------------
+
+void HardenedOptions::validate() const {
+    if (timeout == 0) throw std::invalid_argument("HardenedOptions: timeout must be >= 1");
+    if (backoff_mult == 0)
+        throw std::invalid_argument("HardenedOptions: backoff_mult must be >= 1");
+    if (backoff_cap < timeout)
+        throw std::invalid_argument("HardenedOptions: backoff_cap below timeout");
+}
+
+namespace {
+
+/// Escalate the wait without overflowing: min(wait * mult, cap).
+std::uint64_t escalate(std::uint64_t wait, std::uint64_t mult, std::uint64_t cap) {
+    return wait > cap / mult ? cap : std::min(wait * mult, cap);
+}
+
+std::uint64_t report_count(const coding::Bits& frame) {
+    return coding::uint_from_bits(std::span(frame).first(32));
+}
+
+}  // namespace
+
+ProtocolRun run_hardened_stop_and_wait(SymbolChannel& channel,
+                                       std::span<const std::uint32_t> message,
+                                       FeedbackLink& link, const HardenedOptions& options) {
+    if (channel.params().p_i != 0.0)
+        throw std::domain_error("run_hardened_stop_and_wait: requires P_i == 0");
+    options.validate();
+    if (options.timeout < link.params().delay + link.params().jitter)
+        throw std::invalid_argument(
+            "run_hardened_stop_and_wait: timeout below the link's worst-case latency");
+    const FeedbackStats link_before = link.stats();
+
+    ProtocolRun run;
+    run.message_len = message.size();
+    run.received.reserve(message.size());
+    bool capped = false;
+    for (std::size_t i = 0; i < message.size() && !capped; ++i) {
+        std::uint64_t wait = options.timeout;
+        bool stale = false;  // a report for this symbol was lost or corrupted
+        for (;;) {
+            if (options.channel_use_cap != 0 &&
+                run.channel_uses >= options.channel_use_cap) {
+                capped = true;
+                break;
+            }
+            const auto out = channel.use(message[i]);
+            // Alternating-sequence discipline: the receiver accepts only
+            // the next in-order symbol, so a duplicate caused by a lost
+            // ACK is discarded rather than appended twice.
+            if (out.delivered && run.received.size() == i)
+                run.received.push_back(*out.delivered);
+            const auto report = link.transmit(make_report(run.received.size()));
+            if (report.lost) {
+                // Nothing arrives: wait out the (backoff-escalated)
+                // timeout, then retransmit.
+                run.channel_uses += 1 + wait;
+                ++run.timeouts;
+                ++run.retransmissions;
+                stale = true;
+                wait = escalate(wait, options.backoff_mult, options.backoff_cap);
+                continue;
+            }
+            run.channel_uses += 1 + report.delay;
+            wait = options.timeout;  // any arrival resets the backoff level
+            if (!coding::verify_crc16(report.bits)) {
+                ++run.retransmissions;
+                stale = true;
+                continue;
+            }
+            if (report_count(report.bits) > i) {
+                if (stale) ++run.resync_events;
+                break;  // acked — next symbol
+            }
+            ++run.retransmissions;  // valid NACK: the attempt was deleted
+        }
+    }
+    finalize_errors(run, message);
+    run.acks_lost = link.stats().lost - link_before.lost;
+    run.acks_corrupted = link.stats().corrupted - link_before.corrupted;
+    return run;
+}
+
+ProtocolRun run_hardened_counter_protocol(SymbolChannel& channel,
+                                          std::span<const std::uint32_t> message,
+                                          FeedbackLink& link,
+                                          const HardenedOptions& options) {
+    options.validate();
+    const FeedbackStats link_before = link.stats();
+
+    ProtocolRun run;
+    run.message_len = message.size();
+    std::vector<std::uint32_t> received;
+    std::vector<bool> was_insertion;
+    received.reserve(message.size());
+    was_insertion.reserve(message.size());
+
+    struct PendingReport {
+        std::uint64_t arrival = 0;
+        bool valid = false;
+        std::uint64_t count = 0;
+    };
+    std::deque<PendingReport> pending;
+    std::uint64_t clock = 0;        // channel uses completed
+    std::uint64_t sender_view = 0;  // latest CRC-valid receiver count
+    std::uint64_t next_fresh = 0;   // one past the highest index ever offered
+    bool stale = false;             // a count report was lost or corrupted
+
+    while (received.size() < message.size()) {
+        if (options.channel_use_cap != 0 && run.channel_uses >= options.channel_use_cap)
+            break;
+        // Reports arrive in slot order (fixed delay; jitter only stretches).
+        while (!pending.empty() && pending.front().arrival <= clock) {
+            const PendingReport r = pending.front();
+            pending.pop_front();
+            if (!r.valid) {
+                stale = true;
+                continue;
+            }
+            if (r.count > sender_view) {
+                // A CRC-valid count always resynchronizes the sender — this
+                // is the difference from trusting a raw (corruptible) count.
+                if (stale) ++run.resync_events;
+                sender_view = r.count;
+            }
+            stale = false;
+        }
+        const auto idx = static_cast<std::size_t>(sender_view);
+        if (idx < next_fresh)
+            ++run.retransmissions;
+        else
+            next_fresh = idx + 1;
+        const auto out = channel.use(message[idx]);
+        ++run.channel_uses;
+        ++clock;
+        if (out.delivered) {
+            received.push_back(*out.delivered);
+            was_insertion.push_back(out.kind == ChannelEvent::insertion);
+        }
+        const auto d = link.transmit(make_report(received.size()));
+        if (d.lost)
+            stale = true;
+        else
+            pending.push_back({clock + d.delay, coding::verify_crc16(d.bits),
+                               coding::verify_crc16(d.bits) ? report_count(d.bits) : 0});
+    }
+
+    for (std::size_t i = 0; i < received.size(); ++i)
+        if (was_insertion[i]) ++run.garbage_positions;
+    run.received = std::move(received);
+    finalize_errors(run, message);
+    run.acks_lost = link.stats().lost - link_before.lost;
+    run.acks_corrupted = link.stats().corrupted - link_before.corrupted;
+    return run;
+}
+
+ProtocolRun run_hardened_go_back_n(SymbolChannel& channel,
+                                   std::span<const std::uint32_t> message,
+                                   FeedbackLink& link, const HardenedOptions& options) {
+    if (channel.params().p_i != 0.0)
+        throw std::domain_error("run_hardened_go_back_n: requires P_i == 0");
+    options.validate();
+    const FeedbackStats link_before = link.stats();
+
+    ProtocolRun run;
+    run.message_len = message.size();
+    run.received.reserve(message.size());
+
+    struct PendingReport {
+        std::uint64_t arrival = 0;
+        bool valid = false;
+        std::uint64_t count = 0;  ///< receiver's in-order count after the slot
+        std::size_t idx = 0;      ///< sender-side log: what this slot sent
+        bool sent = false;
+        bool accepted = false;
+    };
+    std::vector<PendingReport> pending;  // jitter can reorder arrivals: scan, don't pop
+    std::uint64_t clock = 0;
+    std::size_t send_ptr = 0;
+    std::size_t recv_next = 0;
+    std::size_t send_high = 0;
+    std::uint64_t known_next = 0;  // max CRC-valid receiver count seen
+    bool stale = false;
+
+    while (recv_next < message.size()) {
+        if (options.channel_use_cap != 0 && run.channel_uses >= options.channel_use_cap)
+            break;
+        ++run.channel_uses;
+        PendingReport slot;
+        if (send_ptr < message.size()) {
+            slot.idx = send_ptr;
+            slot.sent = true;
+            if (slot.idx < send_high)
+                ++run.retransmissions;
+            else
+                send_high = slot.idx + 1;
+            const auto out = channel.use(message[send_ptr]);
+            ++send_ptr;
+            if (out.delivered && slot.idx == recv_next) {
+                run.received.push_back(*out.delivered);
+                ++recv_next;
+                slot.accepted = true;
+            }
+        }
+        // Per-slot report: cumulative in-order count + accepted flag.
+        coding::Bits frame = coding::bits_from_uint(recv_next, 32);
+        frame.push_back(slot.accepted ? 1 : 0);
+        const auto d = link.transmit(coding::append_crc16(frame));
+        ++clock;
+        if (d.lost) {
+            stale = true;
+        } else {
+            slot.arrival = clock + d.delay;
+            slot.valid = coding::verify_crc16(d.bits);
+            if (slot.valid) {
+                slot.count = report_count(d.bits);
+                slot.accepted = d.bits[32] != 0;
+            }
+            pending.push_back(slot);
+        }
+        // End-of-slot processing, matching the plain protocol's timing. The
+        // report's *count* (not its slot index) steers the rewind, so a
+        // lost not-accepted report cannot strand the window past the symbol
+        // the receiver still needs: any later report's count points there.
+        for (std::size_t k = 0; k < pending.size();) {
+            if (pending[k].arrival > clock) {
+                ++k;
+                continue;
+            }
+            const PendingReport r = pending[k];
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+            if (!r.valid) {
+                stale = true;
+                continue;
+            }
+            if (r.count > known_next) {
+                if (stale) ++run.resync_events;
+                known_next = r.count;
+            }
+            stale = false;
+            if (r.sent && !r.accepted && send_ptr > r.idx) {
+                const auto target =
+                    static_cast<std::size_t>(std::max(r.count, known_next));
+                if (target < send_ptr) send_ptr = target;
+            }
+        }
+        // Deadlock breaker: the sender ran off the end, every report that
+        // would have rewound it was lost, and nothing sent is still in
+        // flight. Unreachable over a lossless link (the not-accepted report
+        // always arrives first), so zero-fault runs are untouched.
+        if (send_ptr >= message.size() && recv_next < message.size() &&
+            std::none_of(pending.begin(), pending.end(),
+                         [](const PendingReport& r) { return r.sent; }) &&
+            known_next < send_ptr) {
+            send_ptr = static_cast<std::size_t>(known_next);
+            ++run.resync_events;
+        }
+    }
+    finalize_errors(run, message);
+    run.acks_lost = link.stats().lost - link_before.lost;
+    run.acks_corrupted = link.stats().corrupted - link_before.corrupted;
     return run;
 }
 

@@ -1,8 +1,10 @@
 #include "ccap/core/protocol_analysis.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ccap::core {
 namespace {
@@ -73,6 +75,85 @@ double go_back_n_rate(const DiChannelParams& p, std::uint64_t delay) {
     p.validate();
     return static_cast<double>(p.bits_per_symbol) * (1.0 - p.p_d) /
            (1.0 + p.p_d * static_cast<double>(delay));
+}
+
+double hardened_stop_and_wait_rate(const DiChannelParams& p, const FeedbackLinkParams& link,
+                                   const HardenedOptions& options) {
+    p.validate();
+    link.validate();
+    options.validate();
+    if (p.p_i != 0.0)
+        throw std::domain_error("hardened_stop_and_wait_rate: requires P_i == 0");
+    if (p.p_d >= 1.0 || link.p_loss >= 1.0 || link.p_corrupt >= 1.0)
+        throw std::domain_error(
+            "hardened_stop_and_wait_rate: expected delivery time diverges");
+
+    const double pd = p.p_d;
+    const double pl = link.p_loss;
+    const double pc = link.p_corrupt;
+    const double a = (1.0 - pl) * (1.0 - pc);  // valid (CRC-clean) arrival
+    const double dbar =
+        1.0 + static_cast<double>(link.delay) + static_cast<double>(link.jitter) / 2.0;
+
+    // Backoff levels: T_l = min(timeout * mult^l, cap); the ladder is
+    // constant from the first level L where the cap binds (L = 0 when the
+    // multiplier is 1).
+    std::vector<double> t_lvl;
+    std::uint64_t w = options.timeout;
+    for (;;) {
+        t_lvl.push_back(1.0 + static_cast<double>(w));
+        if (options.backoff_mult == 1 || w >= options.backoff_cap) break;
+        w = w > options.backoff_cap / options.backoff_mult
+                ? options.backoff_cap
+                : std::min(w * options.backoff_mult, options.backoff_cap);
+    }
+    const std::size_t levels = t_lvl.size();  // levels-1 is the capped level
+
+    // Per-symbol expected channel uses, from the chain
+    //   E_B[l] = pl (T_l + E_B[min(l+1,L)]) + (1-pl) pc (dbar + E_B[0])
+    //            + a dbar
+    //   E_A[l] = pd  { pl (T_l + E_A[min(l+1,L)]) + (1-pl)(dbar + E_A[0]) }
+    //          + (1-pd) { same-as-E_B[l] row }
+    // solved by writing E_X[l] = u[l] + v[l] * E_X[0] and propagating the
+    // linear coefficients up from the capped level.
+    //
+    // B first (no dependence on A). At the cap E_B[L] is self-recursive.
+    std::vector<double> ub(levels), vb(levels);
+    {
+        const std::size_t top = levels - 1;
+        // E_B[L] = (c_L + (1-pl) pc y) / (1 - pl), y = E_B[0]
+        const double c_top = pl * t_lvl[top] + (1.0 - pl) * pc * dbar + a * dbar;
+        ub[top] = c_top / (1.0 - pl);
+        vb[top] = (1.0 - pl) * pc / (1.0 - pl);
+        for (std::size_t l = top; l-- > 0;) {
+            const double c_l = pl * t_lvl[l] + (1.0 - pl) * pc * dbar + a * dbar;
+            ub[l] = c_l + pl * ub[l + 1];
+            vb[l] = (1.0 - pl) * pc + pl * vb[l + 1];
+        }
+    }
+    const double e_b0 = ub[0] / (1.0 - vb[0]);
+    std::vector<double> e_b(levels);
+    for (std::size_t l = 0; l < levels; ++l) e_b[l] = ub[l] + vb[l] * e_b0;
+
+    // A, with E_B known: E_A[l] = k_l + pd pl E_A[min(l+1,L)] + pd (1-pl) x.
+    std::vector<double> ua(levels), va(levels);
+    {
+        const std::size_t top = levels - 1;
+        auto k_of = [&](std::size_t l) {
+            const double next_b = e_b[std::min(l + 1, levels - 1)];
+            return pd * (pl * t_lvl[l] + (1.0 - pl) * dbar) +
+                   (1.0 - pd) * (pl * (t_lvl[l] + next_b) +
+                                 (1.0 - pl) * pc * (dbar + e_b0) + a * dbar);
+        };
+        ua[top] = k_of(top) / (1.0 - pd * pl);
+        va[top] = pd * (1.0 - pl) / (1.0 - pd * pl);
+        for (std::size_t l = top; l-- > 0;) {
+            ua[l] = k_of(l) + pd * pl * ua[l + 1];
+            va[l] = pd * (1.0 - pl) + pd * pl * va[l + 1];
+        }
+    }
+    const double e_a0 = ua[0] / (1.0 - va[0]);
+    return static_cast<double>(p.bits_per_symbol) / e_a0;
 }
 
 DiChannelParams naive_scheduler_channel_params(double sender_share, unsigned bits_per_symbol) {

@@ -3,25 +3,53 @@
 //
 // Format: one non-negative integer symbol per line; blank lines and lines
 // starting with '#' are ignored. This is deliberately the simplest thing a
-// measurement script can emit.
+// measurement script can emit. Files written by this library additionally
+// carry a framing comment
+//     # ccap-trace v1 count=N
+// after any user comment; readers that find it verify the symbol count, so
+// a file truncated by a killed measurement run or a partial copy fails
+// loudly (TraceError::truncated) instead of silently feeding a short trace
+// into the estimators. Legacy files without the framing line still load.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ccap::estimate {
 
-/// Parse a trace from a stream. Throws std::runtime_error with a
-/// line-numbered message on malformed input.
+/// What went wrong reading a trace; carried by TraceIoError so callers
+/// (e.g. the CLI) can map failures to distinct exit paths.
+enum class TraceError : std::uint8_t {
+    unreadable,  ///< file missing or stream unreadable
+    malformed,   ///< a non-comment line is not a non-negative integer
+    truncated,   ///< fewer symbols than the framing header declared
+};
+
+class TraceIoError : public std::runtime_error {
+public:
+    TraceIoError(TraceError kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+    [[nodiscard]] TraceError kind() const noexcept { return kind_; }
+
+private:
+    TraceError kind_;
+};
+
+/// Parse a trace from a stream. Throws TraceIoError (malformed, with a
+/// line-numbered message; or truncated when a framing header's count
+/// exceeds the symbols present).
 [[nodiscard]] std::vector<std::uint32_t> read_trace(std::istream& in);
 
-/// Parse a trace file. Throws std::runtime_error if unreadable/malformed.
+/// Parse a trace file. Throws TraceIoError if unreadable, malformed, or
+/// truncated.
 [[nodiscard]] std::vector<std::uint32_t> read_trace_file(const std::string& path);
 
-/// Write a trace with a descriptive header comment.
+/// Write a trace with a descriptive header comment followed by the
+/// "# ccap-trace v1 count=N" framing line.
 void write_trace(std::ostream& out, std::span<const std::uint32_t> trace,
                  const std::string& comment = "");
 

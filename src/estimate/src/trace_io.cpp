@@ -4,13 +4,22 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace ccap::estimate {
+
+namespace {
+
+constexpr std::string_view kFramingPrefix = "ccap-trace v1 count=";
+
+}  // namespace
 
 std::vector<std::uint32_t> read_trace(std::istream& in) {
     std::vector<std::uint32_t> trace;
     std::string line;
     std::size_t line_no = 0;
+    std::uint64_t declared = 0;
+    bool framed = false;
     while (std::getline(in, line)) {
         ++line_no;
         // Trim whitespace.
@@ -18,37 +27,65 @@ std::vector<std::uint32_t> read_trace(std::istream& in) {
         if (begin == std::string::npos) continue;
         const auto end = line.find_last_not_of(" \t\r");
         const std::string_view body(line.data() + begin, end - begin + 1);
-        if (body.front() == '#') continue;
+        if (body.front() == '#') {
+            // Framing header written by write_trace: declares the symbol
+            // count so truncation is detectable.
+            auto rest = body.substr(1);
+            const auto ws = rest.find_first_not_of(" \t");
+            if (ws != std::string_view::npos) rest = rest.substr(ws);
+            if (rest.starts_with(kFramingPrefix)) {
+                const auto num = rest.substr(kFramingPrefix.size());
+                const auto [ptr, ec] =
+                    std::from_chars(num.data(), num.data() + num.size(), declared);
+                if (ec != std::errc{} || ptr != num.data() + num.size()) {
+                    std::ostringstream msg;
+                    msg << "trace framing header unparsable on line " << line_no << ": '"
+                        << body << "'";
+                    throw TraceIoError(TraceError::malformed, msg.str());
+                }
+                framed = true;
+            }
+            continue;
+        }
         std::uint32_t value = 0;
         const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
         if (ec != std::errc{} || ptr != body.data() + body.size()) {
             std::ostringstream msg;
             msg << "trace parse error on line " << line_no << ": '" << body << "'";
-            throw std::runtime_error(msg.str());
+            throw TraceIoError(TraceError::malformed, msg.str());
         }
         trace.push_back(value);
+    }
+    if (framed && trace.size() != declared) {
+        std::ostringstream msg;
+        msg << "framing header declares " << declared << " symbols but the file holds "
+            << trace.size();
+        throw TraceIoError(TraceError::truncated, msg.str());
     }
     return trace;
 }
 
 std::vector<std::uint32_t> read_trace_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open trace file: " + path);
+    if (!in) throw TraceIoError(TraceError::unreadable, "cannot open trace file: " + path);
     return read_trace(in);
 }
 
 void write_trace(std::ostream& out, std::span<const std::uint32_t> trace,
                  const std::string& comment) {
     if (!comment.empty()) out << "# " << comment << "\n";
+    out << "# " << kFramingPrefix << trace.size() << "\n";
     for (std::uint32_t s : trace) out << s << "\n";
 }
 
 void write_trace_file(const std::string& path, std::span<const std::uint32_t> trace,
                       const std::string& comment) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("cannot create trace file: " + path);
+    if (!out)
+        throw TraceIoError(TraceError::unreadable, "cannot create trace file: " + path);
     write_trace(out, trace, comment);
-    if (!out) throw std::runtime_error("error writing trace file: " + path);
+    if (!out)
+        throw TraceIoError(TraceError::unreadable, "error writing trace file: " + path);
 }
 
 }  // namespace ccap::estimate

@@ -16,11 +16,18 @@ void MarkovSource::validate(unsigned alphabet) const {
         throw std::invalid_argument("MarkovSource: dimensions do not match alphabet");
     double sum = 0.0;
     for (double p : initial) {
-        if (p < 0.0) throw std::domain_error("MarkovSource: negative initial probability");
+        // !(p >= 0) also rejects NaN, which no ordinary comparison catches.
+        if (!(p >= 0.0) || !std::isfinite(p))
+            throw std::domain_error("MarkovSource: initial probability not finite in [0,1]");
         sum += p;
     }
-    if (std::abs(sum - 1.0) > 1e-9)
+    if (!(std::abs(sum - 1.0) <= 1e-9))
         throw std::domain_error("MarkovSource: initial distribution does not sum to 1");
+    for (std::size_t r = 0; r < transition.rows(); ++r)
+        for (std::size_t c = 0; c < transition.cols(); ++c)
+            if (!(transition(r, c) >= 0.0) || !std::isfinite(transition(r, c)))
+                throw std::domain_error(
+                    "MarkovSource: transition probability not finite in [0,1]");
     if (!transition.is_row_stochastic(1e-9))
         throw std::domain_error("MarkovSource: transition matrix not row-stochastic");
 }
@@ -43,6 +50,9 @@ MarkovSource MarkovSource::uniform(unsigned alphabet) {
 }
 
 void DriftParams::validate() const {
+    // isfinite first: NaN sails through every < comparison below.
+    if (!std::isfinite(p_d) || !std::isfinite(p_i) || !std::isfinite(p_s))
+        throw std::domain_error("DriftParams: non-finite probability");
     if (p_d < 0.0 || p_i < 0.0 || p_s < 0.0 || p_s > 1.0)
         throw std::domain_error("DriftParams: negative probability");
     if (p_d + p_i >= 1.0 + 1e-12)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 namespace {
@@ -72,6 +73,97 @@ TEST(TraceIo, MissingFileThrows) {
 TEST(TraceIo, CrLfTolerated) {
     std::stringstream ss("1\r\n2\r\n");
     EXPECT_EQ(read_trace(ss), (Trace{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors + count framing (corrupt-fixture regressions).
+// ---------------------------------------------------------------------------
+
+TEST(TraceIo, WriterEmitsFramingHeaderAfterComment) {
+    std::stringstream ss;
+    write_trace(ss, Trace{4, 5, 6}, "my comment");
+    std::string line;
+    std::getline(ss, line);
+    EXPECT_EQ(line, "# my comment");
+    std::getline(ss, line);
+    EXPECT_EQ(line, "# ccap-trace v1 count=3");
+}
+
+TEST(TraceIo, TruncatedFramedTraceThrowsTyped) {
+    // A killed run / partial copy: header promises 5 symbols, file has 3.
+    std::stringstream ss("# ccap-trace v1 count=5\n1\n2\n3\n");
+    try {
+        (void)read_trace(ss);
+        FAIL() << "expected truncation error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::truncated);
+        EXPECT_NE(std::string(e.what()).find("declares 5"), std::string::npos);
+    }
+}
+
+TEST(TraceIo, PaddedFramedTraceAlsoThrows) {
+    // Extra symbols (concatenated files) are just as wrong as missing ones.
+    std::stringstream ss("# ccap-trace v1 count=1\n1\n2\n");
+    try {
+        (void)read_trace(ss);
+        FAIL() << "expected truncation error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::truncated);
+    }
+}
+
+TEST(TraceIo, UnparsableFramingHeaderIsMalformed) {
+    std::stringstream ss("# ccap-trace v1 count=banana\n1\n");
+    try {
+        (void)read_trace(ss);
+        FAIL() << "expected malformed error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::malformed);
+    }
+}
+
+TEST(TraceIo, LegacyUnframedFilesStillLoad) {
+    std::stringstream ss("# just a comment\n1\n2\n");
+    EXPECT_EQ(read_trace(ss), (Trace{1, 2}));
+}
+
+TEST(TraceIo, ErrorKindsAreDistinct) {
+    try {
+        (void)read_trace_file("/nonexistent/dir/trace.txt");
+        FAIL() << "expected unreadable error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::unreadable);
+    }
+    std::stringstream bad("zzz\n");
+    try {
+        (void)read_trace(bad);
+        FAIL() << "expected malformed error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::malformed);
+    }
+}
+
+TEST(TraceIo, FramedFileRoundTripDetectsCorruption) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "ccap_trace_io_corrupt.txt").string();
+    write_trace_file(path, Trace{1, 2, 3, 4}, "fixture");
+    EXPECT_EQ(read_trace_file(path), (Trace{1, 2, 3, 4}));
+    // Chop the last line off — a classic torn write.
+    {
+        std::ifstream in(path);
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        const auto cut = all.rfind("4\n");
+        std::ofstream out(path, std::ios::trunc);
+        out << all.substr(0, cut);
+    }
+    try {
+        (void)read_trace_file(path);
+        FAIL() << "expected truncation error";
+    } catch (const TraceIoError& e) {
+        EXPECT_EQ(e.kind(), TraceError::truncated);
+    }
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -6,11 +6,16 @@
 //   simulate  generate sent/received traces through a Definition-1 channel
 //   sweep     CSV of the capacity band over a (P_d, P_i) grid
 //   mi        Monte-Carlo achievable rate through the drift lattice
+//   windows   windowed parameter estimates + changepoint scan
+//   protocol  run a (hardened) feedback protocol under faults and report
 //
 // Parallelism: `--threads N` caps the worker threads used by the
 // Monte-Carlo estimators and the sweep grid (default: one per hardware
 // thread; 1 forces serial execution). Results are bit-identical for every
 // thread count — see docs/THEORY.md §10.
+//
+// Exit codes: 0 success, 1 runtime failure (bad traces, infeasible
+// parameters), 2 usage error (unknown command/flag, malformed value).
 //
 // Examples:
 //   ccap bounds --pd 0.15 --pi 0.05 --bits 2 --uses-per-sec 100
@@ -18,14 +23,21 @@
 //   ccap analyze --sent sent.txt --received recv.txt --bits 1
 //   ccap sweep --bits 4 > band.csv
 //   ccap mi --pd 0.1 --pi 0.05 --block 128 --blocks 64 --threads 8
+//   ccap protocol --proto saw --pd 0.2 --p-ack-loss 0.2 --ack-delay 2
+//        --timeout 6 --len 20000
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "ccap/core/deletion_insertion_channel.hpp"
+#include "ccap/core/fault_injection.hpp"
+#include "ccap/core/feedback_protocols.hpp"
+#include "ccap/core/protocol_analysis.hpp"
 #include "ccap/estimate/analyzer.hpp"
 #include "ccap/estimate/report.hpp"
 #include "ccap/estimate/changepoint.hpp"
@@ -37,12 +49,39 @@ namespace {
 
 using namespace ccap;
 
+/// Bad command line (unknown flag, malformed value): exit code 2 and a
+/// one-line usage hint, as opposed to runtime failures (exit code 1).
+struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
 struct Args {
     std::map<std::string, std::string> values;
 
+    /// Strict numeric parse: the whole token must be a finite number.
+    /// std::stod alone would silently accept "0.2x" and "nan".
     [[nodiscard]] double number(const std::string& key, double fallback) const {
         const auto it = values.find(key);
-        return it == values.end() ? fallback : std::stod(it->second);
+        if (it == values.end()) return fallback;
+        std::size_t pos = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(it->second, &pos);
+        } catch (const std::exception&) {
+            pos = 0;
+        }
+        if (pos != it->second.size() || !std::isfinite(v))
+            throw UsageError("option --" + key + " expects a number, got '" + it->second +
+                             "'");
+        return v;
+    }
+    /// Non-negative integer option (counts, seeds, delays).
+    [[nodiscard]] std::uint64_t count(const std::string& key, std::uint64_t fallback) const {
+        const double v = number(key, static_cast<double>(fallback));
+        if (v < 0.0 || v != std::floor(v))
+            throw UsageError("option --" + key + " expects a non-negative integer, got '" +
+                             values.at(key) + "'");
+        return static_cast<std::uint64_t>(v);
     }
     [[nodiscard]] std::string text(const std::string& key, const std::string& fallback) const {
         const auto it = values.find(key);
@@ -50,8 +89,17 @@ struct Args {
     }
     [[nodiscard]] std::string require(const std::string& key) const {
         const auto it = values.find(key);
-        if (it == values.end()) throw std::runtime_error("missing required option --" + key);
+        if (it == values.end()) throw UsageError("missing required option --" + key);
         return it->second;
+    }
+    /// Strict per-command flag set: a flag outside `allowed` is a usage
+    /// error, not a silently ignored typo (--theads, --p_d, ...).
+    void reject_unknown(std::initializer_list<const char*> allowed) const {
+        for (const auto& [key, value] : values) {
+            bool known = false;
+            for (const char* a : allowed) known = known || key == a;
+            if (!known) throw UsageError("unknown option --" + key);
+        }
     }
 };
 
@@ -60,8 +108,8 @@ Args parse_args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag.rfind("--", 0) != 0)
-            throw std::runtime_error("expected --option, got '" + flag + "'");
-        if (i + 1 >= argc) throw std::runtime_error("option " + flag + " needs a value");
+            throw UsageError("expected --option, got '" + flag + "'");
+        if (i + 1 >= argc) throw UsageError("option " + flag + " needs a value");
         args.values[flag.substr(2)] = argv[++i];
     }
     return args;
@@ -72,7 +120,7 @@ core::DiChannelParams params_from(const Args& args) {
     p.p_d = args.number("pd", 0.0);
     p.p_i = args.number("pi", 0.0);
     p.p_s = args.number("ps", 0.0);
-    p.bits_per_symbol = static_cast<unsigned>(args.number("bits", 1));
+    p.bits_per_symbol = static_cast<unsigned>(args.count("bits", 1));
     p.validate();
     return p;
 }
@@ -80,12 +128,11 @@ core::DiChannelParams params_from(const Args& args) {
 /// Worker-thread cap shared by the parallel subcommands: 0 (the default)
 /// means one lane per hardware thread, 1 forces serial execution.
 unsigned threads_from(const Args& args) {
-    const double t = args.number("threads", 0.0);
-    if (t < 0.0) throw std::runtime_error("--threads must be >= 0");
-    return static_cast<unsigned>(t);
+    return static_cast<unsigned>(args.count("threads", 0));
 }
 
 int cmd_bounds(const Args& args) {
+    args.reject_unknown({"pd", "pi", "ps", "bits", "uses-per-sec"});
     const auto p = params_from(args);
     const double ups = args.number("uses-per-sec", 100.0);
     const auto report = estimate::analyze_params(p, ups);
@@ -94,10 +141,11 @@ int cmd_bounds(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+    args.reject_unknown({"sent", "received", "bits", "uses-per-sec", "estimator"});
     const auto sent = estimate::read_trace_file(args.require("sent"));
     const auto received = estimate::read_trace_file(args.require("received"));
     estimate::AnalyzerConfig cfg;
-    cfg.bits_per_symbol = static_cast<unsigned>(args.number("bits", 1));
+    cfg.bits_per_symbol = static_cast<unsigned>(args.count("bits", 1));
     cfg.uses_per_second = args.number("uses-per-sec", 100.0);
     const std::string kind = args.text("estimator", "mle");
     if (kind == "mle")
@@ -107,7 +155,7 @@ int cmd_analyze(const Args& args) {
     else if (kind == "align")
         cfg.estimator_kind = estimate::EstimatorKind::alignment;
     else
-        throw std::runtime_error("unknown --estimator (use mle, em or align)");
+        throw UsageError("unknown --estimator (use mle, em or align)");
     const auto report = estimate::analyze_traces(sent, received, cfg);
     std::fputs(estimate::render_report(report, args.require("sent") + " vs " +
                                                    args.require("received"))
@@ -117,9 +165,10 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
+    args.reject_unknown({"sent", "received", "pd", "pi", "ps", "bits", "len", "seed"});
     const auto p = params_from(args);
-    const auto len = static_cast<std::size_t>(args.number("len", 1000));
-    const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
+    const auto len = static_cast<std::size_t>(args.count("len", 1000));
+    const auto seed = args.count("seed", 1);
     util::Rng rng(seed);
     std::vector<std::uint32_t> sent(len);
     for (auto& s : sent) s = static_cast<std::uint32_t>(rng.uniform_below(p.alphabet()));
@@ -135,9 +184,10 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_windows(const Args& args) {
+    args.reject_unknown({"sent", "received", "window"});
     const auto sent = estimate::read_trace_file(args.require("sent"));
     const auto received = estimate::read_trace_file(args.require("received"));
-    const auto window = static_cast<std::size_t>(args.number("window", 1000));
+    const auto window = static_cast<std::size_t>(args.count("window", 1000));
     const auto rates = estimate::windowed_rates(sent, received, window);
     std::printf("window,p_d,p_i,p_s\n");
     for (std::size_t i = 0; i < rates.p_d.size(); ++i)
@@ -152,15 +202,17 @@ int cmd_windows(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-    const auto bits = static_cast<unsigned>(args.number("bits", 1));
+    args.reject_unknown(
+        {"bits", "threads", "mi-blocks", "mi-block-len", "band-eps", "mc-batch", "seed"});
+    const auto bits = static_cast<unsigned>(args.count("bits", 1));
     const unsigned threads = threads_from(args);
     // Optional Monte-Carlo MI column: --mi-blocks K (> 0 enables), with
     // --band-eps forwarding to the adaptive-band lattice.
-    const auto mi_blocks = static_cast<std::size_t>(args.number("mi-blocks", 0));
-    const auto mi_block_len = static_cast<std::size_t>(args.number("mi-block-len", 64));
+    const auto mi_blocks = static_cast<std::size_t>(args.count("mi-blocks", 0));
+    const auto mi_block_len = static_cast<std::size_t>(args.count("mi-block-len", 64));
     const double band_eps = args.number("band-eps", 0.0);
-    const auto mc_batch = static_cast<std::size_t>(args.number("mc-batch", 0));
-    const auto seed = static_cast<std::uint64_t>(args.number("seed", 1));
+    const auto mc_batch = static_cast<std::size_t>(args.count("mc-batch", 0));
+    const auto seed = args.count("seed", 1);
     // Materialize the grid, evaluate the points in parallel, print in order.
     std::vector<std::pair<double, double>> grid;
     for (double pd = 0.0; pd <= 0.501; pd += 0.05)
@@ -207,21 +259,23 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_mi(const Args& args) {
+    args.reject_unknown({"pd", "pi", "ps", "bits", "block", "blocks", "seed", "threads",
+                         "markov-stay", "band-eps", "mc-batch"});
     info::DriftParams p;
     p.p_d = args.number("pd", 0.0);
     p.p_i = args.number("pi", 0.0);
     p.p_s = args.number("ps", 0.0);
-    p.alphabet = 1U << static_cast<unsigned>(args.number("bits", 1));
+    p.alphabet = 1U << static_cast<unsigned>(args.count("bits", 1));
     info::McOptions opts;
-    opts.block_len = static_cast<std::size_t>(args.number("block", 128));
-    opts.num_blocks = static_cast<std::size_t>(args.number("blocks", 32));
+    opts.block_len = static_cast<std::size_t>(args.count("block", 128));
+    opts.num_blocks = static_cast<std::size_t>(args.count("blocks", 32));
     opts.threads = threads_from(args);
     // Adaptive-band lattice pruning; 0 (default) keeps the exact sweep.
     opts.band_eps = args.number("band-eps", 0.0);
     // Lockstep lattice lanes per Monte-Carlo tile; 0 (default) auto-tiles,
     // 1 forces the scalar path. Does not change the estimate.
-    opts.batch = static_cast<std::size_t>(args.number("mc-batch", 0));
-    util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+    opts.batch = static_cast<std::size_t>(args.count("mc-batch", 0));
+    util::Rng rng(args.count("seed", 1));
 
     const double stay = args.number("markov-stay", -1.0);
     info::MiEstimate est;
@@ -235,6 +289,87 @@ int cmd_mi(const Args& args) {
                 est.sem, 1.96 * est.sem);
     std::printf("blocks: %zu x %zu symbols, threads: %u\n", est.blocks, est.block_len,
                 opts.threads);
+    return 0;
+}
+
+int cmd_protocol(const Args& args) {
+    args.reject_unknown({"proto", "pd", "pi", "ps", "bits", "len", "seed", "p-ack-loss",
+                         "p-ack-corrupt", "ack-delay", "ack-jitter", "timeout",
+                         "backoff-mult", "backoff-cap", "use-cap", "storm-period",
+                         "storm-len", "drift-amp", "drift-period", "stuck-period",
+                         "stuck-len", "stuck-symbol"});
+    const auto p = params_from(args);
+    const std::string proto = args.text("proto", "saw");
+    const auto len = static_cast<std::size_t>(args.count("len", 2000));
+    const auto seed = args.count("seed", 1);
+
+    core::FeedbackLinkParams lp;
+    lp.p_loss = args.number("p-ack-loss", 0.0);
+    lp.p_corrupt = args.number("p-ack-corrupt", 0.0);
+    lp.delay = args.count("ack-delay", 0);
+    lp.jitter = args.count("ack-jitter", 0);
+    lp.validate();
+
+    core::HardenedOptions opt;
+    opt.timeout = args.count("timeout", 8);
+    opt.backoff_mult = args.count("backoff-mult", 2);
+    opt.backoff_cap = args.count("backoff-cap", 64);
+    opt.channel_use_cap = args.count("use-cap", 0);
+    opt.validate();
+
+    core::FaultProfile profile;
+    profile.storm_period = args.count("storm-period", 0);
+    profile.storm_len = args.count("storm-len", 0);
+    profile.drift_amplitude = args.number("drift-amp", 0.0);
+    profile.drift_period = args.count("drift-period", 0);
+    profile.stuck_period = args.count("stuck-period", 0);
+    profile.stuck_len = args.count("stuck-len", 0);
+    profile.stuck_symbol = static_cast<std::uint32_t>(args.count("stuck-symbol", 0));
+    profile.name = profile.is_null() ? "none" : "cli";
+    profile.validate();
+
+    util::Rng rng(seed);
+    std::vector<std::uint32_t> message(len);
+    for (auto& s : message) s = static_cast<std::uint32_t>(rng.uniform_below(p.alphabet()));
+
+    core::DeletionInsertionChannel inner(p, seed ^ 0xC11);
+    core::FaultyChannel channel(inner, profile, seed ^ 0xFA17);
+    core::FeedbackLink link(lp, seed ^ 0xACC);
+
+    core::ProtocolRun run;
+    if (proto == "saw")
+        run = core::run_hardened_stop_and_wait(channel, message, link, opt);
+    else if (proto == "counter")
+        run = core::run_hardened_counter_protocol(channel, message, link, opt);
+    else if (proto == "gbn")
+        run = core::run_hardened_go_back_n(channel, message, link, opt);
+    else
+        throw UsageError("unknown --proto (use saw, counter or gbn)");
+
+    std::printf("protocol %s over %s, link loss=%.2f corrupt=%.2f delay=%llu jitter=%llu\n",
+                proto.c_str(), p.to_string().c_str(), lp.p_loss, lp.p_corrupt,
+                static_cast<unsigned long long>(lp.delay),
+                static_cast<unsigned long long>(lp.jitter));
+    std::printf("reliable: %s, delivered %zu/%zu symbols in %llu uses\n",
+                run.reliable ? "yes" : "no", run.received.size(), message.size(),
+                static_cast<unsigned long long>(run.channel_uses));
+    std::printf("measured rate: %.4f bits/use (%.4f symbols/use)\n",
+                run.measured_info_rate(p.bits_per_symbol), run.symbols_per_use());
+    std::printf("retransmissions: %llu, timeouts: %llu, resyncs: %llu\n",
+                static_cast<unsigned long long>(run.retransmissions),
+                static_cast<unsigned long long>(run.timeouts),
+                static_cast<unsigned long long>(run.resync_events));
+    std::printf("acks lost: %llu, acks corrupted: %llu, injected faults: %llu\n",
+                static_cast<unsigned long long>(run.acks_lost),
+                static_cast<unsigned long long>(run.acks_corrupted),
+                static_cast<unsigned long long>(channel.stats().injected_faults()));
+    // The closed form models the stationary stop-and-wait chain only; a
+    // fault profile drives the realized parameters away from it.
+    if (proto == "saw" && profile.is_null()) {
+        const double predicted = core::hardened_stop_and_wait_rate(p, lp, opt);
+        std::printf("predicted rate: %.4f bits/use (gap %.4f)\n", predicted,
+                    run.rate_gap(predicted, p.bits_per_symbol));
+    }
     return 0;
 }
 
@@ -252,6 +387,12 @@ void usage() {
         "            --seed S --threads T --markov-stay Q --band-eps E\n"
         "            --mc-batch B]\n"
         "  windows   --sent FILE --received FILE [--window W]\n"
+        "  protocol  [--proto saw|counter|gbn --pd X --ps Z --bits N --len L\n"
+        "            --seed S --p-ack-loss P --p-ack-corrupt Q --ack-delay D\n"
+        "            --ack-jitter J --timeout T --backoff-mult M --backoff-cap C\n"
+        "            --use-cap U --storm-period/--storm-len\n"
+        "            --drift-amp/--drift-period\n"
+        "            --stuck-period/--stuck-len/--stuck-symbol]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
@@ -259,6 +400,23 @@ void usage() {
         "--mc-batch B advances B Monte-Carlo blocks in lockstep through the\n"
         "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n",
         stderr);
+}
+
+/// One line, for the exit-code-2 paths; the full block above is for `help`.
+void usage_hint() {
+    std::fputs(
+        "usage: ccap {bounds|analyze|simulate|sweep|mi|windows|protocol|help} "
+        "[--option value ...]\n",
+        stderr);
+}
+
+const char* trace_error_kind(estimate::TraceError kind) {
+    switch (kind) {
+        case estimate::TraceError::unreadable: return "unreadable";
+        case estimate::TraceError::malformed: return "malformed";
+        case estimate::TraceError::truncated: return "truncated";
+    }
+    return "unknown";
 }
 
 }  // namespace
@@ -269,6 +427,10 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        usage();
+        return 0;
+    }
     try {
         const Args args = parse_args(argc, argv, 2);
         if (command == "bounds") return cmd_bounds(args);
@@ -277,8 +439,18 @@ int main(int argc, char** argv) {
         if (command == "sweep") return cmd_sweep(args);
         if (command == "mi") return cmd_mi(args);
         if (command == "windows") return cmd_windows(args);
-        usage();
+        if (command == "protocol") return cmd_protocol(args);
+        std::fprintf(stderr, "ccap: unknown command '%s'\n", command.c_str());
+        usage_hint();
         return 2;
+    } catch (const UsageError& e) {
+        std::fprintf(stderr, "ccap %s: %s\n", command.c_str(), e.what());
+        usage_hint();
+        return 2;
+    } catch (const estimate::TraceIoError& e) {
+        std::fprintf(stderr, "ccap %s: trace %s: %s\n", command.c_str(),
+                     trace_error_kind(e.kind()), e.what());
+        return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "ccap %s: %s\n", command.c_str(), e.what());
         return 1;

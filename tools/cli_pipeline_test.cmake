@@ -1,13 +1,22 @@
-# simulate -> analyze round trip through real files.
+# simulate -> analyze round trip through real files, plus (in the default
+# invocation only) the CLI's rejection paths: unknown flags, out-of-range
+# values and corrupt trace fixtures must all exit non-zero.
+
+# Negative coverage runs once — the EM/align re-invocations pass ESTIMATOR
+# and only re-check the round trip.
+if(NOT DEFINED ESTIMATOR)
+  set(run_negative TRUE)
+  set(ESTIMATOR mle)
+else()
+  set(run_negative FALSE)
+endif()
+
 execute_process(
   COMMAND ${CCAP_BIN} simulate --pd 0.15 --pi 0.05 --bits 2 --len 4000 --seed 9
           --sent ${WORK_DIR}/cli_sent.txt --received ${WORK_DIR}/cli_recv.txt
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "simulate failed: ${rc}")
-endif()
-if(NOT DEFINED ESTIMATOR)
-  set(ESTIMATOR mle)
 endif()
 execute_process(
   COMMAND ${CCAP_BIN} analyze --sent ${WORK_DIR}/cli_sent.txt
@@ -20,3 +29,67 @@ endif()
 if(NOT out MATCHES "P_d = 0\\.1")
   message(FATAL_ERROR "analyze did not recover P_d ~ 0.15: ${out}")
 endif()
+
+if(NOT run_negative)
+  return()
+endif()
+
+# Helper: the command must fail with the expected exit code and mention
+# the expected text on stderr.
+function(ccap_expect_failure expected_rc expected_match)
+  execute_process(
+    COMMAND ${CCAP_BIN} ${ARGN}
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+      "'ccap ${ARGN}' exited ${rc}, expected ${expected_rc} (${err})")
+  endif()
+  if(NOT err MATCHES "${expected_match}")
+    message(FATAL_ERROR
+      "'ccap ${ARGN}' stderr did not match '${expected_match}': ${err}")
+  endif()
+endfunction()
+
+# Unknown flag: usage error, exit 2, one-line usage hint.
+ccap_expect_failure(2 "unknown option --theads.*usage: ccap"
+  mi --theads 4)
+# Malformed value: strict numeric parse rejects trailing garbage.
+ccap_expect_failure(2 "expects a number"
+  bounds --pd 0.2x)
+# Out-of-range values: negative counts and infeasible probabilities.
+ccap_expect_failure(2 "non-negative integer"
+  mi --threads -2)
+ccap_expect_failure(1 "exceeds 1"
+  bounds --pd 0.8 --pi 0.6)
+# Truncated trace fixture: the framed header promises more symbols than
+# the file holds -> typed trace error, exit 1.
+file(WRITE ${WORK_DIR}/cli_truncated.txt
+  "# torn write fixture\n# ccap-trace v1 count=9\n1\n2\n3\n")
+ccap_expect_failure(1 "trace truncated"
+  analyze --sent ${WORK_DIR}/cli_truncated.txt
+          --received ${WORK_DIR}/cli_recv.txt --bits 2)
+ccap_expect_failure(1 "trace unreadable"
+  analyze --sent ${WORK_DIR}/does_not_exist.txt
+          --received ${WORK_DIR}/cli_recv.txt --bits 2)
+
+# Hardened-protocol smoke: lossy-link stop-and-wait must stay reliable and
+# report a predicted rate from the closed form.
+execute_process(
+  COMMAND ${CCAP_BIN} protocol --proto saw --pd 0.2 --p-ack-loss 0.2
+          --ack-delay 2 --timeout 6 --len 4000 --seed 5
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "protocol saw failed: ${rc}")
+endif()
+if(NOT out MATCHES "reliable: yes")
+  message(FATAL_ERROR "hardened saw was not reliable: ${out}")
+endif()
+if(NOT out MATCHES "predicted rate:")
+  message(FATAL_ERROR "protocol saw printed no prediction: ${out}")
+endif()
+# Infeasible hardened options (timeout below the link's worst-case
+# latency) are a runtime failure, not a hang.
+ccap_expect_failure(1 "timeout"
+  protocol --proto saw --ack-delay 9 --timeout 4)
