@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "ccap/util/cpu_features.hpp"
+
 namespace ccap::bench {
 
 /// Monotonic wall-clock stopwatch.
@@ -44,6 +46,13 @@ public:
         field("git_rev", std::string("unknown"));
 #endif
         field("threads", static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+        // SIMD provenance: the dispatched kernel path the run used and the
+        // features the CPU reported. bench_compare.py refuses comparisons
+        // across different "simd" values the same way it refuses
+        // cross-fault-profile ones — timings from different vector widths
+        // are not comparable.
+        field("simd", std::string(util::simd_path_name(util::active_simd_path())));
+        field("cpu", util::cpu_feature_string());
     }
 
     BenchJson& field(const std::string& key, const std::string& value) {

@@ -34,6 +34,8 @@
 #include "ccap/info/deletion_bounds.hpp"
 #include "ccap/info/drift_hmm.hpp"
 #include "ccap/info/lattice_engine.hpp"
+#include "ccap/info/lattice_simd.hpp"
+#include "ccap/util/cpu_features.hpp"
 #include "ccap/util/rng.hpp"
 
 namespace {
@@ -194,6 +196,53 @@ int main(int argc, char** argv) {
             json.field("batch_ns_sym" + tag, batch_ns);
             json.field("speedup" + tag, speedup);
         }
+    }
+
+    // SIMD-dispatch speedup: the same batched sweep once with the kernel
+    // table pinned to the scalar reference path and once on the runtime-
+    // dispatched vector path. This isolates what the explicit AVX2/AVX-512/
+    // NEON lane kernels buy over the scalar rows at identical tiling —
+    // the acceptance bar for the dispatch layer. Bit-identity of both paths
+    // is already asserted above, so the faster number cannot come from a
+    // different answer.
+    {
+        const Config cfg = grid.back();
+        DriftParams params = base;
+        params.max_drift = cfg.max_drift;
+        params.band_eps = 0.0;
+        const std::vector<Pair> pairs = make_pairs(params, cfg.n, num_pairs, 0xB11 + cfg.n);
+        const DriftHmm hmm(params);
+        LatticeWorkspace ws;
+        const std::size_t batch = batches.back();
+        const Tiles tiles = make_tiles(pairs, batch);
+        const std::size_t symbols = cfg.n * num_pairs;
+        const std::size_t reps = smoke ? 2 : std::max<std::size_t>(3, 6'000'000 / symbols);
+
+        const auto time_batch = [&] {
+            return time_ns_per_symbol(symbols, reps, [&] {
+                double acc = 0.0;
+                for (std::size_t t = 0; t < tiles.tx.size(); ++t) {
+                    const std::vector<BandedEvidence> ev =
+                        hmm.log2_likelihood_batch(tiles.tx[t], tiles.rx[t], ws);
+                    for (const BandedEvidence& e : ev) acc += e.log2_evidence;
+                }
+                return acc;
+            });
+        };
+
+        const ccap::util::SimdPath active = ccap::util::active_simd_path();
+        const char* active_name = ccap::util::simd_path_name(active);
+        const double simd_ns = time_batch();
+        ccap::util::force_simd_path(ccap::util::SimdPath::scalar);
+        const double scalar_kernel_ns = time_batch();
+        ccap::util::force_simd_path(active);
+        const double kernel_speedup = scalar_kernel_ns / simd_ns;
+        std::printf("  SIMD dispatch (n=%zu, B=%zu): scalar-kernel %.1f ns/sym, "
+                    "%s %.1f ns/sym (%.2fx)\n",
+                    cfg.n, batch, scalar_kernel_ns, active_name, simd_ns, kernel_speedup);
+        json.field("simd_scalar_kernel_ns_sym", scalar_kernel_ns);
+        json.field("simd_kernel_ns_sym", simd_ns);
+        json.field("simd_kernel_speedup", kernel_speedup);
     }
 
     // End-to-end Monte-Carlo: the estimator the batch engine was built for

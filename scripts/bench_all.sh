@@ -25,7 +25,13 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
     bench_x11_batch_lattice \
     bench_x12_fault_injection
 
-# Each harness writes BENCH_<name>.json into its working directory.
+# Each harness writes BENCH_<name>.json into its working directory. Every
+# record is stamped with the SIMD kernel path the run dispatched to
+# (bench_json.hpp); bench_compare.py refuses to diff records from different
+# paths, so baselines refreshed here only ever gate runs on the same ISA.
+# Honour an explicit override so a scalar/avx2 baseline can be produced on
+# an avx512 box when needed.
+echo "bench_all: SIMD path: ${CCAP_SIMD:-auto (widest available)}"
 (
     cd "$BUILD"
     ./bench/bench_e1_theorem1_upper

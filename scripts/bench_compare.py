@@ -21,9 +21,10 @@ baseline file as a warning (a new bench has no checked-in record yet).
 scripts/tier1.sh uses this mode when a checked-in baseline exists.
 
 A missing or unreadable input is reported as a one-line message, never a
-traceback. Records whose identity fields differ ("name", "fault_profile")
-were measured under different conditions and are refused outright: a
-baseline taken under one fault-profile suite never gates a run of another.
+traceback. Records whose identity fields differ ("name", "fault_profile",
+"simd") were measured under different conditions and are refused outright:
+a baseline taken under one fault-profile suite — or one SIMD kernel path —
+never gates a run of another.
 
 Exit status: 0 = no fatal regression, 1 = regression, 2 = usage/IO error
 (including an identity mismatch).
@@ -39,12 +40,14 @@ HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup")
 # Provenance / configuration fields are never compared.
 SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
-        "fault_profile"}
+        "fault_profile", "simd", "cpu"}
 # Identity fields: records measured under different identities (a different
-# bench, or a different fault-profile suite) are incomparable — numbers from
-# one fault mix must never gate numbers from another. Mismatch is a usage
-# error (exit 2), not a regression.
-IDENTITY = ("name", "fault_profile")
+# bench, a different fault-profile suite, or a different SIMD kernel path)
+# are incomparable — numbers from one fault mix or vector width must never
+# gate numbers from another. Mismatch is a usage error (exit 2), not a
+# regression. ("cpu" stays informational: the same path on different
+# machines is still the noise bench_compare already tolerates.)
+IDENTITY = ("name", "fault_profile", "simd")
 
 
 def classify(key: str):

@@ -8,11 +8,18 @@
 // transmitted length in lockstep instead:
 //
 //   * Rows are laid out structure-of-arrays, [drift_state][lane]: the cell
-//     for (row j, drift d, lane l) lives at (j * width + idx(d)) * B + l,
-//     so the hot inner loops run over contiguous lanes, branch-free and
-//     auto-vectorizable (CCAP_NATIVE_ARCH picks up AVX2/FMA where
-//     available). All arenas come from the same grow-only LatticeWorkspace
-//     the scalar engine uses — steady state is allocation-free.
+//     for (row j, drift d, lane l) lives at (j * width + idx(d)) * Bp + l,
+//     where Bp is the lane count padded up to the SIMD vector width. The
+//     hot lane loops are the runtime-dispatched kernels of
+//     lattice_simd.hpp — explicit AVX-512 / AVX2 / NEON translation units
+//     selected once at startup (util::active_simd_path(), overridable with
+//     CCAP_SIMD) — so the engine runs full vectors regardless of how the
+//     surrounding code was compiled. Padding lanes carry exactly 0.0
+//     through every linear operation and their norms are pinned to 1.0
+//     before the shared divides, so they never produce NaN/Inf and never
+//     perturb a real lane. All arenas come from the same grow-only
+//     LatticeWorkspace the scalar engine uses (64-byte aligned; steady
+//     state is allocation-free).
 //
 //   * Per-row band windows and transition weights are computed once and
 //     shared across lanes. The emission factor of a transmission landing
@@ -28,7 +35,10 @@
 //     contributions are exact no-ops on non-negative cells, every lane's
 //     normalized rows, scales and evidences are BIT-IDENTICAL to the
 //     scalar engine at band_eps = 0 (EXPECT_EQ-asserted in
-//     tests/info_batch_lattice_test.cpp).
+//     tests/info_batch_lattice_test.cpp, and per SIMD path in
+//     tests/info_simd_dispatch_test.cpp — the vector kernels use no FMA
+//     contraction and no cross-lane reductions, so lane l sees the same
+//     IEEE-754 operation sequence on every path).
 //
 //   * Adaptive-band mode (band_eps > 0) keeps one shared band: a drift
 //     column is trimmed only when every lane with mass in the current row
@@ -53,6 +63,7 @@
 
 #include "ccap/info/drift_hmm.hpp"
 #include "ccap/info/lattice_engine.hpp"
+#include "ccap/info/lattice_simd.hpp"
 
 namespace ccap::info {
 
@@ -66,11 +77,17 @@ public:
                        std::size_t tx_len, LatticeWorkspace& ws)
         : p_(&params),
           t_(&tables),
+          k_(received.size() > 1 ? &active_lane_kernels() : lane_kernels_scalar()),
           n_(tx_len),
           lanes_(received.size()),
           d_max_(params.max_drift),
           width_(static_cast<std::size_t>(2 * params.max_drift + 1)) {
         const std::size_t L = lanes_;
+        // Lane stride padded to the vector width: the kernel calls below run
+        // full vectors only. Padding lanes hold exactly 0.0 throughout.
+        const std::size_t W = k_->vector_doubles;
+        lanes_pad_ = std::max<std::size_t>(1, (L + W - 1) / W * W);
+        const std::size_t Lp = lanes_pad_;
         const auto ll = ws.lane_longs(2 * L);
         m_ = ll.subspan(0, L);
         alive_ = ll.subspan(L, L);
@@ -81,34 +98,42 @@ public:
         }
         m_max_ = m_max;
         // Zero-padded SoA pack of the received sequences; the pad symbol is
-        // arbitrary — cells that would consume it are masked back to zero.
-        rx_ = ws.rx_bytes(std::max<std::size_t>(1, m_max * L));
+        // arbitrary — cells that would consume it are masked back to zero —
+        // but padding lanes must hold a valid symbol (0) so emission planes
+        // stay finite there.
+        rx_ = ws.rx_bytes(std::max<std::size_t>(1, m_max * Lp));
         std::fill(rx_.begin(), rx_.end(), 0);
         for (std::size_t l = 0; l < L; ++l) {
             const auto& r = received[l];
-            for (std::size_t k = 0; k < r.size(); ++k) rx_[k * L + l] = r[k];
+            for (std::size_t k = 0; k < r.size(); ++k) rx_[k * Lp + l] = r[k];
         }
         trail_ = ws.trail(m_max + 1);
         trail_[0] = 1.0;
         for (std::size_t k = 1; k <= m_max; ++k)
             trail_[k] = trail_[k - 1] * params.p_i * t_->inv_m;
-        row_stride_ = width_ * L;
+        row_stride_ = width_ * Lp;
         alpha_ = ws.alpha((n_ + 1) * row_stride_);
         beta_ = ws.beta((n_ + 1) * row_stride_);
         scale_a_ = ws.scales_a((n_ + 1) * L);
         scale_b_ = ws.scales_b((n_ + 1) * L);
         band_ = ws.bands(2 * (n_ + 1));
         emit_ = ws.scratch(row_stride_);
-        const auto ld = ws.lane_doubles(5 * L);
-        norm_ = ld.subspan(0, L);
-        pruned_ = ld.subspan(L, L);
-        slack_ = ld.subspan(2 * L, L);
-        rmax_ = ld.subspan(3 * L, L);
-        acc_ = ld.subspan(4 * L, L);
+        const auto ld = ws.lane_doubles(5 * Lp);
+        norm_ = ld.subspan(0, Lp);
+        pruned_ = ld.subspan(Lp, Lp);
+        slack_ = ld.subspan(2 * Lp, Lp);
+        rmax_ = ld.subspan(3 * Lp, Lp);
+        acc_ = ld.subspan(4 * Lp, Lp);
     }
 
     [[nodiscard]] std::size_t n() const noexcept { return n_; }
     [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+    /// Lane count padded to the active SIMD vector width: the stride
+    /// between drift columns of one SoA row.
+    [[nodiscard]] std::size_t lane_stride() const noexcept { return lanes_pad_; }
+    /// The dispatched lane kernels this engine runs (emission-plane callers
+    /// use the same table so the whole pass stays on one path).
+    [[nodiscard]] const LaneKernels& kernels() const noexcept { return *k_; }
     [[nodiscard]] std::size_t m(std::size_t lane) const noexcept {
         return static_cast<std::size_t>(m_[lane]);
     }
@@ -125,7 +150,7 @@ public:
 
     /// SoA-packed received symbol of `lane` at position k (k < m(lane)).
     [[nodiscard]] std::uint8_t rx(std::size_t lane, std::size_t k) const noexcept {
-        return rx_[k * lanes_ + lane];
+        return rx_[k * lanes_pad_ + lane];
     }
 
     /// Trailing-insertion factor of `lane` at final drift d.
@@ -148,7 +173,7 @@ public:
     }
 
     // Flat SoA row accessors (valid after the corresponding pass); the cell
-    // for (drift d, lane l) is row[idx(d) * lanes() + l].
+    // for (drift d, lane l) is row[idx(d) * lane_stride() + l].
     [[nodiscard]] const double* alpha_row(std::size_t j) const noexcept {
         return alpha_.data() + j * row_stride_;
     }
@@ -180,17 +205,20 @@ public:
         return union_window(j, lo, hi);
     }
 
-    /// Lockstep forward pass. emit_plane(ed, j, rxr) must fill ed[0..lanes)
-    /// with each lane's emission factor for its received symbol rxr[l] at
-    /// transmitted position j — a whole-lane-row contract so callers can
-    /// vectorize the fill (batch_lattice.cpp specializes the binary
-    /// alphabet into branchless selects). With band_eps = 0, every lane's
-    /// rows/scales/evidence are bit-identical to a scalar LatticeEngine
-    /// run on that lane alone.
+    /// Lockstep forward pass. emit_plane(ed, j, rxr) must fill
+    /// ed[0..lane_stride()) with each lane's emission factor for its
+    /// received symbol rxr[l] at transmitted position j — a whole-lane-row
+    /// contract so callers can vectorize the fill (batch_lattice.cpp maps
+    /// the binary alphabet onto the dispatched select kernels). Padding
+    /// entries must be finite (any valid-symbol value works; they multiply
+    /// zero cells). With band_eps = 0, every lane's rows/scales/evidence
+    /// are bit-identical to a scalar LatticeEngine run on that lane alone.
     template <typename PlaneFn>
     void forward(PlaneFn&& emit_plane, double band_eps) {
         constexpr double kNegInf = -std::numeric_limits<double>::infinity();
         const std::size_t L = lanes_;
+        const std::size_t Lp = lanes_pad_;
+        const LaneKernels& k = *k_;
         banded_ = band_eps > 0.0;
         all_dead_ = false;
         for (std::size_t l = 0; l < L; ++l) {
@@ -198,8 +226,9 @@ public:
             alive_[l] = 1;
             scale_a_[l] = 0.0;
         }
-        double* c0 = alpha_.data() + idx(0) * L;
+        double* c0 = alpha_.data() + idx(0) * Lp;
         for (std::size_t l = 0; l < L; ++l) c0[l] = 1.0;
+        for (std::size_t l = L; l < Lp; ++l) c0[l] = 0.0;  // pads stay zero
         band_[0] = 0;
         band_[1] = 0;
 
@@ -221,30 +250,30 @@ public:
             for (int d = std::max(clo, plo); d <= chi; ++d) {
                 const std::uint8_t* rxr =
                     rx_.data() +
-                    static_cast<std::size_t>(static_cast<long long>(j - 1) + d) * L;
-                emit_plane(emit_.data() + idx(d) * L, j - 1, rxr);
+                    static_cast<std::size_t>(static_cast<long long>(j - 1) + d) * Lp;
+                emit_plane(emit_.data() + idx(d) * Lp, j - 1, rxr);
             }
 
-            std::fill(cur + idx(clo) * L, cur + (idx(chi) + 1) * L, 0.0);
-            for (int dp = plo; dp <= phi; ++dp) {
-                const double* __restrict ap = prev + idx(dp) * L;
-                const int glo = std::max(0, clo - dp + 1);
-                const int ghi = std::min(run, chi - dp + 1);
-                int g = glo;
-                if (g == 0 && g <= ghi) {
-                    const double w0 = t_->del_w[0];
-                    double* __restrict c = cur + (idx(dp) - 1) * L;
-                    for (std::size_t l = 0; l < L; ++l) c[l] += ap[l] * w0;
-                    g = 1;
-                }
-                for (; g <= ghi; ++g) {
-                    const double dw = t_->del_w[static_cast<std::size_t>(g)];
-                    const double tw = t_->tx_w[static_cast<std::size_t>(g - 1)];
-                    const std::size_t cell = (idx(dp) + static_cast<std::size_t>(g) - 1) * L;
-                    double* __restrict c = cur + cell;
-                    const double* __restrict e = emit_.data() + cell;
-                    for (std::size_t l = 0; l < L; ++l) c[l] += ap[l] * (dw + tw * e[l]);
-                }
+            // Destination-major propagation: each destination column pulls
+            // its whole insert run through one fused kernel call, so the
+            // accumulator lives in registers, every cell is stored exactly
+            // once, and no zero-fill pass is needed. A source at drift dp
+            // reaches destination d with run length g = d + 1 - dp: the
+            // ascending source planes [dp_min, dp_max] pair with weights
+            // walked down from g0, and the run-0 pure-deletion term (source
+            // d + 1, no emission factor) lands last — the same per-cell
+            // contribution order (source-drift ascending) as a source-major
+            // scatter, hence bitwise the same sums.
+            for (int d = clo; d <= chi; ++d) {
+                const int dp_min = std::max(plo, d + 1 - run);
+                const int dp_max = std::min(phi, d);
+                const std::size_t cnt =
+                    dp_max >= dp_min ? static_cast<std::size_t>(dp_max - dp_min + 1) : 0;
+                const int g0 = cnt ? d + 1 - dp_min : 1;  // in [1, run] when cnt > 0
+                const double* src_del = d + 1 <= phi ? prev + (idx(d) + 1) * Lp : nullptr;
+                k.fma_dest_run(cur + idx(d) * Lp, prev + idx(dp_min) * Lp,
+                               t_->del_w.data() + g0, t_->tx_w.data() + (g0 - 1),
+                               emit_.data() + idx(d) * Lp, src_del, t_->del_w[0], cnt, Lp);
             }
 
             // Mask each lane's cells beyond its own valid window: their
@@ -253,27 +282,24 @@ public:
                 const long long hi_l = m_[l] - static_cast<long long>(j);
                 if (hi_l >= chi) continue;
                 const int from = static_cast<int>(std::max<long long>(clo, hi_l + 1));
-                for (int d = from; d <= chi; ++d) cur[idx(d) * L + l] = 0.0;
+                for (int d = from; d <= chi; ++d) cur[idx(d) * Lp + l] = 0.0;
             }
 
-            for (std::size_t l = 0; l < L; ++l) pruned_[l] = 0.0;
+            for (std::size_t l = 0; l < Lp; ++l) pruned_[l] = 0.0;
             if (band_eps > 0.0) {
-                for (std::size_t l = 0; l < L; ++l) rmax_[l] = 0.0;
-                for (int d = clo; d <= chi; ++d) {
-                    const double* c = cur + idx(d) * L;
-                    for (std::size_t l = 0; l < L; ++l) rmax_[l] = std::max(rmax_[l], c[l]);
-                }
+                for (std::size_t l = 0; l < Lp; ++l) rmax_[l] = 0.0;
+                for (int d = clo; d <= chi; ++d) k.maximum(rmax_.data(), cur + idx(d) * Lp, Lp);
                 // Shared band: trim a drift column only when every lane
                 // with mass this row is below its own threshold, so no
                 // lane is ever pruned harder than its scalar banded run.
                 const auto trimmable = [&](int d) {
-                    const double* c = cur + idx(d) * L;
+                    const double* c = cur + idx(d) * Lp;
                     for (std::size_t l = 0; l < L; ++l)
                         if (rmax_[l] > 0.0 && !(c[l] < band_eps * rmax_[l])) return false;
                     return true;
                 };
                 while (clo <= chi && trimmable(clo)) {
-                    double* c = cur + idx(clo) * L;
+                    double* c = cur + idx(clo) * Lp;
                     for (std::size_t l = 0; l < L; ++l) {
                         pruned_[l] += c[l];
                         c[l] = 0.0;
@@ -281,7 +307,7 @@ public:
                     ++clo;
                 }
                 while (chi >= clo && trimmable(chi)) {
-                    double* c = cur + idx(chi) * L;
+                    double* c = cur + idx(chi) * Lp;
                     for (std::size_t l = 0; l < L; ++l) {
                         pruned_[l] += c[l];
                         c[l] = 0.0;
@@ -290,11 +316,8 @@ public:
                 }
             }
 
-            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
-            for (int d = clo; d <= chi; ++d) {
-                const double* c = cur + idx(d) * L;
-                for (std::size_t l = 0; l < L; ++l) norm_[l] += c[l];
-            }
+            for (std::size_t l = 0; l < Lp; ++l) norm_[l] = 0.0;
+            for (int d = clo; d <= chi; ++d) k.accumulate(norm_.data(), cur + idx(d) * Lp, Lp);
             bool any_alive = false;
             for (std::size_t l = 0; l < L; ++l) {
                 if (alive_[l] == 0) {
@@ -314,10 +337,8 @@ public:
                 any_alive = true;
             }
             if (!any_alive) return kill_all_from(j);
-            for (int d = clo; d <= chi; ++d) {
-                double* c = cur + idx(d) * L;
-                for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
-            }
+            for (std::size_t l = L; l < Lp; ++l) norm_[l] = 1.0;  // 0.0 / 1.0 keeps pads clean
+            for (int d = clo; d <= chi; ++d) k.divide(cur + idx(d) * Lp, norm_.data(), Lp);
             band_[2 * j] = clo;
             band_[2 * j + 1] = chi;
         }
@@ -330,19 +351,21 @@ public:
     void backward(PlaneFn&& emit_plane) {
         constexpr double kNegInf = -std::numeric_limits<double>::infinity();
         const std::size_t L = lanes_;
+        const std::size_t Lp = lanes_pad_;
+        const LaneKernels& k = *k_;
         const int run = p_->max_insert_run;
         {
             double* last = beta_.data() + n_ * row_stride_;
             int lo = 0, hi = -1;
             const bool live = beta_window(n_, lo, hi);
-            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
+            for (std::size_t l = 0; l < Lp; ++l) norm_[l] = 0.0;
             if (live) {
+                // Zero the window first so padding lanes read exactly 0.0.
+                std::fill(last + idx(lo) * Lp, last + (idx(hi) + 1) * Lp, 0.0);
                 for (int d = lo; d <= hi; ++d) {
-                    double* c = last + idx(d) * L;
-                    for (std::size_t l = 0; l < L; ++l) {
-                        c[l] = trailing(l, d);
-                        norm_[l] += c[l];
-                    }
+                    double* c = last + idx(d) * Lp;
+                    for (std::size_t l = 0; l < L; ++l) c[l] = trailing(l, d);
+                    k.accumulate(norm_.data(), c, Lp);
                 }
             }
             for (std::size_t l = 0; l < L; ++l) {
@@ -353,11 +376,9 @@ public:
                     norm_[l] = 1.0;
                 }
             }
+            for (std::size_t l = L; l < Lp; ++l) norm_[l] = 1.0;
             if (live) {
-                for (int d = lo; d <= hi; ++d) {
-                    double* c = last + idx(d) * L;
-                    for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
-                }
+                for (int d = lo; d <= hi; ++d) k.divide(last + idx(d) * Lp, norm_.data(), Lp);
             }
         }
         for (std::size_t j = n_; j-- > 0;) {
@@ -376,39 +397,34 @@ public:
                 for (int d = std::max(nlo, lo); d <= nhi; ++d) {
                     const std::uint8_t* rxr =
                         rx_.data() +
-                        static_cast<std::size_t>(static_cast<long long>(j) + d) * L;
-                    emit_plane(emit_.data() + idx(d) * L, j, rxr);
+                        static_cast<std::size_t>(static_cast<long long>(j) + d) * Lp;
+                    emit_plane(emit_.data() + idx(d) * Lp, j, rxr);
                 }
             }
-            for (std::size_t l = 0; l < L; ++l) norm_[l] = 0.0;
+            for (std::size_t l = 0; l < Lp; ++l) norm_[l] = 0.0;
             for (int dp = lo; dp <= hi; ++dp) {
-                for (std::size_t l = 0; l < L; ++l) acc_[l] = 0.0;
+                for (std::size_t l = 0; l < Lp; ++l) acc_[l] = 0.0;
                 if (next_live) {
                     const int glo = std::max(0, nlo - dp + 1);
                     const int ghi = std::min(run, nhi - dp + 1);
                     int g = glo;
                     if (g == 0 && g <= ghi) {
-                        const double w0 = t_->del_w[0];
-                        const double* nb = next + (idx(dp) - 1) * L;
-                        for (std::size_t l = 0; l < L; ++l) acc_[l] += w0 * nb[l];
+                        k.axpy(acc_.data(), next + (idx(dp) - 1) * Lp, t_->del_w[0], Lp);
                         g = 1;
                     }
-                    for (; g <= ghi; ++g) {
-                        const double dw = t_->del_w[static_cast<std::size_t>(g)];
-                        const double tw = t_->tx_w[static_cast<std::size_t>(g - 1)];
+                    if (g <= ghi) {
+                        // Fused gather over the insert run (g-ascending adds,
+                        // the same per-lane order as the unfused loop).
                         const std::size_t cell =
-                            (idx(dp) + static_cast<std::size_t>(g) - 1) * L;
-                        const double* nb = next + cell;
-                        const double* e = emit_.data() + cell;
-                        for (std::size_t l = 0; l < L; ++l)
-                            acc_[l] += (dw + tw * e[l]) * nb[l];
+                            (idx(dp) + static_cast<std::size_t>(g) - 1) * Lp;
+                        k.fma_acc_run(acc_.data(), next + cell, t_->del_w.data() + g,
+                                      t_->tx_w.data() + (g - 1), emit_.data() + cell,
+                                      static_cast<std::size_t>(ghi - g + 1), Lp);
                     }
                 }
-                double* c = cur + idx(dp) * L;
-                for (std::size_t l = 0; l < L; ++l) {
-                    c[l] = acc_[l];
-                    norm_[l] += acc_[l];
-                }
+                double* c = cur + idx(dp) * Lp;
+                std::copy(acc_.begin(), acc_.end(), c);
+                k.accumulate(norm_.data(), c, Lp);
             }
             for (std::size_t l = 0; l < L; ++l) {
                 if (norm_[l] > 0.0) {
@@ -418,10 +434,8 @@ public:
                     norm_[l] = 1.0;
                 }
             }
-            for (int dp = lo; dp <= hi; ++dp) {
-                double* c = cur + idx(dp) * L;
-                for (std::size_t l = 0; l < L; ++l) c[l] /= norm_[l];
-            }
+            for (std::size_t l = L; l < Lp; ++l) norm_[l] = 1.0;
+            for (int dp = lo; dp <= hi; ++dp) k.divide(cur + idx(dp) * Lp, norm_.data(), Lp);
         }
     }
 
@@ -430,7 +444,7 @@ public:
         double t = 0.0;
         const double* last = alpha_.data() + n_ * row_stride_;
         for (int d = band_lo(n_); d <= band_hi(n_); ++d)
-            t += last[idx(d) * lanes_ + lane] * trailing(lane, d);
+            t += last[idx(d) * lanes_pad_ + lane] * trailing(lane, d);
         return t;
     }
 
@@ -464,8 +478,10 @@ private:
 
     const DriftParams* p_;
     const DriftTables* t_;
+    const LaneKernels* k_;
     std::size_t n_;
     std::size_t lanes_;
+    std::size_t lanes_pad_ = 0;
     std::size_t m_max_ = 0;
     int d_max_;
     std::size_t width_;

@@ -55,6 +55,18 @@ struct MiEstimate {
     std::size_t block_len = 0;
 };
 
+/// How the Monte-Carlo estimators shape their work across the batched
+/// lattice and the thread pool.
+enum class McTiling {
+    /// Tile blocks as lanes x threads: each worker advances a tile of
+    /// resolved_mc_batch() blocks through the lockstep SIMD engine
+    /// (batch_lattice.hpp), and tiles are distributed over the pool.
+    lanes_by_threads,
+    /// One block per lattice sweep (scalar LatticeEngine); threads still
+    /// split blocks. Equivalent to batch = 1. Reference/debugging path.
+    scalar,
+};
+
 /// Knobs shared by the Monte-Carlo mutual-information estimators.
 ///
 /// Parallelism contract: the estimators consume exactly one draw from the
@@ -81,11 +93,17 @@ struct McOptions {
     /// band_eps > 0 the shared union band may prune slightly less than
     /// scalar banding — never more, so the lower bound stands).
     std::size_t batch = 0;
+    /// Work-shaping policy; McTiling::scalar forces batch = 1 regardless
+    /// of `batch` (handy for A/B timing without touching the lane knob).
+    McTiling tiling = McTiling::lanes_by_threads;
 };
 
-/// The lane count the estimators actually use for `opts`: opts.batch,
-/// auto-resolved (0) to a tile that keeps the hot rows cache-resident,
-/// and clamped to opts.num_blocks.
+/// The lane count the estimators actually use for `opts`: opts.batch, or
+/// auto-resolved (0) ISA-aware — a multiple of the active SIMD vector
+/// width (util::active_simd_path()) sized so the hot rows of a lockstep
+/// step stay L1-resident — then clamped to opts.num_blocks. Never a
+/// function of opts.threads (the thread-invariance contract above). 1
+/// whenever opts.tiling is McTiling::scalar.
 [[nodiscard]] std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params);
 
 /// Monte-Carlo achievable rate of the deletion-insertion(-substitution)

@@ -42,12 +42,42 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "ccap/info/drift_hmm.hpp"
 
 namespace ccap::info {
+
+/// Minimal std::allocator replacement with a fixed alignment. The batched
+/// SoA engine pads its lane stride to the SIMD vector width; aligning the
+/// arena base to a cache line (64 bytes covers every path up to AVX-512)
+/// makes every padded column start vector-aligned.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0);
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+    bool operator==(const AlignedAllocator&) const noexcept { return true; }
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Align>;
+    };
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, AlignedAllocator<T, 64>>;
 
 /// Grow-only flat arenas backing trellis passes. request() methods never
 /// shrink and never zero — each pass initializes exactly the cells it
@@ -94,17 +124,17 @@ public:
     }
 
 private:
-    template <typename T>
-    static std::span<T> grab(std::vector<T>& v, std::size_t n) {
+    template <typename Vec>
+    static std::span<typename Vec::value_type> grab(Vec& v, std::size_t n) {
         if (v.size() < n) v.resize(n);
         return {v.data(), n};
     }
 
-    std::vector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_, lane_d_;
-    std::vector<int> band_;
-    std::vector<long long> lane_ll_;
-    std::vector<std::uint32_t> u32_;
-    std::vector<std::uint8_t> rx_u8_, tx_u8_;
+    ArenaVector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_, lane_d_;
+    ArenaVector<int> band_;
+    ArenaVector<long long> lane_ll_;
+    ArenaVector<std::uint32_t> u32_;
+    ArenaVector<std::uint8_t> rx_u8_, tx_u8_;
 };
 
 /// RAII lease on a thread-local LatticeWorkspace. Acquisition pops from a

@@ -37,19 +37,22 @@ std::size_t lockstep_tx_len(std::span<const DriftHmm::SymbolSpan> transmitted,
 }
 
 /// Emission-plane fill for tx-conditioned operations: the value at lane l
-/// is emit_tab[rxr[l] * alphabet + tx_l], a gather the vectorizer cannot
+/// is emit_tab[rxr[l] * alphabet + tx_l], a gather no vector path can
 /// touch. The binary-alphabet fast path (every Monte-Carlo and watermark
 /// channel) caches two per-row lane vectors — the emissions a lane would
 /// produce for received 0 and received 1 — and the per-drift fill becomes
-/// a branchless select between them. Every selected value is the exact
-/// table entry the gather would have loaded, so both paths are
-/// bit-identical.
+/// the engine's dispatched select kernels. Every selected value is the
+/// exact table entry the gather would have loaded (the scalar reference
+/// select and the vector blends pick the same bits), so all paths are
+/// bit-identical. Loops run over the padded lane stride; selector pads are
+/// valid symbol 0, so pad entries stay finite.
 struct TxEmitPlane {
     const DriftTables* tables;
     unsigned alphabet;
     const std::uint8_t* tx;  // SoA pack: symbol of lane l at row j is tx[j * lanes + l]
-    std::size_t lanes;
+    std::size_t lanes;       // padded lane stride (BatchLatticeEngine::lane_stride())
     std::span<double> e01;  // 2 * lanes scratch: emissions for received 0 | received 1
+    const LaneKernels* kernels;
     std::size_t cached_row = static_cast<std::size_t>(-1);
 
     void operator()(double* __restrict ed, std::size_t j, const std::uint8_t* __restrict rxr) {
@@ -57,27 +60,14 @@ struct TxEmitPlane {
         const std::uint8_t* txr = tx + j * L;
         const double* tab = tables->emit_tab.data();
         if (alphabet == 2) {
-            // Arithmetic select: with s, t in {0.0, 1.0} and non-negative
-            // table entries, e0*(1-s) + e1*s IS the selected entry bit for
-            // bit (multiplying by exact 0/1 and adding +0.0 are exact on
-            // non-negative doubles) — and unlike a byte-conditional blend
-            // it auto-vectorizes.
-            const double* __restrict e0 = e01.data();
-            const double* __restrict e1 = e01.data() + L;
+            const double* e0 = e01.data();
+            const double* e1 = e01.data() + L;
             if (j != cached_row) {
-                double* w0 = e01.data();
-                double* w1 = e01.data() + L;
-                for (std::size_t l = 0; l < L; ++l) {
-                    const double t = txr[l];
-                    w0[l] = tab[0] * (1.0 - t) + tab[1] * t;
-                    w1[l] = tab[2] * (1.0 - t) + tab[3] * t;
-                }
+                kernels->select_const(e01.data(), txr, tab[0], tab[1], L);
+                kernels->select_const(e01.data() + L, txr, tab[2], tab[3], L);
                 cached_row = j;
             }
-            for (std::size_t l = 0; l < L; ++l) {
-                const double s = rxr[l];
-                ed[l] = e0[l] * (1.0 - s) + e1[l] * s;
-            }
+            kernels->select_lanes(ed, rxr, e0, e1, L);
         } else {
             for (std::size_t l = 0; l < L; ++l)
                 ed[l] = tab[static_cast<std::size_t>(rxr[l]) * alphabet + txr[l]];
@@ -93,8 +83,9 @@ struct PriorEmitPlane {
     const util::Matrix* priors;
     const DriftTables* tables;
     unsigned alphabet;
-    std::size_t lanes;
+    std::size_t lanes;  // padded lane stride (BatchLatticeEngine::lane_stride())
     std::span<double> vals;
+    const LaneKernels* kernels;
     std::size_t cached_row = static_cast<std::size_t>(-1);
 
     void operator()(double* __restrict ed, std::size_t j, const std::uint8_t* __restrict rxr) {
@@ -111,12 +102,8 @@ struct PriorEmitPlane {
         }
         const std::size_t L = lanes;
         if (alphabet == 2) {
-            // Same exact arithmetic select as TxEmitPlane.
-            const double v0 = vals[0], v1 = vals[1];
-            for (std::size_t l = 0; l < L; ++l) {
-                const double s = rxr[l];
-                ed[l] = v0 * (1.0 - s) + v1 * s;
-            }
+            // Same exact-table-entry select as TxEmitPlane.
+            kernels->select_const(ed, rxr, vals[0], vals[1], L);
         } else {
             for (std::size_t l = 0; l < L; ++l) ed[l] = vals[rxr[l]];
         }
@@ -147,10 +134,13 @@ std::vector<BandedEvidence> DriftHmm::log2_likelihood_batch(
     }
 
     BatchLatticeEngine eng(params_, *tables_, received, n, ws);
-    const std::span<std::uint8_t> tx = ws.tx_bytes(std::max<std::size_t>(1, n * L));
+    const std::size_t Lp = eng.lane_stride();
+    const std::span<std::uint8_t> tx = ws.tx_bytes(std::max<std::size_t>(1, n * Lp));
+    std::fill(tx.begin(), tx.end(), 0);  // pad lanes carry valid symbol 0
     for (std::size_t l = 0; l < L; ++l)
-        for (std::size_t j = 0; j < n; ++j) tx[j * L + l] = transmitted[l][j];
-    TxEmitPlane emit_pt{tables_.get(), params_.alphabet, tx.data(), L, ws.scratch2(2 * L)};
+        for (std::size_t j = 0; j < n; ++j) tx[j * Lp + l] = transmitted[l][j];
+    TxEmitPlane emit_pt{tables_.get(), params_.alphabet, tx.data(),
+                        Lp,            ws.scratch2(2 * Lp), &eng.kernels()};
     eng.forward(emit_pt, params_.band_eps);
     for (std::size_t l = 0; l < L; ++l) out[l] = eng.evidence(l);
     return out;
@@ -167,8 +157,12 @@ std::vector<BandedEvidence> DriftHmm::log2_prior_marginal_batch(
         check_symbols(received[l], params_.alphabet, "received");
 
     BatchLatticeEngine eng(params_, *tables_, received, priors.rows(), ws);
-    PriorEmitPlane emit_p{&priors, tables_.get(), params_.alphabet, L,
-                          ws.scratch3(params_.alphabet)};
+    PriorEmitPlane emit_p{&priors,
+                          tables_.get(),
+                          params_.alphabet,
+                          eng.lane_stride(),
+                          ws.scratch3(params_.alphabet),
+                          &eng.kernels()};
     eng.forward(emit_p, params_.band_eps);
     for (std::size_t l = 0; l < L; ++l) out[l] = eng.evidence(l);
     return out;
@@ -191,7 +185,8 @@ std::vector<util::Matrix> DriftHmm::posteriors_batch(
     if (L == 0) return out;
 
     BatchLatticeEngine eng(params_, *tables_, received, n, ws);
-    PriorEmitPlane emit_p{&priors, tables_.get(), m_alpha, L, ws.scratch3(m_alpha)};
+    PriorEmitPlane emit_p{&priors,        tables_.get(),       m_alpha,
+                          eng.lane_stride(), ws.scratch3(m_alpha), &eng.kernels()};
     eng.forward(emit_p, params_.band_eps);
     eng.backward(emit_p);
 
@@ -204,6 +199,7 @@ std::vector<util::Matrix> DriftHmm::posteriors_batch(
     // exactly zero, which the same skips the scalar code has drop.
     const auto& ins_pow = tables_->ins_pow;
     const std::span<double> w = ws.scratch2(m_alpha);
+    const std::size_t Lp = eng.lane_stride();
     for (std::size_t l = 0; l < L; ++l) {
         util::Matrix& post = out[l];
         const SymbolSpan rx = received[l];
@@ -215,7 +211,7 @@ std::vector<util::Matrix> DriftHmm::posteriors_batch(
             const double* arow = eng.alpha_row(j - 1);
             const double* brow = eng.beta_row(j);
             for (int dp = eng.band_lo(j - 1); dp <= eng.band_hi(j - 1); ++dp) {
-                const double ap = arow[eng.idx(dp) * L + l];
+                const double ap = arow[eng.idx(dp) * Lp + l];
                 if (ap == 0.0) continue;
                 const std::size_t r0 =
                     static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
@@ -223,7 +219,7 @@ std::vector<util::Matrix> DriftHmm::posteriors_batch(
                     const int d = dp + g - 1;
                     if (!beta_live || d < blo || d > bhi) continue;
                     const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                    const double beta = brow[eng.idx(d) * L + l];
+                    const double beta = brow[eng.idx(d) * Lp + l];
                     if (beta == 0.0) continue;
                     w_del += ap * ins_pow[static_cast<std::size_t>(g)] * params_.p_d * beta;
                     if (g >= 1) {
@@ -266,10 +262,13 @@ std::vector<DriftHmm::EventExpectations> DriftHmm::expected_events_batch(
     }
 
     BatchLatticeEngine eng(params_, *tables_, received, n, ws);
-    const std::span<std::uint8_t> tx = ws.tx_bytes(std::max<std::size_t>(1, n * L));
+    const std::size_t Lp = eng.lane_stride();
+    const std::span<std::uint8_t> tx = ws.tx_bytes(std::max<std::size_t>(1, n * Lp));
+    std::fill(tx.begin(), tx.end(), 0);  // pad lanes carry valid symbol 0
     for (std::size_t l = 0; l < L; ++l)
-        for (std::size_t j = 0; j < n; ++j) tx[j * L + l] = transmitted[l][j];
-    TxEmitPlane emit_pt{tables_.get(), params_.alphabet, tx.data(), L, ws.scratch2(2 * L)};
+        for (std::size_t j = 0; j < n; ++j) tx[j * Lp + l] = transmitted[l][j];
+    TxEmitPlane emit_pt{tables_.get(), params_.alphabet, tx.data(),
+                        Lp,            ws.scratch2(2 * Lp), &eng.kernels()};
     eng.forward(emit_pt, params_.band_eps);
     eng.backward(emit_pt);
 
@@ -296,7 +295,7 @@ std::vector<DriftHmm::EventExpectations> DriftHmm::expected_events_batch(
             const double* arow = eng.alpha_row(j - 1);
             const double* brow = eng.beta_row(j);
             for (int dp = eng.band_lo(j - 1); dp <= eng.band_hi(j - 1); ++dp) {
-                const double alpha = arow[eng.idx(dp) * L + l];
+                const double alpha = arow[eng.idx(dp) * Lp + l];
                 if (alpha == 0.0) continue;
                 const std::size_t r0 =
                     static_cast<std::size_t>(static_cast<long long>(j - 1) + dp);
@@ -304,7 +303,7 @@ std::vector<DriftHmm::EventExpectations> DriftHmm::expected_events_batch(
                     const int d = dp + g - 1;
                     if (!beta_live || d < blo || d > bhi) continue;
                     const std::size_t r1 = r0 + static_cast<std::size_t>(g);
-                    const double beta = brow[eng.idx(d) * L + l];
+                    const double beta = brow[eng.idx(d) * Lp + l];
                     if (beta == 0.0) continue;
                     const double w_del = alpha * ins_pow[static_cast<std::size_t>(g)] *
                                          params_.p_d * beta * factor;
@@ -328,7 +327,7 @@ std::vector<DriftHmm::EventExpectations> DriftHmm::expected_events_batch(
         }
         const double* last = eng.alpha_row(n);
         for (int d = eng.band_lo(n); d <= eng.band_hi(n); ++d) {
-            const double w_tr = last[eng.idx(d) * L + l] * eng.trailing(l, d) / tail;
+            const double w_tr = last[eng.idx(d) * Lp + l] * eng.trailing(l, d) / tail;
             const long long rest =
                 static_cast<long long>(eng.m(l)) - (static_cast<long long>(n) + d);
             if (w_tr > 0.0 && rest > 0) o.insertions += w_tr * static_cast<double>(rest);

@@ -6,6 +6,7 @@
 
 #include "ccap/info/entropy.hpp"
 #include "ccap/info/lattice_engine.hpp"
+#include "ccap/util/cpu_features.hpp"
 #include "ccap/util/thread_pool.hpp"
 
 namespace ccap::info {
@@ -148,6 +149,7 @@ DriftParams effective_params(const DriftParams& params, const McOptions& opts) {
 }  // namespace
 
 std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) {
+    if (opts.tiling == McTiling::scalar) return 1;
     std::size_t b = opts.batch;
     if (b == 0) {
         // Auto: size the tile so the hot set of a lockstep row step —
@@ -157,7 +159,15 @@ std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) 
         const std::size_t width = static_cast<std::size_t>(2 * params.max_drift + 1);
         constexpr std::size_t kTileBytes = 32 * 1024;
         b = kTileBytes / (3 * width * sizeof(double));
-        b = std::clamp<std::size_t>(b, 4, 16);
+        b = std::clamp<std::size_t>(b, 4, 32);
+        // Shape the tile for the active SIMD path: a multiple of the
+        // vector width (the batched engine pads lanes to it, so anything
+        // else wastes kernel lanes). Deliberately NOT a function of
+        // opts.threads — with band_eps > 0 the tile size shifts the shared
+        // union band, and the McOptions contract promises estimates
+        // invariant in the thread count.
+        const std::size_t W = util::simd_vector_doubles(util::active_simd_path());
+        b = std::max(W, b / W * W);
     }
     if (opts.num_blocks > 0) b = std::min(b, opts.num_blocks);
     return std::max<std::size_t>(1, b);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "ccap/info/lattice_engine.hpp"
+#include "ccap/info/lattice_simd.hpp"
 
 namespace ccap::info {
 
@@ -487,16 +488,26 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
     // All candidates of a segment share the same drift-window trajectory
     // (the recurrence is value-independent), so the per-candidate
     // propagation runs as one structure-of-arrays batch with the
-    // candidates as lanes: cell (drift d, candidate c) at idx(d) * C + c.
-    // Per (drift, candidate) the emission is computed once — received
-    // index (j-1) + d is source-independent — instead of once per (source,
+    // candidates as lanes: cell (drift d, candidate c) at idx(d) * Cp + c,
+    // where Cp pads the candidate count to the SIMD vector width and the
+    // lane loops run the dispatched kernels (lattice_simd.hpp) — padding
+    // lanes carry exactly 0.0 and are dropped at the closing stage. Per
+    // (drift, candidate) the emission is computed once — received index
+    // (j-1) + d is source-independent — instead of once per (source,
     // run-length); per-candidate results match the old one-candidate-at-a-
     // time loop bit for bit (the term order per cell is unchanged). This
     // is the watermark inner decoder's hot loop (coding/watermark.cpp).
     const std::size_t C = num_candidates;
-    std::span<double> cur = ws.scratch(width * C);
-    std::span<double> next = ws.scratch2(width * C);
-    std::span<double> esc = ws.scratch3(width * C);
+    const LaneKernels& kern = C > 1 ? active_lane_kernels() : *lane_kernels_scalar();
+    const std::size_t W = kern.vector_doubles;
+    const std::size_t Cp = (C + W - 1) / W * W;
+    std::span<double> cur = ws.scratch(width * Cp);
+    std::span<double> next = ws.scratch2(width * Cp);
+    std::span<double> esc = ws.scratch3(width * Cp);
+    // Selector pack and pad-finite emissions: pads select symbol 0.
+    std::span<std::uint8_t> selc = ws.tx_bytes(Cp);
+    std::fill(selc.begin(), selc.end(), 0);
+    std::fill(esc.begin(), esc.end(), 0.0);
     for (std::size_t t = 0; t < num_segments; ++t) {
         const std::span<const std::vector<std::uint8_t>> candidates = candidates_for(t);
         if (candidates.size() != num_candidates)
@@ -514,7 +525,7 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
         const double* arow = eng.alpha_row(j0);
         for (int d = wlo; d <= whi; ++d) {
             const double a = arow[eng.idx(d)];
-            double* base = cur.data() + eng.idx(d) * C;
+            double* base = cur.data() + eng.idx(d) * Cp;
             for (std::size_t ci = 0; ci < C; ++ci) base[ci] = a;
         }
         for (std::size_t l = 0; l < seg_len && wlo <= whi; ++l) {
@@ -532,54 +543,59 @@ util::Matrix DriftHmm::segment_likelihoods(const util::Matrix& priors,
                 whi = 0;
                 break;
             }
-            std::fill(next.begin() + static_cast<std::ptrdiff_t>(eng.idx(clo) * C),
-                      next.begin() + static_cast<std::ptrdiff_t>((eng.idx(chi) + 1) * C),
+            std::fill(next.begin() + static_cast<std::ptrdiff_t>(eng.idx(clo) * Cp),
+                      next.begin() + static_cast<std::ptrdiff_t>((eng.idx(chi) + 1) * Cp),
                       0.0);
-            // Emission plane over (destination drift, candidate).
+            // Emission plane over (destination drift, candidate). The
+            // candidate symbol at offset l is drift-independent, so it is
+            // packed once and the binary fill is a dispatched select of the
+            // exact table entry (bit-identical to the gather).
+            for (std::size_t ci = 0; ci < C; ++ci) selc[ci] = candidates[ci][l];
             for (int d = std::max(clo, wlo); d <= chi; ++d) {
                 const std::uint8_t r =
                     received[static_cast<std::size_t>(static_cast<long long>(j - 1) + d)];
                 const double* erow =
                     tables_->emit_tab.data() + static_cast<std::size_t>(r) * m_alpha;
-                double* ebase = esc.data() + eng.idx(d) * C;
-                for (std::size_t ci = 0; ci < C; ++ci) ebase[ci] = erow[candidates[ci][l]];
+                double* ebase = esc.data() + eng.idx(d) * Cp;
+                if (m_alpha == 2) {
+                    kern.select_const(ebase, selc.data(), erow[0], erow[1], Cp);
+                } else {
+                    for (std::size_t ci = 0; ci < C; ++ci) ebase[ci] = erow[selc[ci]];
+                }
             }
             for (int dp = wlo; dp <= whi; ++dp) {
-                const double* ap = cur.data() + eng.idx(dp) * C;
+                const double* ap = cur.data() + eng.idx(dp) * Cp;
                 const int glo = std::max(0, clo - dp + 1);
                 const int ghi = std::min(run, chi - dp + 1);
                 int g = glo;
                 if (g == 0 && g <= ghi) {
-                    const double w0 = ins_pow[0] * params_.p_d;
-                    double* cell = next.data() + (eng.idx(dp) - 1) * C;
-                    for (std::size_t ci = 0; ci < C; ++ci) cell[ci] += ap[ci] * w0;
+                    kern.axpy(next.data() + (eng.idx(dp) - 1) * Cp, ap,
+                              ins_pow[0] * params_.p_d, Cp);
                     g = 1;
                 }
-                for (; g <= ghi; ++g) {
-                    const double wd = ins_pow[static_cast<std::size_t>(g)] * params_.p_d;
-                    const double wt = ins_pow[static_cast<std::size_t>(g - 1)] * params_.p_t();
-                    const std::size_t cell_off =
-                        (eng.idx(dp) + static_cast<std::size_t>(g) - 1) * C;
-                    double* cell = next.data() + cell_off;
-                    const double* e = esc.data() + cell_off;
-                    for (std::size_t ci = 0; ci < C; ++ci)
-                        cell[ci] += ap[ci] * (wd + wt * e[ci]);
-                }
+                if (g > ghi) continue;
+                // Fused insert-run sweep (same op per cell as the unfused
+                // loop; tables_->del_w/tx_w hold exactly ins_pow[g] * p_d and
+                // ins_pow[g-1] * p_t(), the weights used here before fusing).
+                const std::size_t cell_off =
+                    (eng.idx(dp) + static_cast<std::size_t>(g) - 1) * Cp;
+                kern.fma_run(next.data() + cell_off, ap, tables_->del_w.data() + g,
+                             tables_->tx_w.data() + (g - 1), esc.data() + cell_off,
+                             static_cast<std::size_t>(ghi - g + 1), Cp);
             }
             std::swap(cur, next);
             wlo = clo;
             whi = chi;
         }
-        // Close every candidate lane with the backward slice.
+        // Close every candidate lane with the backward slice (unpadded: the
+        // result row is Matrix storage, so the kernels' scalar tails apply).
         for (std::size_t ci = 0; ci < C; ++ci) out(t, ci) = 0.0;
         int blo = 0, bhi = -1;
         if (eng.beta_window(j0 + seg_len, blo, bhi)) {
             const double* brow = eng.beta_row(j0 + seg_len);
             const int lo2 = std::max(wlo, blo), hi2 = std::min(whi, bhi);
             for (int d = lo2; d <= hi2; ++d) {
-                const double b = brow[eng.idx(d)];
-                const double* base = cur.data() + eng.idx(d) * C;
-                for (std::size_t ci = 0; ci < C; ++ci) out(t, ci) += base[ci] * b;
+                kern.axpy(&out(t, 0), cur.data() + eng.idx(d) * Cp, brow[eng.idx(d)], C);
             }
         }
         double row_norm = 0.0;

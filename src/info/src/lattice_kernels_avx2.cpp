@@ -1,0 +1,195 @@
+// AVX2 lane kernels (4 doubles per op).
+//
+// Compiled with exactly `-march=x86-64 -mtune=generic -mavx2
+// -ffp-contract=off` (src/info/CMakeLists.txt): the source-level flags
+// override any target-level -march=native so this TU contains AVX2 and
+// nothing wider, and no FMA contraction can fuse the separate multiply/add
+// intrinsics below. Every op is elementwise IEEE-754, so each lane
+// computes exactly what the scalar reference kernel computes; the selects
+// blend exact table entries (selector bytes are validated symbols in
+// {0, 1}), matching the scalar arithmetic select bit for bit.
+#include "ccap/info/lattice_simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ccap::info {
+
+namespace {
+
+constexpr std::size_t kW = 4;
+
+/// Zero-extend 4 selector bytes to 4 x 64-bit lanes.
+inline __m256i load_sel4(const std::uint8_t* sel) {
+    std::uint32_t packed;
+    std::memcpy(&packed, sel, sizeof packed);
+    return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+}
+
+void k_axpy(double* dst, const double* src, double w, std::size_t L) {
+    const __m256d wv = _mm256_set1_pd(w);
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d d = _mm256_loadu_pd(dst + l);
+        const __m256d s = _mm256_loadu_pd(src + l);
+        _mm256_storeu_pd(dst + l, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
+    }
+    for (; l < L; ++l) dst[l] += src[l] * w;
+}
+
+void k_fma_weighted(double* dst, const double* src, double dw, double tw, const double* e,
+                    std::size_t L) {
+    const __m256d dwv = _mm256_set1_pd(dw);
+    const __m256d twv = _mm256_set1_pd(tw);
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d ev = _mm256_loadu_pd(e + l);
+        const __m256d wv = _mm256_add_pd(dwv, _mm256_mul_pd(twv, ev));
+        const __m256d d = _mm256_loadu_pd(dst + l);
+        const __m256d s = _mm256_loadu_pd(src + l);
+        _mm256_storeu_pd(dst + l, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
+    }
+    for (; l < L; ++l) dst[l] += src[l] * (dw + tw * e[l]);
+}
+
+void k_accumulate(double* acc, const double* src, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d a = _mm256_loadu_pd(acc + l);
+        const __m256d s = _mm256_loadu_pd(src + l);
+        _mm256_storeu_pd(acc + l, _mm256_add_pd(a, s));
+    }
+    for (; l < L; ++l) acc[l] += src[l];
+}
+
+void k_maximum(double* acc, const double* src, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d a = _mm256_loadu_pd(acc + l);
+        const __m256d s = _mm256_loadu_pd(src + l);
+        _mm256_storeu_pd(acc + l, _mm256_max_pd(a, s));
+    }
+    for (; l < L; ++l) acc[l] = acc[l] < src[l] ? src[l] : acc[l];
+}
+
+void k_divide(double* dst, const double* norm, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d d = _mm256_loadu_pd(dst + l);
+        const __m256d n = _mm256_loadu_pd(norm + l);
+        _mm256_storeu_pd(dst + l, _mm256_div_pd(d, n));
+    }
+    for (; l < L; ++l) dst[l] /= norm[l];
+}
+
+void k_select_const(double* ed, const std::uint8_t* sel, double v0, double v1,
+                    std::size_t L) {
+    const __m256d v0v = _mm256_set1_pd(v0);
+    const __m256d v1v = _mm256_set1_pd(v1);
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        // All-ones where sel == 0; blendv picks its second operand there.
+        const __m256d is0 =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(load_sel4(sel + l), zero));
+        _mm256_storeu_pd(ed + l, _mm256_blendv_pd(v1v, v0v, is0));
+    }
+    for (; l < L; ++l) ed[l] = sel[l] ? v1 : v0;
+}
+
+void k_select_lanes(double* ed, const std::uint8_t* sel, const double* e0, const double* e1,
+                    std::size_t L) {
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d is0 =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(load_sel4(sel + l), zero));
+        const __m256d a = _mm256_loadu_pd(e0 + l);
+        const __m256d b = _mm256_loadu_pd(e1 + l);
+        _mm256_storeu_pd(ed + l, _mm256_blendv_pd(b, a, is0));
+    }
+    for (; l < L; ++l) ed[l] = sel[l] ? e1[l] : e0[l];
+}
+
+void k_fma_run(double* dst, const double* src, const double* dw, const double* tw,
+               const double* e, std::size_t runs, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d s = _mm256_loadu_pd(src + l);  // reused across the run
+        for (std::size_t g = 0; g < runs; ++g) {
+            double* d = dst + g * L + l;
+            const __m256d ev = _mm256_loadu_pd(e + g * L + l);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[g]), _mm256_mul_pd(_mm256_set1_pd(tw[g]), ev));
+            _mm256_storeu_pd(d, _mm256_add_pd(_mm256_loadu_pd(d), _mm256_mul_pd(s, wv)));
+        }
+    }
+    for (; l < L; ++l)
+        for (std::size_t g = 0; g < runs; ++g)
+            dst[g * L + l] += src[l] * (dw[g] + tw[g] * e[g * L + l]);
+}
+
+void k_fma_acc_run(double* acc, const double* src, const double* dw, const double* tw,
+                   const double* e, std::size_t runs, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        __m256d a = _mm256_loadu_pd(acc + l);
+        for (std::size_t g = 0; g < runs; ++g) {  // g-ascending: unfused add order
+            const __m256d sv = _mm256_loadu_pd(src + g * L + l);
+            const __m256d ev = _mm256_loadu_pd(e + g * L + l);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[g]), _mm256_mul_pd(_mm256_set1_pd(tw[g]), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        _mm256_storeu_pd(acc + l, a);
+    }
+    for (; l < L; ++l)
+        for (std::size_t g = 0; g < runs; ++g)
+            acc[l] += src[g * L + l] * (dw[g] + tw[g] * e[g * L + l]);
+}
+
+void k_fma_dest_run(double* dst, const double* src, const double* dw, const double* tw,
+                    const double* e, const double* src_del, double w_del,
+                    std::size_t cnt, std::size_t L) {
+    const __m256d wdel = _mm256_set1_pd(w_del);
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d ev = _mm256_loadu_pd(e + l);  // unused garbage when cnt == 0
+        __m256d a = _mm256_setzero_pd();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi = -static_cast<std::ptrdiff_t>(i);
+            const __m256d sv = _mm256_loadu_pd(src + i * L + l);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[gi]), _mm256_mul_pd(_mm256_set1_pd(tw[gi]), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        if (src_del) a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(src_del + l), wdel));
+        _mm256_storeu_pd(dst + l, a);
+    }
+    for (; l < L; ++l) {
+        double a = 0.0;
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi = -static_cast<std::ptrdiff_t>(i);
+            a += src[i * L + l] * (dw[gi] + tw[gi] * e[l]);
+        }
+        if (src_del) a += src_del[l] * w_del;
+        dst[l] = a;
+    }
+}
+
+constexpr LaneKernels kAvx2Kernels = {
+    k_axpy,         k_fma_weighted, k_accumulate, k_maximum,     k_divide,
+    k_select_const, k_select_lanes, k_fma_run,    k_fma_acc_run,
+    k_fma_dest_run, "avx2",         kW,           util::SimdPath::avx2,
+};
+
+}  // namespace
+
+const LaneKernels* lane_kernels_avx2() noexcept { return &kAvx2Kernels; }
+
+}  // namespace ccap::info
+
+#endif  // x86

@@ -1,0 +1,40 @@
+// Kernel-table dispatch, plus nullptr stubs for ISAs whose translation
+// units are not part of this build (the build only adds a kernel TU when
+// the target architecture and compiler support it; CCAP_HAVE_KERNELS_*
+// mirrors that decision so util::simd_path_available() agrees with what
+// lane_kernels_for() can actually return).
+#include "ccap/info/lattice_simd.hpp"
+
+namespace ccap::info {
+
+#if !defined(CCAP_HAVE_KERNELS_NEON)
+const LaneKernels* lane_kernels_neon() noexcept { return nullptr; }
+#endif
+#if !defined(CCAP_HAVE_KERNELS_AVX2)
+const LaneKernels* lane_kernels_avx2() noexcept { return nullptr; }
+#endif
+#if !defined(CCAP_HAVE_KERNELS_AVX512)
+const LaneKernels* lane_kernels_avx512() noexcept { return nullptr; }
+#endif
+
+const LaneKernels& lane_kernels_for(util::SimdPath path) noexcept {
+    for (int p = static_cast<int>(path); p > 0; --p) {
+        const util::SimdPath candidate = static_cast<util::SimdPath>(p);
+        if (!util::simd_path_available(candidate)) continue;
+        const LaneKernels* table = nullptr;
+        switch (candidate) {
+            case util::SimdPath::scalar: break;
+            case util::SimdPath::neon: table = lane_kernels_neon(); break;
+            case util::SimdPath::avx2: table = lane_kernels_avx2(); break;
+            case util::SimdPath::avx512: table = lane_kernels_avx512(); break;
+        }
+        if (table != nullptr) return *table;
+    }
+    return *lane_kernels_scalar();
+}
+
+const LaneKernels& active_lane_kernels() noexcept {
+    return lane_kernels_for(util::active_simd_path());
+}
+
+}  // namespace ccap::info

@@ -1,0 +1,162 @@
+#include "ccap/util/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ccap::util {
+
+namespace {
+
+struct Detected {
+    bool avx2 = false;
+    bool avx512f = false;
+    bool neon = false;
+};
+
+Detected detect() {
+    Detected d;
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports folds in the OS XSAVE state checks, so a
+    // kernel that disabled AVX-512 state reports unsupported here too.
+    __builtin_cpu_init();
+    d.avx2 = __builtin_cpu_supports("avx2") != 0;
+    d.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__) || defined(_M_ARM64)
+    d.neon = true;  // Advanced SIMD is baseline on AArch64.
+#endif
+    return d;
+}
+
+const Detected& features() {
+    static const Detected d = detect();
+    return d;
+}
+
+/// Best available path at or below `want` (scalar is always available).
+SimdPath clamp_to_available(SimdPath want) {
+    for (int p = static_cast<int>(want); p > 0; --p)
+        if (simd_path_available(static_cast<SimdPath>(p))) return static_cast<SimdPath>(p);
+    return SimdPath::scalar;
+}
+
+std::atomic<int> g_active{-1};
+std::once_flag g_resolve_once;
+
+void resolve_from_env() {
+    SimdPath path = best_simd_path();
+    if (const char* env = std::getenv("CCAP_SIMD"); env != nullptr && env[0] != '\0') {
+        SimdPath requested{};
+        if (parse_simd_path(env, requested)) {
+            path = clamp_to_available(requested);
+        } else {
+            std::fprintf(stderr,
+                         "ccap: ignoring unknown CCAP_SIMD='%s' "
+                         "(use scalar|neon|avx2|avx512)\n",
+                         env);
+        }
+    }
+    g_active.store(static_cast<int>(path), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* simd_path_name(SimdPath path) noexcept {
+    switch (path) {
+        case SimdPath::scalar: return "scalar";
+        case SimdPath::neon: return "neon";
+        case SimdPath::avx2: return "avx2";
+        case SimdPath::avx512: return "avx512";
+    }
+    return "scalar";
+}
+
+bool parse_simd_path(const std::string& text, SimdPath& out) noexcept {
+    if (text == "scalar") out = SimdPath::scalar;
+    else if (text == "neon") out = SimdPath::neon;
+    else if (text == "avx2") out = SimdPath::avx2;
+    else if (text == "avx512") out = SimdPath::avx512;
+    else return false;
+    return true;
+}
+
+std::size_t simd_vector_doubles(SimdPath path) noexcept {
+    switch (path) {
+        case SimdPath::scalar: return 1;
+        case SimdPath::neon: return 2;
+        case SimdPath::avx2: return 4;
+        case SimdPath::avx512: return 8;
+    }
+    return 1;
+}
+
+bool cpu_supports(SimdPath path) noexcept {
+    const Detected& d = features();
+    switch (path) {
+        case SimdPath::scalar: return true;
+        case SimdPath::neon: return d.neon;
+        case SimdPath::avx2: return d.avx2;
+        case SimdPath::avx512: return d.avx512f;
+    }
+    return false;
+}
+
+bool simd_path_available(SimdPath path) noexcept {
+    if (!cpu_supports(path)) return false;
+    switch (path) {
+        case SimdPath::scalar:
+            return true;
+        case SimdPath::neon:
+#if defined(CCAP_HAVE_KERNELS_NEON)
+            return true;
+#else
+            return false;
+#endif
+        case SimdPath::avx2:
+#if defined(CCAP_HAVE_KERNELS_AVX2)
+            return true;
+#else
+            return false;
+#endif
+        case SimdPath::avx512:
+#if defined(CCAP_HAVE_KERNELS_AVX512)
+            return true;
+#else
+            return false;
+#endif
+    }
+    return false;
+}
+
+SimdPath best_simd_path() noexcept {
+    return clamp_to_available(SimdPath::avx512);
+}
+
+std::string cpu_feature_string() {
+    const Detected& d = features();
+    std::string out;
+    const auto append = [&](const char* name) {
+        if (!out.empty()) out += "+";
+        out += name;
+    };
+    if (d.avx512f) append("avx512f");
+    if (d.avx2) append("avx2");
+    if (d.neon) append("neon");
+    if (out.empty()) out = "baseline";
+    return out;
+}
+
+SimdPath active_simd_path() noexcept {
+    std::call_once(g_resolve_once, resolve_from_env);
+    return static_cast<SimdPath>(g_active.load(std::memory_order_relaxed));
+}
+
+SimdPath force_simd_path(SimdPath path) noexcept {
+    std::call_once(g_resolve_once, resolve_from_env);
+    const SimdPath applied = clamp_to_available(path);
+    g_active.store(static_cast<int>(applied), std::memory_order_relaxed);
+    return applied;
+}
+
+}  // namespace ccap::util

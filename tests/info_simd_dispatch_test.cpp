@@ -1,0 +1,226 @@
+// Runtime SIMD dispatch (util/cpu_features.hpp, info/lattice_simd.hpp) and
+// the per-path bit-identity matrix: every available kernel path — forced
+// via force_simd_path(), the same hook the CCAP_SIMD env override uses —
+// must reproduce the scalar LatticeEngine bit for bit at band_eps = 0 and
+// keep each lane's certified slack containment in banded mode.
+//
+// tests/CMakeLists.txt additionally registers this binary's BatchLattice*
+// and SimdDispatch* suites once per ISA under CCAP_SIMD=<path>, so CI
+// exercises the env-variable resolution end to end (unavailable paths
+// clamp down gracefully).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccap/info/batch_lattice.hpp"
+#include "ccap/info/deletion_bounds.hpp"
+#include "ccap/info/drift_hmm.hpp"
+#include "ccap/info/lattice_engine.hpp"
+#include "ccap/info/lattice_simd.hpp"
+#include "ccap/util/cpu_features.hpp"
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using namespace ccap::info;
+using ccap::util::Rng;
+using ccap::util::SimdPath;
+
+using SymbolSpan = DriftHmm::SymbolSpan;
+
+/// Restore the active path on scope exit so test order cannot leak a
+/// forced path into unrelated tests.
+struct PathGuard {
+    SimdPath saved = ccap::util::active_simd_path();
+    ~PathGuard() { ccap::util::force_simd_path(saved); }
+};
+
+std::vector<SimdPath> available_paths() {
+    std::vector<SimdPath> out;
+    for (SimdPath p : {SimdPath::scalar, SimdPath::neon, SimdPath::avx2, SimdPath::avx512})
+        if (ccap::util::simd_path_available(p)) out.push_back(p);
+    return out;
+}
+
+TEST(SimdDispatch, NamesAndWidthsRoundTrip) {
+    for (SimdPath p : {SimdPath::scalar, SimdPath::neon, SimdPath::avx2, SimdPath::avx512}) {
+        SimdPath parsed{};
+        ASSERT_TRUE(ccap::util::parse_simd_path(ccap::util::simd_path_name(p), parsed));
+        EXPECT_EQ(parsed, p);
+    }
+    SimdPath dummy = SimdPath::avx512;
+    EXPECT_FALSE(ccap::util::parse_simd_path("sse9", dummy));
+    EXPECT_EQ(dummy, SimdPath::avx512);  // untouched on failure
+    EXPECT_EQ(ccap::util::simd_vector_doubles(SimdPath::scalar), 1u);
+    EXPECT_EQ(ccap::util::simd_vector_doubles(SimdPath::neon), 2u);
+    EXPECT_EQ(ccap::util::simd_vector_doubles(SimdPath::avx2), 4u);
+    EXPECT_EQ(ccap::util::simd_vector_doubles(SimdPath::avx512), 8u);
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndBestIsOrdered) {
+    EXPECT_TRUE(ccap::util::cpu_supports(SimdPath::scalar));
+    EXPECT_TRUE(ccap::util::simd_path_available(SimdPath::scalar));
+    const SimdPath best = ccap::util::best_simd_path();
+    EXPECT_TRUE(ccap::util::simd_path_available(best));
+    // Nothing above best may be available (best is the maximum).
+    for (int p = static_cast<int>(best) + 1; p <= static_cast<int>(SimdPath::avx512); ++p)
+        EXPECT_FALSE(ccap::util::simd_path_available(static_cast<SimdPath>(p)));
+    EXPECT_FALSE(ccap::util::cpu_feature_string().empty());
+}
+
+TEST(SimdDispatch, ForceClampsDownNeverUp) {
+    PathGuard guard;
+    // Forcing the widest request lands on the best available path.
+    EXPECT_EQ(ccap::util::force_simd_path(SimdPath::avx512), ccap::util::best_simd_path());
+    // Forcing scalar always honours the request exactly.
+    EXPECT_EQ(ccap::util::force_simd_path(SimdPath::scalar), SimdPath::scalar);
+    EXPECT_EQ(ccap::util::active_simd_path(), SimdPath::scalar);
+    // A forced path is what the kernel registry then serves.
+    EXPECT_EQ(active_lane_kernels().path, SimdPath::scalar);
+}
+
+TEST(SimdDispatch, KernelTableMatchesPathMetadata) {
+    for (SimdPath p : available_paths()) {
+        const LaneKernels& k = lane_kernels_for(p);
+        EXPECT_EQ(k.path, p);
+        EXPECT_EQ(k.vector_doubles, ccap::util::simd_vector_doubles(p));
+        EXPECT_STREQ(k.name, ccap::util::simd_path_name(p));
+    }
+    // Unavailable paths fall back to the best available at-or-below table,
+    // never nullptr.
+    const LaneKernels& k = lane_kernels_for(SimdPath::avx512);
+    EXPECT_TRUE(ccap::util::simd_path_available(k.path));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch matrix: batched entry points vs the scalar engine, per path.
+// ---------------------------------------------------------------------------
+
+struct MatrixLanes {
+    std::vector<std::vector<std::uint8_t>> tx, rx;
+};
+
+MatrixLanes make_lanes(const DriftParams& params, std::size_t n, std::size_t batch,
+                       std::uint64_t seed) {
+    MatrixLanes lanes;
+    Rng rng(seed);
+    for (std::size_t b = 0; b < batch; ++b) {
+        std::vector<std::uint8_t> tx(n);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(params.alphabet));
+        std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, rng);
+        if (batch >= 3 && b == 1) rx.clear();  // dead-lane bookkeeping
+        lanes.tx.push_back(std::move(tx));
+        lanes.rx.push_back(std::move(rx));
+    }
+    return lanes;
+}
+
+std::vector<SymbolSpan> spans(const std::vector<std::vector<std::uint8_t>>& v) {
+    std::vector<SymbolSpan> out;
+    out.reserve(v.size());
+    for (const auto& s : v) out.emplace_back(s);
+    return out;
+}
+
+TEST(SimdDispatch, EveryPathBitIdenticalToScalarEngine) {
+    PathGuard guard;
+    const DriftParams params{0.12, 0.06, 0.03, 2, 10, 6};
+    constexpr std::size_t kN = 48;
+    // Batch sizes straddling every vector width, including ragged tails.
+    for (const std::size_t batch : {1u, 3u, 5u, 9u, 16u}) {
+        const MatrixLanes lanes = make_lanes(params, kN, batch, 7000 + batch);
+        const auto tx = spans(lanes.tx);
+        const auto rx = spans(lanes.rx);
+        const DriftHmm hmm(params);
+
+        // Scalar-engine reference evidences, computed once.
+        std::vector<double> want(batch);
+        {
+            ScopedWorkspace ws;
+            for (std::size_t l = 0; l < batch; ++l)
+                want[l] = hmm.log2_likelihood(lanes.tx[l], lanes.rx[l], ws);
+        }
+
+        for (SimdPath p : available_paths()) {
+            ASSERT_EQ(ccap::util::force_simd_path(p), p);
+            ScopedWorkspace ws;
+            const auto got = hmm.log2_likelihood_batch(tx, rx, ws);
+            ASSERT_EQ(got.size(), batch);
+            for (std::size_t l = 0; l < batch; ++l) {
+                EXPECT_EQ(got[l].log2_evidence, want[l])
+                    << "path=" << ccap::util::simd_path_name(p) << " batch=" << batch
+                    << " lane=" << l;
+                EXPECT_EQ(got[l].log2_slack, 0.0);
+            }
+        }
+    }
+}
+
+TEST(SimdDispatch, EveryPathKeepsCertifiedSlackInBandedMode) {
+    PathGuard guard;
+    DriftParams exact{0.10, 0.05, 0.02, 2, 12, 6};
+    DriftParams banded = exact;
+    banded.band_eps = 1e-6;
+    constexpr std::size_t kN = 64;
+    constexpr std::size_t kBatch = 9;
+    const MatrixLanes lanes = make_lanes(exact, kN, kBatch, 9001);
+    const auto tx = spans(lanes.tx);
+    const auto rx = spans(lanes.rx);
+    const DriftHmm hmm_exact(exact);
+    const DriftHmm hmm_banded(banded);
+
+    std::vector<double> exact_ev(kBatch);
+    {
+        ScopedWorkspace ws;
+        for (std::size_t l = 0; l < kBatch; ++l)
+            exact_ev[l] = hmm_exact.log2_likelihood(lanes.tx[l], lanes.rx[l], ws);
+    }
+
+    for (SimdPath p : available_paths()) {
+        ASSERT_EQ(ccap::util::force_simd_path(p), p);
+        ScopedWorkspace ws;
+        const auto got = hmm_banded.log2_likelihood_batch(tx, rx, ws);
+        for (std::size_t l = 0; l < kBatch; ++l) {
+            if (!std::isfinite(exact_ev[l])) continue;  // lane dead in exact mode too
+            ASSERT_TRUE(std::isfinite(got[l].log2_evidence) ||
+                        got[l].log2_slack ==
+                            std::numeric_limits<double>::infinity());
+            if (!std::isfinite(got[l].log2_evidence)) continue;
+            // banded <= exact <= banded + slack, per lane, on every path.
+            EXPECT_LE(got[l].log2_evidence, exact_ev[l])
+                << "path=" << ccap::util::simd_path_name(p) << " lane=" << l;
+            EXPECT_GE(got[l].log2_evidence + got[l].log2_slack, exact_ev[l])
+                << "path=" << ccap::util::simd_path_name(p) << " lane=" << l;
+        }
+    }
+}
+
+TEST(SimdDispatch, ResolvedMcBatchRespectsTilingPolicyAndVectorWidth) {
+    PathGuard guard;
+    const DriftParams params{0.05, 0.03, 0.01, 2, 16, 8};
+    McOptions opts;
+    opts.num_blocks = 64;
+
+    opts.tiling = McTiling::scalar;
+    EXPECT_EQ(resolved_mc_batch(opts, params), 1u);
+    opts.batch = 12;
+    EXPECT_EQ(resolved_mc_batch(opts, params), 1u);  // policy wins over batch
+
+    opts.tiling = McTiling::lanes_by_threads;
+    EXPECT_EQ(resolved_mc_batch(opts, params), 12u);  // explicit batch honoured
+    opts.batch = 0;
+    for (SimdPath p : available_paths()) {
+        ASSERT_EQ(ccap::util::force_simd_path(p), p);
+        const std::size_t b = resolved_mc_batch(opts, params);
+        const std::size_t W = ccap::util::simd_vector_doubles(p);
+        EXPECT_GE(b, 1u);
+        EXPECT_EQ(b % W, 0u) << "auto tile not a multiple of the vector width, path="
+                             << ccap::util::simd_path_name(p);
+        EXPECT_LE(b, opts.num_blocks);
+    }
+}
+
+}  // namespace

@@ -33,6 +33,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "ccap/core/deletion_insertion_channel.hpp"
 #include "ccap/core/fault_injection.hpp"
@@ -43,6 +44,8 @@
 #include "ccap/estimate/changepoint.hpp"
 #include "ccap/estimate/trace_io.hpp"
 #include "ccap/info/deletion_bounds.hpp"
+#include "ccap/info/lattice_simd.hpp"
+#include "ccap/util/cpu_features.hpp"
 #include "ccap/util/thread_pool.hpp"
 
 namespace {
@@ -109,6 +112,10 @@ Args parse_args(int argc, char** argv, int first) {
         const std::string flag = argv[i];
         if (flag.rfind("--", 0) != 0)
             throw UsageError("expected --option, got '" + flag + "'");
+        if (flag == "--verbose") {  // the one valueless flag
+            args.values["verbose"] = "1";
+            continue;
+        }
         if (i + 1 >= argc) throw UsageError("option " + flag + " needs a value");
         args.values[flag.substr(2)] = argv[++i];
     }
@@ -129,6 +136,38 @@ core::DiChannelParams params_from(const Args& args) {
 /// means one lane per hardware thread, 1 forces serial execution.
 unsigned threads_from(const Args& args) {
     return static_cast<unsigned>(args.count("threads", 0));
+}
+
+/// `--simd scalar|neon|avx2|avx512`: pin the lattice kernel dispatch for
+/// this process (same semantics as the CCAP_SIMD environment override —
+/// requests above the best available path clamp down, never up). Call
+/// before any estimator runs so the choice is visible everywhere.
+void apply_simd_flag(const Args& args) {
+    const auto it = args.values.find("simd");
+    if (it == args.values.end()) return;
+    util::SimdPath path{};
+    if (!util::parse_simd_path(it->second, path))
+        throw UsageError("option --simd expects scalar, neon, avx2 or avx512, got '" +
+                         it->second + "'");
+    util::force_simd_path(path);
+}
+
+/// `--verbose` line for the lattice subcommands: the resolved SIMD kernel
+/// path and the Monte-Carlo tile shape (lockstep lattice lanes x worker
+/// threads) the estimator will actually run with.
+void print_lattice_verbose(std::FILE* out, const info::McOptions& opts,
+                           const info::DriftParams& params) {
+    const info::LaneKernels& k = info::active_lane_kernels();
+    const unsigned workers =
+        opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
+    const std::string batch_str =
+        opts.batch == 0 ? "auto" : std::to_string(opts.batch);
+    std::fprintf(out,
+                 "# simd: %s (%zu doubles/vector, cpu: %s)\n"
+                 "# mc tile: %zu lanes x %u threads (batch %s, tiling %s)\n",
+                 k.name, k.vector_doubles, util::cpu_feature_string().c_str(),
+                 info::resolved_mc_batch(opts, params), workers, batch_str.c_str(),
+                 opts.tiling == info::McTiling::scalar ? "scalar" : "lanes-by-threads");
 }
 
 int cmd_bounds(const Args& args) {
@@ -202,8 +241,9 @@ int cmd_windows(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-    args.reject_unknown(
-        {"bits", "threads", "mi-blocks", "mi-block-len", "band-eps", "mc-batch", "seed"});
+    args.reject_unknown({"bits", "threads", "mi-blocks", "mi-block-len", "band-eps",
+                         "mc-batch", "seed", "simd", "verbose"});
+    apply_simd_flag(args);
     const auto bits = static_cast<unsigned>(args.count("bits", 1));
     const unsigned threads = threads_from(args);
     // Optional Monte-Carlo MI column: --mi-blocks K (> 0 enables), with
@@ -213,6 +253,21 @@ int cmd_sweep(const Args& args) {
     const double band_eps = args.number("band-eps", 0.0);
     const auto mc_batch = static_cast<std::size_t>(args.count("mc-batch", 0));
     const auto seed = args.count("seed", 1);
+    if (args.values.count("verbose")) {
+        // stderr: stdout is the CSV. Every grid point shares one MC shape
+        // (block_len varies nothing that feeds the tile), so one line covers
+        // the sweep; each point runs its lattice serially inside a parallel
+        // grid, hence tile = lanes x grid workers.
+        info::DriftParams dp;
+        dp.alphabet = 1U << bits;
+        info::McOptions opts;
+        opts.block_len = mi_block_len;
+        opts.num_blocks = mi_blocks > 0 ? mi_blocks : 1;
+        opts.threads = threads;
+        opts.band_eps = band_eps;
+        opts.batch = mc_batch;
+        print_lattice_verbose(stderr, opts, dp);
+    }
     // Materialize the grid, evaluate the points in parallel, print in order.
     std::vector<std::pair<double, double>> grid;
     for (double pd = 0.0; pd <= 0.501; pd += 0.05)
@@ -260,7 +315,8 @@ int cmd_sweep(const Args& args) {
 
 int cmd_mi(const Args& args) {
     args.reject_unknown({"pd", "pi", "ps", "bits", "block", "blocks", "seed", "threads",
-                         "markov-stay", "band-eps", "mc-batch"});
+                         "markov-stay", "band-eps", "mc-batch", "simd", "verbose"});
+    apply_simd_flag(args);
     info::DriftParams p;
     p.p_d = args.number("pd", 0.0);
     p.p_i = args.number("pi", 0.0);
@@ -275,6 +331,7 @@ int cmd_mi(const Args& args) {
     // Lockstep lattice lanes per Monte-Carlo tile; 0 (default) auto-tiles,
     // 1 forces the scalar path. Does not change the estimate.
     opts.batch = static_cast<std::size_t>(args.count("mc-batch", 0));
+    if (args.values.count("verbose")) print_lattice_verbose(stdout, opts, p);
     util::Rng rng(args.count("seed", 1));
 
     const double stay = args.number("markov-stay", -1.0);
@@ -382,10 +439,10 @@ void usage() {
         "  simulate  --sent FILE --received FILE [--pd X --pi Y --ps Z --bits N\n"
         "            --len L --seed S]\n"
         "  sweep     [--bits N --threads T --mi-blocks K --mi-block-len L\n"
-        "            --band-eps E --mc-batch B --seed S]\n"
+        "            --band-eps E --mc-batch B --seed S --simd P --verbose]\n"
         "  mi        [--pd X --pi Y --ps Z --bits N --block L --blocks K\n"
         "            --seed S --threads T --markov-stay Q --band-eps E\n"
-        "            --mc-batch B]\n"
+        "            --mc-batch B --simd P --verbose]\n"
         "  windows   --sent FILE --received FILE [--window W]\n"
         "  protocol  [--proto saw|counter|gbn --pd X --ps Z --bits N --len L\n"
         "            --seed S --p-ack-loss P --p-ack-corrupt Q --ack-delay D\n"
@@ -398,7 +455,12 @@ void usage() {
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
         "results are a slightly looser lower bound); 0 is exact.\n"
         "--mc-batch B advances B Monte-Carlo blocks in lockstep through the\n"
-        "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n",
+        "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n"
+        "--simd scalar|neon|avx2|avx512 pins the lattice kernel path (same as\n"
+        "the CCAP_SIMD env var; requests clamp down to what the CPU has).\n"
+        "All paths are bit-identical at --band-eps 0. --verbose prints the\n"
+        "resolved kernel path and Monte-Carlo tile shape before estimating\n"
+        "(sweep prints to stderr; stdout stays CSV).\n",
         stderr);
 }
 
