@@ -23,7 +23,8 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
     bench_e4_convergence \
     bench_x10_lattice_kernel \
     bench_x11_batch_lattice \
-    bench_x12_fault_injection
+    bench_x12_fault_injection \
+    bench_x13_contention
 
 # Each harness writes BENCH_<name>.json into its working directory. Every
 # record is stamped with the SIMD kernel path the run dispatched to
@@ -40,6 +41,7 @@ echo "bench_all: SIMD path: ${CCAP_SIMD:-auto (widest available)}"
     ./bench/bench_x10_lattice_kernel
     ./bench/bench_x11_batch_lattice
     ./bench/bench_x12_fault_injection
+    ./bench/bench_x13_contention
 )
 
 refreshed=0

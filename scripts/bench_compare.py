@@ -36,11 +36,12 @@ import os
 import sys
 
 LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
-HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits")
-TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup")
+HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits", "per_sec")
+TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup", "per_sec")
 # Provenance / configuration fields are never compared.
 SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
-        "fault_profile", "simd", "cpu"}
+        "fault_profile", "simd", "cpu", "flows", "ticks", "mc_block", "mc_blocks",
+        "distinct_nodes"}
 # Identity fields: records measured under different identities (a different
 # bench, a different fault-profile suite, or a different SIMD kernel path)
 # are incomparable — numbers from one fault mix or vector width must never

@@ -83,10 +83,14 @@ public:
           d_max_(params.max_drift),
           width_(static_cast<std::size_t>(2 * params.max_drift + 1)) {
         const std::size_t L = lanes_;
-        // Lane stride padded to the vector width: the kernel calls below run
-        // full vectors only. Padding lanes hold exactly 0.0 throughout.
+        // Lane stride padded to the vector width: full batches round up so
+        // the kernel main loops run full vectors (padding lanes hold exactly
+        // 0.0 throughout). Tiny batches (L < W) stay unpadded — the x86
+        // kernels finish ragged rows with one masked vector op that neither
+        // reads nor writes lanes past L, so sub-width batches no longer pay
+        // for W-L dead lanes per kernel call.
         const std::size_t W = k_->vector_doubles;
-        lanes_pad_ = std::max<std::size_t>(1, (L + W - 1) / W * W);
+        lanes_pad_ = L < W ? std::max<std::size_t>(1, L) : (L + W - 1) / W * W;
         const std::size_t Lp = lanes_pad_;
         const auto ll = ws.lane_longs(2 * L);
         m_ = ll.subspan(0, L);

@@ -120,6 +120,26 @@ struct McOptions {
                                                      std::size_t block_len,
                                                      std::size_t num_blocks, util::Rng& rng);
 
+/// One (parameters, seed) point of a batched capacity evaluation. The seed
+/// is part of the point — not drawn from a shared generator — so a point's
+/// estimate is a pure function of the point alone: independent of its
+/// position in the span, of which other points ride along, and of the
+/// thread count. The contention engine exploits this to make cached and
+/// uncached evaluation bit-identical (capacity_cache.hpp).
+struct CapacityPoint {
+    DriftParams params;
+    std::uint64_t seed = 0;
+};
+
+/// Evaluate iid_mutual_information_rate at many parameter points: the point
+/// axis is parallelized over opts.threads, each point runs serially inside
+/// (its blocks still advance through the SIMD lockstep engine in tiles of
+/// resolved_mc_batch lanes). out[i] is bit-identical to
+///   Rng r(points[i].seed);
+///   iid_mutual_information_rate(points[i].params, {opts, threads = 1}, r);
+[[nodiscard]] std::vector<MiEstimate> iid_mutual_information_rate_points(
+    std::span<const CapacityPoint> points, const McOptions& opts);
+
 /// Sample a sequence from a first-order Markov source.
 [[nodiscard]] std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source,
                                                                unsigned alphabet,

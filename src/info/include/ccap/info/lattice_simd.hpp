@@ -22,10 +22,13 @@
 // matrix test (tests/info_simd_dispatch_test.cpp) asserts bit-identity of
 // every path against the scalar LatticeEngine at band_eps = 0.
 //
-// Callers pad their lane count to a multiple of vector_doubles and align
-// the backing arenas (lattice_engine.hpp), so the hot calls run full
-// vectors only; the kernels still handle ragged tails with a scalar loop
-// for callers that cannot pad (e.g. writes into an unpadded result row).
+// Callers with lane counts >= vector_doubles pad to a multiple of it and
+// align the backing arenas (lattice_engine.hpp), so the hot calls run full
+// vectors only. Ragged tails — sub-width batches and unpadded result rows
+// — are handled inside every kernel: the AVX2/AVX-512 TUs finish them with
+// one masked vector op (no reads or writes past L, so a row may end flush
+// against the end of an allocation), the scalar/NEON TUs with a scalar
+// loop; both orders are elementwise and bit-identical.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,112 @@
+#include "ccap/info/capacity_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ccap::info {
+
+namespace {
+
+std::int32_t clamp_index(double value, double step, std::int32_t max_index) {
+    if (!(value > 0.0)) return 0;
+    const auto i = static_cast<std::int32_t>(std::lround(value / step));
+    return std::clamp<std::int32_t>(i, 0, max_index);
+}
+
+}  // namespace
+
+CapacityCache::CapacityCache(Config cfg)
+    : cfg_(cfg),
+      ipd_max_(0),
+      ipi_max_(0),
+      cache_(cfg.shards, cfg.per_shard_capacity) {
+    const CapacityGridSpec& g = cfg_.grid;
+    if (!(g.pd_step > 0.0) || !(g.pi_step > 0.0))
+        throw std::invalid_argument("CapacityCache: grid steps must be > 0");
+    if (!(g.pd_max >= 0.0) || !(g.pi_max >= 0.0) || g.pd_max + g.pi_max >= 1.0)
+        throw std::invalid_argument("CapacityCache: grid maxima must satisfy pd+pi < 1");
+    ipd_max_ = static_cast<std::int32_t>(std::floor(g.pd_max / g.pd_step + 1e-9));
+    ipi_max_ = static_cast<std::int32_t>(std::floor(g.pi_max / g.pi_step + 1e-9));
+    // Validate the extreme node up front so bad base params fail fast.
+    node_params({ipd_max_, ipi_max_}).validate();
+}
+
+CapacityKey CapacityCache::quantize(double pd, double pi) const noexcept {
+    return {clamp_index(pd, cfg_.grid.pd_step, ipd_max_),
+            clamp_index(pi, cfg_.grid.pi_step, ipi_max_)};
+}
+
+DriftParams CapacityCache::node_params(CapacityKey key) const noexcept {
+    DriftParams p = cfg_.base;
+    p.p_d = static_cast<double>(key.ipd) * cfg_.grid.pd_step;
+    p.p_i = static_cast<double>(key.ipi) * cfg_.grid.pi_step;
+    return p;
+}
+
+MiEstimate CapacityCache::compute(CapacityKey key) const {
+    const CapacityPoint point{node_params(key), node_seed(key)};
+    return iid_mutual_information_rate_points(std::span(&point, 1), cfg_.mc)[0];
+}
+
+MiEstimate CapacityCache::at(CapacityKey key) {
+    if (!cfg_.enabled) return compute(key);
+    return cache_.get_or_compute(key, [this](const CapacityKey& k) { return compute(k); });
+}
+
+void CapacityCache::ensure(std::span<const CapacityKey> keys, unsigned threads) {
+    if (!cfg_.enabled) return;
+    std::vector<CapacityKey> missing;
+    {
+        std::unordered_set<CapacityKey, CapacityKeyHash> seen;
+        for (const CapacityKey& k : keys)
+            if (seen.insert(k).second && !cache_.find(k)) missing.push_back(k);
+    }
+    if (missing.empty()) return;
+    std::vector<CapacityPoint> points;
+    points.reserve(missing.size());
+    for (const CapacityKey& k : missing) points.push_back({node_params(k), node_seed(k)});
+    McOptions opts = cfg_.mc;
+    opts.threads = threads;
+    const std::vector<MiEstimate> values =
+        iid_mutual_information_rate_points(points, opts);
+    for (std::size_t i = 0; i < missing.size(); ++i) cache_.insert(missing[i], values[i]);
+}
+
+CapacityCache::Interpolated CapacityCache::interpolate(double pd, double pi) {
+    const CapacityGridSpec& g = cfg_.grid;
+    const double fd = std::clamp(pd / g.pd_step, 0.0, static_cast<double>(ipd_max_));
+    const double fi = std::clamp(pi / g.pi_step, 0.0, static_cast<double>(ipi_max_));
+    const auto i0 = static_cast<std::int32_t>(std::floor(fd));
+    const auto j0 = static_cast<std::int32_t>(std::floor(fi));
+    const std::int32_t i1 = std::min(i0 + 1, ipd_max_);
+    const std::int32_t j1 = std::min(j0 + 1, ipi_max_);
+    const double td = fd - static_cast<double>(i0);
+    const double ti = fi - static_cast<double>(j0);
+
+    const MiEstimate c00 = at({i0, j0});
+    Interpolated out;
+    if (td == 0.0 && ti == 0.0) {
+        out.rate = c00.rate;
+        out.err_bound = 1.96 * c00.sem;
+        out.exact = true;
+        return out;
+    }
+    const MiEstimate c10 = at({i1, j0});
+    const MiEstimate c01 = at({i0, j1});
+    const MiEstimate c11 = at({i1, j1});
+    out.rate = (1.0 - td) * ((1.0 - ti) * c00.rate + ti * c01.rate) +
+               td * ((1.0 - ti) * c10.rate + ti * c11.rate);
+    // Monotone bracket: capacity is non-increasing in both P_d and P_i, so
+    // truth lies in [min corner, max corner]; so does the bilinear blend
+    // (its weights are a convex combination). Add the corners' MC radius.
+    const double cmax = std::max({c00.rate, c10.rate, c01.rate, c11.rate});
+    const double cmin = std::min({c00.rate, c10.rate, c01.rate, c11.rate});
+    const double sem = std::max({c00.sem, c10.sem, c01.sem, c11.sem});
+    out.err_bound = (cmax - cmin) + 1.96 * sem;
+    out.exact = false;
+    return out;
+}
+
+}  // namespace ccap::info

@@ -303,4 +303,19 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t bl
     return iid_mutual_information_rate(params, McOptions{block_len, num_blocks, 0}, rng);
 }
 
+std::vector<MiEstimate> iid_mutual_information_rate_points(
+    std::span<const CapacityPoint> points, const McOptions& opts) {
+    std::vector<MiEstimate> out(points.size());
+    McOptions inner = opts;
+    inner.threads = 1;  // the point axis owns the parallelism
+    util::parallel_for(
+        util::ThreadPool::shared(), points.size(),
+        [&](std::size_t i) {
+            util::Rng rng(points[i].seed);
+            out[i] = iid_mutual_information_rate(points[i].params, inner, rng);
+        },
+        opts.threads);
+    return out;
+}
+
 }  // namespace ccap::info

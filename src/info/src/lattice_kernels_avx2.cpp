@@ -8,6 +8,14 @@
 // computes exactly what the scalar reference kernel computes; the selects
 // blend exact table entries (selector bytes are validated symbols in
 // {0, 1}), matching the scalar arithmetic select bit for bit.
+//
+// Ragged tails (L not a multiple of 4) run one masked vector iteration via
+// vmaskmovpd instead of a scalar loop: masked-out lanes are neither read nor
+// written (the instruction architecturally suppresses their memory access,
+// so a tail at the end of a buffer cannot fault), loads fill them with 0.0,
+// and the arithmetic on those dead lanes is discarded by the masked store.
+// Live lanes see the identical elementwise operations, so tail results stay
+// bit-identical to the scalar reference.
 #include "ccap/info/lattice_simd.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -29,6 +37,23 @@ inline __m256i load_sel4(const std::uint8_t* sel) {
     return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
 }
 
+/// Zero-extend only `rem` < 4 selector bytes; the rest decode as symbol 0.
+/// The partial memcpy never reads past sel[rem-1].
+inline __m256i load_sel_tail(const std::uint8_t* sel, std::size_t rem) {
+    std::uint32_t packed = 0;
+    std::memcpy(&packed, sel, rem);
+    return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+}
+
+/// All-ones in lanes [0, rem), zero above — the vmaskmovpd lane mask.
+inline __m256i tail_mask(std::size_t rem) {
+    const __m256i lane = _mm256_set_epi64x(3, 2, 1, 0);
+    return _mm256_cmpgt_epi64(_mm256_set1_epi64x(static_cast<long long>(rem)), lane);
+}
+
+inline __m256d mload(const double* p, __m256i m) { return _mm256_maskload_pd(p, m); }
+inline void mstore(double* p, __m256i m, __m256d v) { _mm256_maskstore_pd(p, m, v); }
+
 void k_axpy(double* dst, const double* src, double w, std::size_t L) {
     const __m256d wv = _mm256_set1_pd(w);
     std::size_t l = 0;
@@ -37,7 +62,12 @@ void k_axpy(double* dst, const double* src, double w, std::size_t L) {
         const __m256d s = _mm256_loadu_pd(src + l);
         _mm256_storeu_pd(dst + l, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
     }
-    for (; l < L; ++l) dst[l] += src[l] * w;
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d d = mload(dst + l, m);
+        const __m256d s = mload(src + l, m);
+        mstore(dst + l, m, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
+    }
 }
 
 void k_fma_weighted(double* dst, const double* src, double dw, double tw, const double* e,
@@ -52,7 +82,14 @@ void k_fma_weighted(double* dst, const double* src, double dw, double tw, const 
         const __m256d s = _mm256_loadu_pd(src + l);
         _mm256_storeu_pd(dst + l, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
     }
-    for (; l < L; ++l) dst[l] += src[l] * (dw + tw * e[l]);
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d ev = mload(e + l, m);
+        const __m256d wv = _mm256_add_pd(dwv, _mm256_mul_pd(twv, ev));
+        const __m256d d = mload(dst + l, m);
+        const __m256d s = mload(src + l, m);
+        mstore(dst + l, m, _mm256_add_pd(d, _mm256_mul_pd(s, wv)));
+    }
 }
 
 void k_accumulate(double* acc, const double* src, std::size_t L) {
@@ -62,7 +99,10 @@ void k_accumulate(double* acc, const double* src, std::size_t L) {
         const __m256d s = _mm256_loadu_pd(src + l);
         _mm256_storeu_pd(acc + l, _mm256_add_pd(a, s));
     }
-    for (; l < L; ++l) acc[l] += src[l];
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        mstore(acc + l, m, _mm256_add_pd(mload(acc + l, m), mload(src + l, m)));
+    }
 }
 
 void k_maximum(double* acc, const double* src, std::size_t L) {
@@ -72,7 +112,10 @@ void k_maximum(double* acc, const double* src, std::size_t L) {
         const __m256d s = _mm256_loadu_pd(src + l);
         _mm256_storeu_pd(acc + l, _mm256_max_pd(a, s));
     }
-    for (; l < L; ++l) acc[l] = acc[l] < src[l] ? src[l] : acc[l];
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        mstore(acc + l, m, _mm256_max_pd(mload(acc + l, m), mload(src + l, m)));
+    }
 }
 
 void k_divide(double* dst, const double* norm, std::size_t L) {
@@ -82,7 +125,12 @@ void k_divide(double* dst, const double* norm, std::size_t L) {
         const __m256d n = _mm256_loadu_pd(norm + l);
         _mm256_storeu_pd(dst + l, _mm256_div_pd(d, n));
     }
-    for (; l < L; ++l) dst[l] /= norm[l];
+    if (l < L) {
+        // Dead lanes divide 0/0 -> NaN; the masked store discards them and
+        // nothing in the library inspects the FP status flags.
+        const __m256i m = tail_mask(L - l);
+        mstore(dst + l, m, _mm256_div_pd(mload(dst + l, m), mload(norm + l, m)));
+    }
 }
 
 void k_select_const(double* ed, const std::uint8_t* sel, double v0, double v1,
@@ -97,7 +145,12 @@ void k_select_const(double* ed, const std::uint8_t* sel, double v0, double v1,
             _mm256_castsi256_pd(_mm256_cmpeq_epi64(load_sel4(sel + l), zero));
         _mm256_storeu_pd(ed + l, _mm256_blendv_pd(v1v, v0v, is0));
     }
-    for (; l < L; ++l) ed[l] = sel[l] ? v1 : v0;
+    if (l < L) {
+        const std::size_t rem = L - l;
+        const __m256d is0 =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(load_sel_tail(sel + l, rem), zero));
+        mstore(ed + l, tail_mask(rem), _mm256_blendv_pd(v1v, v0v, is0));
+    }
 }
 
 void k_select_lanes(double* ed, const std::uint8_t* sel, const double* e0, const double* e1,
@@ -111,7 +164,13 @@ void k_select_lanes(double* ed, const std::uint8_t* sel, const double* e0, const
         const __m256d b = _mm256_loadu_pd(e1 + l);
         _mm256_storeu_pd(ed + l, _mm256_blendv_pd(b, a, is0));
     }
-    for (; l < L; ++l) ed[l] = sel[l] ? e1[l] : e0[l];
+    if (l < L) {
+        const std::size_t rem = L - l;
+        const __m256i m = tail_mask(rem);
+        const __m256d is0 =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(load_sel_tail(sel + l, rem), zero));
+        mstore(ed + l, m, _mm256_blendv_pd(mload(e1 + l, m), mload(e0 + l, m), is0));
+    }
 }
 
 void k_fma_run(double* dst, const double* src, const double* dw, const double* tw,
@@ -127,9 +186,17 @@ void k_fma_run(double* dst, const double* src, const double* dw, const double* t
             _mm256_storeu_pd(d, _mm256_add_pd(_mm256_loadu_pd(d), _mm256_mul_pd(s, wv)));
         }
     }
-    for (; l < L; ++l)
-        for (std::size_t g = 0; g < runs; ++g)
-            dst[g * L + l] += src[l] * (dw[g] + tw[g] * e[g * L + l]);
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d s = mload(src + l, m);
+        for (std::size_t g = 0; g < runs; ++g) {
+            double* d = dst + g * L + l;
+            const __m256d ev = mload(e + g * L + l, m);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[g]), _mm256_mul_pd(_mm256_set1_pd(tw[g]), ev));
+            mstore(d, m, _mm256_add_pd(mload(d, m), _mm256_mul_pd(s, wv)));
+        }
+    }
 }
 
 void k_fma_acc_run(double* acc, const double* src, const double* dw, const double* tw,
@@ -146,9 +213,18 @@ void k_fma_acc_run(double* acc, const double* src, const double* dw, const doubl
         }
         _mm256_storeu_pd(acc + l, a);
     }
-    for (; l < L; ++l)
-        for (std::size_t g = 0; g < runs; ++g)
-            acc[l] += src[g * L + l] * (dw[g] + tw[g] * e[g * L + l]);
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        __m256d a = mload(acc + l, m);
+        for (std::size_t g = 0; g < runs; ++g) {
+            const __m256d sv = mload(src + g * L + l, m);
+            const __m256d ev = mload(e + g * L + l, m);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[g]), _mm256_mul_pd(_mm256_set1_pd(tw[g]), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        mstore(acc + l, m, a);
+    }
 }
 
 void k_fma_dest_run(double* dst, const double* src, const double* dw, const double* tw,
@@ -169,14 +245,19 @@ void k_fma_dest_run(double* dst, const double* src, const double* dw, const doub
         if (src_del) a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(src_del + l), wdel));
         _mm256_storeu_pd(dst + l, a);
     }
-    for (; l < L; ++l) {
-        double a = 0.0;
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d ev = mload(e + l, m);
+        __m256d a = _mm256_setzero_pd();
         for (std::size_t i = 0; i < cnt; ++i) {
             const std::ptrdiff_t gi = -static_cast<std::ptrdiff_t>(i);
-            a += src[i * L + l] * (dw[gi] + tw[gi] * e[l]);
+            const __m256d sv = mload(src + i * L + l, m);
+            const __m256d wv =
+                _mm256_add_pd(_mm256_set1_pd(dw[gi]), _mm256_mul_pd(_mm256_set1_pd(tw[gi]), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
         }
-        if (src_del) a += src_del[l] * w_del;
-        dst[l] = a;
+        if (src_del) a = _mm256_add_pd(a, _mm256_mul_pd(mload(src_del + l, m), wdel));
+        mstore(dst + l, m, a);
     }
 }
 

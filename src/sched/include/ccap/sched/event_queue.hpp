@@ -1,12 +1,16 @@
 // Discrete-event simulation core: a time-ordered queue of callbacks.
 //
-// Ties are broken by insertion order (FIFO), which keeps every simulation
-// in the library fully deterministic for a given seed.
+// Ties are broken by insertion order (FIFO): every item carries a stable
+// sequence number and the heap orders by the *total* key (when, seq).
+// Because the comparator never reports two items equivalent, the dequeue
+// order is fully determined by the keys and therefore identical under any
+// conforming heap implementation (libstdc++, libc++, ...) — a partial
+// time-only order would leave tie order up to heap internals and make
+// large contention simulations irreproducible across standard libraries.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace ccap::sched {
@@ -43,7 +47,11 @@ private:
             return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
-    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    // Explicit push_heap/pop_heap over a vector (rather than
+    // std::priority_queue) so step() can *move* the popped item out — the
+    // adaptor only exposes a const top(), which forces a std::function copy
+    // (an allocation per event, measurable at millions of events).
+    std::vector<Item> heap_;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
 };

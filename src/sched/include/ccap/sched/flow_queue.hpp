@@ -1,0 +1,84 @@
+// Per-flow FIFO queues drained round-robin — the queueing half of the
+// pacer pair (see pacing.hpp). Each flow owns a bounded ring of pending
+// symbol arrival timestamps; the drain rotates over flows with backlog,
+// serving one symbol per visit, so a heavy flow cannot starve its
+// neighbours. Two loss mechanisms model contention-induced deletions:
+//
+//   * overflow  — an arrival to a full per-flow ring is dropped on push;
+//   * expiry    — a symbol older than `deadline` ticks when it reaches the
+//                 head is dropped lazily at serve time (0 disables).
+//
+// Everything is O(1) per push/pop (amortized) and allocation-free after
+// construction: flow rings live in one flat array, and the active-flow
+// rotation is an intrusive circular list over flow ids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ccap/sched/event_queue.hpp"
+
+namespace ccap::sched {
+
+struct FlowCounters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped_overflow = 0;
+    std::uint64_t dropped_expired = 0;
+};
+
+class RoundRobinFlowQueue {
+public:
+    /// `per_flow_cap` bounds each flow's backlog (>= 1); `deadline` is the
+    /// maximum age in ticks a symbol may reach before being dropped at the
+    /// head (0 = symbols never expire).
+    RoundRobinFlowQueue(std::size_t num_flows, std::size_t per_flow_cap,
+                        SimTime deadline = 0);
+
+    /// Enqueue one symbol of `flow` arriving at `now`. Returns false (and
+    /// counts an overflow drop) when the flow's ring is full.
+    bool push(std::size_t flow, SimTime now);
+
+    struct Served {
+        std::size_t flow = 0;
+        SimTime enqueued_at = 0;
+    };
+
+    /// Serve one symbol round-robin: the next backlogged flow gives up its
+    /// oldest non-expired symbol and rotates to the back. Expired heads are
+    /// dropped (counted per flow) until a serveable symbol or an empty ring
+    /// is found. Returns nullopt when no flow has backlog.
+    std::optional<Served> pop(SimTime now);
+
+    [[nodiscard]] std::size_t backlog() const noexcept { return backlog_; }
+    [[nodiscard]] std::size_t num_flows() const noexcept { return counters_.size(); }
+    [[nodiscard]] const FlowCounters& flow(std::size_t f) const { return counters_[f]; }
+
+    /// Aggregate counters over all flows.
+    [[nodiscard]] FlowCounters totals() const noexcept;
+
+private:
+    struct FlowRing {
+        std::uint32_t head = 0;  // index into slots_ ring, relative to base
+        std::uint32_t size = 0;
+        std::uint32_t next = kNil;  // next flow in the active rotation
+        bool active = false;
+    };
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    void activate(std::uint32_t f);
+    std::uint32_t rotate_front();
+
+    std::size_t cap_;
+    SimTime deadline_;
+    std::vector<SimTime> slots_;  // num_flows * cap_ flat ring storage
+    std::vector<FlowRing> rings_;
+    std::vector<FlowCounters> counters_;
+    std::uint32_t active_head_ = kNil;  // circular list cursor (next to serve)
+    std::uint32_t active_tail_ = kNil;
+    std::size_t backlog_ = 0;
+};
+
+}  // namespace ccap::sched

@@ -1,0 +1,53 @@
+// Token-budget pacing controller for the contention engine.
+//
+// Models the serving side of one shared resource slice: every simulated
+// tick deposits `budget_per_tick` service tokens, idle budget accumulates
+// up to `burst_budget`, and each served symbol consumes one token (or any
+// fractional cost). This is the pacing half of the classic WebRTC-style
+// pacer (pacing_controller + round_robin_packet_queue, ROADMAP item 3);
+// the queueing half lives in flow_queue.hpp.
+//
+// Deterministic by construction: the controller draws no randomness and is
+// only ever driven from one slice's event loop, so replaying the same event
+// sequence replays the same budget trajectory bit for bit.
+#pragma once
+
+#include <cstdint>
+
+namespace ccap::sched {
+
+struct PacingConfig {
+    /// Service tokens deposited per tick (symbols the slice can serve).
+    double budget_per_tick = 1.0;
+    /// Cap on accumulated idle budget. 0 picks budget_per_tick, i.e. an
+    /// idle tick may be banked for at most one tick of burst.
+    double burst_budget = 0.0;
+};
+
+struct PacingStats {
+    std::uint64_t ticks = 0;      ///< on_tick() calls
+    std::uint64_t consumed = 0;   ///< successful try_consume() calls
+    std::uint64_t throttled = 0;  ///< try_consume() calls refused for lack of budget
+};
+
+class PacingController {
+public:
+    explicit PacingController(PacingConfig cfg);
+
+    /// Deposit one tick's budget (clamped to the burst cap).
+    void on_tick();
+
+    /// Spend `cost` tokens if available. Refusals are counted as throttling.
+    bool try_consume(double cost = 1.0);
+
+    [[nodiscard]] double budget() const noexcept { return budget_; }
+    [[nodiscard]] const PacingConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] const PacingStats& stats() const noexcept { return stats_; }
+
+private:
+    PacingConfig cfg_;
+    double budget_ = 0.0;
+    PacingStats stats_;
+};
+
+}  // namespace ccap::sched

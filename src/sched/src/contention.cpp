@@ -1,0 +1,228 @@
+#include "ccap/sched/contention.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ccap/sched/flow_queue.hpp"
+#include "ccap/sched/pacing.hpp"
+#include "ccap/util/rng.hpp"
+#include "ccap/util/thread_pool.hpp"
+
+namespace ccap::sched {
+
+ContentionEngine::ContentionEngine(const ContentionConfig& cfg, info::CapacityCache& cache)
+    : cfg_(cfg), cache_(&cache) {
+    if (cfg_.flows == 0) throw std::invalid_argument("ContentionEngine: flows must be >= 1");
+    if (cfg_.ticks == 0) throw std::invalid_argument("ContentionEngine: ticks must be >= 1");
+    if (!(cfg_.offered_load >= 0.0))
+        throw std::invalid_argument("ContentionEngine: offered_load must be >= 0");
+    if (!(cfg_.collision_rate >= 0.0))
+        throw std::invalid_argument("ContentionEngine: collision_rate must be >= 0");
+    if (cfg_.queue_cap == 0)
+        throw std::invalid_argument("ContentionEngine: queue_cap must be >= 1");
+    if (cfg_.domain_flows == 0)
+        throw std::invalid_argument("ContentionEngine: domain_flows must be >= 1");
+    slices_ = std::clamp<std::size_t>(cfg_.slices, 1, cfg_.flows);
+    service_ = cfg_.service_per_tick > 0.0
+                   ? cfg_.service_per_tick
+                   : std::max(1.0, static_cast<double>(cfg_.flows) / 16.0);
+}
+
+void ContentionEngine::simulate_slice(std::size_t slice, std::vector<FlowLoad>& out) const {
+    // Contiguous flow range of this slice; disjoint across slices, so the
+    // parallel_for over slices writes to disjoint ranges of `out`.
+    const std::size_t lo = slice * cfg_.flows / slices_;
+    const std::size_t hi = (slice + 1) * cfg_.flows / slices_;
+    const std::size_t n = hi - lo;
+    if (n == 0) return;
+
+    // Per-flow Bernoulli arrival probability per tick, sized so the whole
+    // population offers `offered_load` times the aggregate service rate.
+    const double lambda = cfg_.offered_load * service_ / static_cast<double>(cfg_.flows);
+    const double p = std::clamp(lambda, 1e-12, 1.0);
+
+    EventQueue events;
+    RoundRobinFlowQueue queue(n, cfg_.queue_cap, cfg_.deadline);
+    // The slice serves its population share of the aggregate budget. The
+    // burst cap must reach one symbol's cost: a slice whose share is
+    // fractional (many slices, few flows) banks budget across ticks and
+    // serves a symbol every ~1/budget ticks instead of starving forever
+    // behind a cap smaller than the cost of serving anything.
+    const double slice_budget =
+        service_ * static_cast<double>(n) / static_cast<double>(cfg_.flows);
+    PacingController pacer({slice_budget, std::max(slice_budget, 1.0)});
+
+    std::vector<util::Rng> rngs;
+    rngs.reserve(n);
+    for (std::size_t f = 0; f < n; ++f)
+        rngs.emplace_back(util::substream_seed(cfg_.seed, static_cast<std::uint64_t>(lo + f)));
+
+    // Self-rescheduling per-flow arrival: enqueue one symbol, then sample the
+    // next inter-arrival gap from the flow's own substream. Gaps are sampled
+    // only by the flow that owns the Rng, so the draw order — and hence the
+    // whole trajectory — is independent of event interleaving. The callbacks
+    // reference locals by address; the event loop drains before scope exit.
+    std::function<void(std::size_t, SimTime)> arrive;
+    arrive = [&](std::size_t f, SimTime t) {
+        (void)queue.push(f, t);
+        const std::uint64_t gap = rngs[f].geometric(p);
+        if (gap >= cfg_.ticks) return;  // next arrival past the horizon
+        const SimTime next = t + 1 + gap;
+        if (next <= cfg_.ticks)
+            events.schedule_at(next, [&arrive, f](SimTime when) { arrive(f, when); });
+    };
+    for (std::size_t f = 0; f < n; ++f) {
+        const std::uint64_t gap = rngs[f].geometric(p);
+        if (gap >= cfg_.ticks) continue;
+        events.schedule_at(1 + gap, [&arrive, f](SimTime when) { arrive(f, when); });
+    }
+
+    // Self-rescheduling service tick: deposit the slice budget, then drain
+    // round-robin until the budget or the backlog runs out.
+    std::function<void(SimTime)> tick;
+    tick = [&](SimTime t) {
+        pacer.on_tick();
+        while (queue.backlog() > 0 && pacer.try_consume()) (void)queue.pop(t);
+        if (t < cfg_.ticks) events.schedule_at(t + 1, [&tick](SimTime when) { tick(when); });
+    };
+    events.schedule_at(1, [&tick](SimTime when) { tick(when); });
+
+    events.run_until(cfg_.ticks);
+
+    for (std::size_t f = 0; f < n; ++f) {
+        const FlowCounters& c = queue.flow(f);
+        FlowLoad& load = out[lo + f];
+        load.offered = c.enqueued + c.dropped_overflow;
+        load.served = c.served;
+        load.dropped_overflow = c.dropped_overflow;
+        load.dropped_expired = c.dropped_expired;
+    }
+}
+
+std::vector<FlowLoad> ContentionEngine::simulate() const {
+    std::vector<FlowLoad> out(cfg_.flows);
+    util::parallel_for(
+        util::ThreadPool::shared(), slices_,
+        [&](std::size_t slice) { simulate_slice(slice, out); }, cfg_.threads);
+    return out;
+}
+
+FlowOutcome ContentionEngine::map_effective(const FlowLoad& load, std::uint64_t foreign) const {
+    FlowOutcome o;
+    o.load = load;
+    const info::CapacityCache::Config& cc = cache_->config();
+    const std::uint64_t dropped = load.dropped_overflow + load.dropped_expired;
+    double pd = cc.base.p_d;
+    if (load.offered > 0)
+        pd += (1.0 - cc.base.p_d) * static_cast<double>(dropped) /
+              static_cast<double>(load.offered);
+    const double pi = cc.base.p_i + cfg_.collision_rate * static_cast<double>(foreign) /
+                                        static_cast<double>(cfg_.ticks);
+    o.p_d_eff = std::min(pd, cc.grid.pd_max);
+    o.p_i_eff = std::min(pi, cc.grid.pi_max);
+    o.p_s_eff = cc.base.p_s;
+    return o;
+}
+
+ContentionReport ContentionEngine::run() const {
+    ContentionReport report;
+    const util::ShardCacheStats before = cache_->stats();
+
+    // Stage 1: traffic.
+    const std::vector<FlowLoad> loads = simulate();
+
+    // Collision-domain serve totals; a flow's foreign exposure is the
+    // domain's served volume minus its own.
+    const std::size_t domains = (cfg_.flows + cfg_.domain_flows - 1) / cfg_.domain_flows;
+    std::vector<std::uint64_t> domain_served(domains, 0);
+    for (std::size_t f = 0; f < cfg_.flows; ++f)
+        domain_served[f / cfg_.domain_flows] += loads[f].served;
+
+    // Stage 2: the load -> effective-parameter map.
+    report.flows.resize(cfg_.flows);
+    for (std::size_t f = 0; f < cfg_.flows; ++f) {
+        const std::uint64_t foreign = domain_served[f / cfg_.domain_flows] - loads[f].served;
+        report.flows[f] = map_effective(loads[f], foreign);
+    }
+
+    // Stage 3: capacity. Quantize each flow onto the grid; distinct nodes in
+    // first-appearance order (flow order — deterministic) form the work set.
+    std::vector<info::CapacityKey> keys(cfg_.flows);
+    std::vector<info::CapacityKey> unique;
+    {
+        std::unordered_map<info::CapacityKey, std::size_t, info::CapacityKeyHash> seen;
+        for (std::size_t f = 0; f < cfg_.flows; ++f) {
+            keys[f] = cache_->quantize(report.flows[f].p_d_eff, report.flows[f].p_i_eff);
+            if (seen.emplace(keys[f], unique.size()).second) unique.push_back(keys[f]);
+        }
+    }
+    report.distinct_nodes = unique.size();
+
+    if (cfg_.quantize_exact && cfg_.dedup_nodes) {
+        // Fast path: one MC evaluation per distinct node, batched over the
+        // pool, then O(1) lookups per flow.
+        cache_->ensure(unique, cfg_.threads);
+        for (std::size_t f = 0; f < cfg_.flows; ++f)
+            report.flows[f].capacity = cache_->at(keys[f]).rate;
+    } else if (cfg_.quantize_exact) {
+        // Naive baseline: one MC evaluation per *flow*, no dedup, no memo
+        // reuse intended (pair with a disabled cache). Node seeds derive
+        // from the key, so the values — and the aggregate — are
+        // bit-identical to the fast path.
+        std::vector<info::CapacityPoint> points;
+        points.reserve(cfg_.flows);
+        for (std::size_t f = 0; f < cfg_.flows; ++f)
+            points.push_back({cache_->node_params(keys[f]), cache_->node_seed(keys[f])});
+        info::McOptions opts = cache_->config().mc;
+        opts.threads = cfg_.threads;
+        const std::vector<info::MiEstimate> values =
+            info::iid_mutual_information_rate_points(points, opts);
+        for (std::size_t f = 0; f < cfg_.flows; ++f)
+            report.flows[f].capacity = values[f].rate;
+    } else {
+        // Interpolated mode: warm the nearest nodes in one batched pass,
+        // then bilinear per flow with a certified error bound.
+        if (cfg_.dedup_nodes) cache_->ensure(unique, cfg_.threads);
+        for (std::size_t f = 0; f < cfg_.flows; ++f) {
+            const info::CapacityCache::Interpolated v =
+                cache_->interpolate(report.flows[f].p_d_eff, report.flows[f].p_i_eff);
+            report.flows[f].capacity = v.rate;
+            report.flows[f].err_bound = v.err_bound;
+        }
+    }
+
+    // Aggregate in flow order (deterministic fold).
+    const double ticks = static_cast<double>(cfg_.ticks);
+    std::uint64_t served_flows = 0;
+    for (std::size_t f = 0; f < cfg_.flows; ++f) {
+        const FlowOutcome& o = report.flows[f];
+        report.total_offered += o.load.offered;
+        report.total_served += o.load.served;
+        report.total_dropped += o.load.dropped_overflow + o.load.dropped_expired;
+        const double share = static_cast<double>(o.load.served) / ticks;
+        report.aggregate_capacity_per_tick += o.capacity * share;
+        report.aggregate_err_bound_per_tick += o.err_bound * share;
+        if (o.load.served > 0) {
+            ++served_flows;
+            report.mean_pd_eff += o.p_d_eff;
+            report.mean_pi_eff += o.p_i_eff;
+            report.mean_capacity += o.capacity;
+        }
+    }
+    if (served_flows > 0) {
+        report.mean_pd_eff /= static_cast<double>(served_flows);
+        report.mean_pi_eff /= static_cast<double>(served_flows);
+        report.mean_capacity /= static_cast<double>(served_flows);
+    }
+
+    const util::ShardCacheStats after = cache_->stats();
+    report.cache.hits = after.hits - before.hits;
+    report.cache.misses = after.misses - before.misses;
+    report.cache.evictions = after.evictions - before.evictions;
+    report.cache.entries = after.entries;
+    return report;
+}
+
+}  // namespace ccap::sched

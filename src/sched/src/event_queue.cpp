@@ -1,5 +1,6 @@
 #include "ccap/sched/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,22 +9,27 @@ namespace ccap::sched {
 void EventQueue::schedule_at(SimTime when, Callback cb) {
     if (when < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
     if (!cb) throw std::invalid_argument("EventQueue: empty callback");
-    heap_.push(Item{when, next_seq_++, std::move(cb)});
+    heap_.push_back(Item{when, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::step() {
     if (heap_.empty()) return false;
-    // priority_queue::top is const; move out via const_cast is UB-adjacent,
-    // so copy the callback handle (shared ownership in std::function).
-    Item item = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    // The item is off the heap before the callback runs, so the callback is
+    // free to schedule_at() (which pushes and re-heapifies) without touching
+    // the popped slot.
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
     now_ = item.when;
     item.cb(now_);
     return true;
 }
 
 void EventQueue::run_until(SimTime until) {
-    while (!heap_.empty() && heap_.top().when <= until) step();
+    // heap_.front() is the minimum under Later (max-heap on the inverted
+    // comparator), same element priority_queue::top() would expose.
+    while (!heap_.empty() && heap_.front().when <= until) step();
     if (now_ < until) now_ = until;
 }
 

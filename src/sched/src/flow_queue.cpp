@@ -1,0 +1,97 @@
+#include "ccap/sched/flow_queue.hpp"
+
+#include <stdexcept>
+
+namespace ccap::sched {
+
+RoundRobinFlowQueue::RoundRobinFlowQueue(std::size_t num_flows, std::size_t per_flow_cap,
+                                         SimTime deadline)
+    : cap_(per_flow_cap), deadline_(deadline) {
+    if (num_flows == 0)
+        throw std::invalid_argument("RoundRobinFlowQueue: num_flows must be > 0");
+    if (per_flow_cap == 0)
+        throw std::invalid_argument("RoundRobinFlowQueue: per_flow_cap must be > 0");
+    if (num_flows >= kNil)
+        throw std::invalid_argument("RoundRobinFlowQueue: too many flows");
+    slots_.resize(num_flows * cap_);
+    rings_.resize(num_flows);
+    counters_.resize(num_flows);
+}
+
+void RoundRobinFlowQueue::activate(std::uint32_t f) {
+    FlowRing& r = rings_[f];
+    if (r.active) return;
+    r.active = true;
+    r.next = kNil;
+    if (active_tail_ == kNil) {
+        active_head_ = active_tail_ = f;
+    } else {
+        rings_[active_tail_].next = f;
+        active_tail_ = f;
+    }
+}
+
+std::uint32_t RoundRobinFlowQueue::rotate_front() {
+    const std::uint32_t f = active_head_;
+    active_head_ = rings_[f].next;
+    if (active_head_ == kNil) active_tail_ = kNil;
+    rings_[f].active = false;
+    rings_[f].next = kNil;
+    return f;
+}
+
+bool RoundRobinFlowQueue::push(std::size_t flow, SimTime now) {
+    FlowRing& r = rings_[flow];
+    FlowCounters& c = counters_[flow];
+    if (r.size == cap_) {
+        ++c.dropped_overflow;
+        return false;
+    }
+    const std::size_t slot = flow * cap_ + (r.head + r.size) % cap_;
+    slots_[slot] = now;
+    ++r.size;
+    ++c.enqueued;
+    ++backlog_;
+    activate(static_cast<std::uint32_t>(flow));
+    return true;
+}
+
+std::optional<RoundRobinFlowQueue::Served> RoundRobinFlowQueue::pop(SimTime now) {
+    while (active_head_ != kNil) {
+        const std::uint32_t f = rotate_front();
+        FlowRing& r = rings_[f];
+        FlowCounters& c = counters_[f];
+        // Lazy expiry: age is measured when the symbol reaches the head.
+        while (r.size > 0 && deadline_ != 0 &&
+               now - slots_[f * cap_ + r.head] > deadline_) {
+            r.head = (r.head + 1) % static_cast<std::uint32_t>(cap_);
+            --r.size;
+            --backlog_;
+            ++c.dropped_expired;
+        }
+        if (r.size == 0) continue;  // drained by expiry; drop out of rotation
+        Served out;
+        out.flow = f;
+        out.enqueued_at = slots_[f * cap_ + r.head];
+        r.head = (r.head + 1) % static_cast<std::uint32_t>(cap_);
+        --r.size;
+        --backlog_;
+        ++c.served;
+        if (r.size > 0) activate(f);  // rotate to the back of the ring
+        return out;
+    }
+    return std::nullopt;
+}
+
+FlowCounters RoundRobinFlowQueue::totals() const noexcept {
+    FlowCounters t;
+    for (const FlowCounters& c : counters_) {
+        t.enqueued += c.enqueued;
+        t.served += c.served;
+        t.dropped_overflow += c.dropped_overflow;
+        t.dropped_expired += c.dropped_expired;
+    }
+    return t;
+}
+
+}  // namespace ccap::sched

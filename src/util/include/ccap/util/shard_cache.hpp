@@ -1,0 +1,137 @@
+#pragma once
+// Sharded, bounded memo-cache for deterministic computations.
+//
+// The cache is keyed by value-type keys and stores values that are a pure
+// function of the key (the contention engine derives every Monte-Carlo seed
+// from the key itself, see capacity_cache.hpp). That property is what makes
+// the cache safe to use from the deterministic parallel harness: two threads
+// racing on the same missing key both compute the *same* value, so whichever
+// insert lands first is indistinguishable from the other, and cached replies
+// are bit-identical to cache-off recomputation.
+//
+// Sharding: keys are distributed over N independently-locked shards by hash,
+// so concurrent lookups on different keys rarely contend on the same mutex.
+// Each shard is bounded: insertion beyond `per_shard_capacity` evicts the
+// oldest entry of that shard (FIFO). FIFO — not LRU — keeps the lock hold
+// time O(1) and the eviction order independent of lookup order, which keeps
+// behaviour reproducible across thread schedules for a fixed insert order.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ccap::util {
+
+struct ShardCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedMemoCache {
+  public:
+    explicit ShardedMemoCache(std::size_t shards = 16, std::size_t per_shard_capacity = 4096)
+        : per_shard_capacity_(per_shard_capacity == 0 ? 1 : per_shard_capacity),
+          shards_(shards == 0 ? 1 : shards) {}
+
+    /// Returns the cached value, or nullopt on miss. Counts a hit/miss.
+    std::optional<V> find(const K& key) {
+        Shard& s = shard_for(key);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(key);
+        if (it == s.map.end()) {
+            ++s.misses;
+            return std::nullopt;
+        }
+        ++s.hits;
+        return it->second;
+    }
+
+    /// Inserts (or overwrites) `key -> value`, evicting the shard's oldest
+    /// entry if the shard is full. Overwriting an existing key does not grow
+    /// the shard and keeps the original FIFO position.
+    void insert(const K& key, V value) {
+        Shard& s = shard_for(key);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(key);
+        if (it != s.map.end()) {
+            it->second = std::move(value);
+            return;
+        }
+        if (s.map.size() >= per_shard_capacity_) {
+            s.map.erase(s.order.front());
+            s.order.pop_front();
+            ++s.evictions;
+        }
+        s.map.emplace(key, std::move(value));
+        s.order.push_back(key);
+    }
+
+    /// find() + compute-on-miss. The computation runs *outside* the shard
+    /// lock, so concurrent misses on one key may compute it more than once;
+    /// for key-deterministic values every copy is identical and first-in
+    /// wins harmlessly (insert overwrites with an equal value).
+    template <typename Fn>
+    V get_or_compute(const K& key, Fn&& fn) {
+        if (auto hit = find(key)) return *std::move(hit);
+        V value = std::forward<Fn>(fn)(key);
+        insert(key, value);
+        return value;
+    }
+
+    ShardCacheStats stats() const {
+        ShardCacheStats out;
+        for (const Shard& s : shards_) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.entries += s.map.size();
+        }
+        return out;
+    }
+
+    void clear() {
+        for (Shard& s : shards_) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    std::size_t shard_count() const { return shards_.size(); }
+    std::size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+  private:
+    struct Shard {
+        mutable std::mutex mu;
+        std::unordered_map<K, V, Hash> map;
+        std::deque<K> order;  // FIFO insertion order for bounded eviction
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Shard& shard_for(const K& key) {
+        // Mix the hash so that power-of-two shard counts still spread keys
+        // whose std::hash is the identity (integers under libstdc++).
+        std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return shards_[h % shards_.size()];
+    }
+
+    std::size_t per_shard_capacity_;
+    std::deque<Shard> shards_;  // deque: Shard is immovable (mutex)
+};
+
+}  // namespace ccap::util

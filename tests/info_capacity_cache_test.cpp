@@ -1,0 +1,151 @@
+#include "ccap/info/capacity_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ccap/util/rng.hpp"
+
+namespace {
+
+using ccap::info::CapacityCache;
+using ccap::info::CapacityGridSpec;
+using ccap::info::CapacityKey;
+using ccap::info::MiEstimate;
+
+CapacityCache::Config small_config(bool enabled = true) {
+    CapacityCache::Config cfg;
+    cfg.grid = {0.05, 0.05, 0.30, 0.15};
+    cfg.base.max_drift = 8;
+    cfg.base.max_insert_run = 4;
+    cfg.mc.block_len = 24;
+    cfg.mc.num_blocks = 4;
+    cfg.mc.threads = 1;
+    cfg.enabled = enabled;
+    return cfg;
+}
+
+TEST(CapacityCacheTest, RejectsDegenerateGrids) {
+    CapacityCache::Config cfg = small_config();
+    cfg.grid.pd_step = 0.0;
+    EXPECT_THROW(CapacityCache{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.grid.pd_max = 0.7;
+    cfg.grid.pi_max = 0.3;  // pd + pi reaches 1 at the extreme node
+    EXPECT_THROW(CapacityCache{cfg}, std::invalid_argument);
+}
+
+TEST(CapacityCacheTest, QuantizeSnapsToNearestNodeAndClamps) {
+    CapacityCache cache(small_config());
+    EXPECT_EQ(cache.quantize(0.0, 0.0), (CapacityKey{0, 0}));
+    EXPECT_EQ(cache.quantize(0.049, 0.051), (CapacityKey{1, 1}));
+    EXPECT_EQ(cache.quantize(0.074, 0.026), (CapacityKey{1, 1}));
+    EXPECT_EQ(cache.quantize(0.076, 0.0), (CapacityKey{2, 0}));
+    // Out-of-grid values clamp to the extreme node.
+    EXPECT_EQ(cache.quantize(0.9, 0.9), (CapacityKey{6, 3}));
+    EXPECT_EQ(cache.quantize(-0.1, -0.1), (CapacityKey{0, 0}));
+}
+
+TEST(CapacityCacheTest, NodeParamsInheritBaseAndGrid) {
+    CapacityCache::Config cfg = small_config();
+    cfg.base.p_s = 0.01;
+    CapacityCache cache(cfg);
+    const auto p = cache.node_params({2, 1});
+    EXPECT_DOUBLE_EQ(p.p_d, 0.10);
+    EXPECT_DOUBLE_EQ(p.p_i, 0.05);
+    EXPECT_DOUBLE_EQ(p.p_s, 0.01);
+    EXPECT_EQ(p.max_drift, cfg.base.max_drift);
+}
+
+TEST(CapacityCacheTest, NodeSeedIsPureFunctionOfKey) {
+    CapacityCache a(small_config());
+    CapacityCache b(small_config());
+    EXPECT_EQ(a.node_seed({3, 2}), b.node_seed({3, 2}));
+    EXPECT_NE(a.node_seed({3, 2}), a.node_seed({2, 3}));
+
+    CapacityCache::Config other = small_config();
+    other.seed = 42;
+    CapacityCache c(other);
+    EXPECT_NE(a.node_seed({3, 2}), c.node_seed({3, 2}));
+}
+
+TEST(CapacityCacheTest, CachedAndUncachedValuesAreBitIdentical) {
+    CapacityCache cached(small_config(true));
+    CapacityCache uncached(small_config(false));
+    for (const CapacityKey key : {CapacityKey{0, 0}, CapacityKey{2, 1}, CapacityKey{6, 3}}) {
+        const MiEstimate c = cached.at(key);
+        const MiEstimate u = uncached.at(key);
+        EXPECT_EQ(c.rate, u.rate);
+        EXPECT_EQ(c.sem, u.sem);
+        EXPECT_EQ(c.blocks, u.blocks);
+        // Second cached read returns the memoized value exactly.
+        const MiEstimate again = cached.at(key);
+        EXPECT_EQ(c.rate, again.rate);
+    }
+    EXPECT_GT(cached.stats().hits, 0u);
+    EXPECT_EQ(uncached.stats().hits, 0u);
+    EXPECT_EQ(uncached.stats().entries, 0u);
+}
+
+TEST(CapacityCacheTest, EnsureWarmsAllKeysForExactHits) {
+    CapacityCache cache(small_config());
+    const std::vector<CapacityKey> keys = {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {1, 1}, {0, 0}};
+    cache.ensure(keys, 2);
+    EXPECT_EQ(cache.stats().entries, 4u);
+    const auto misses_after_warm = cache.stats().misses;
+    (void)cache.at({1, 1});
+    (void)cache.at({0, 1});
+    EXPECT_EQ(cache.stats().misses, misses_after_warm);  // pure hits
+}
+
+TEST(CapacityCacheTest, EnsureMatchesSerialAt) {
+    CapacityCache warm(small_config());
+    const std::vector<CapacityKey> keys = {{0, 0}, {2, 1}, {4, 2}};
+    warm.ensure(keys, 4);
+
+    CapacityCache serial(small_config());
+    for (const CapacityKey& k : keys) {
+        EXPECT_EQ(warm.at(k).rate, serial.at(k).rate);
+        EXPECT_EQ(warm.at(k).sem, serial.at(k).sem);
+    }
+}
+
+TEST(CapacityCacheTest, InterpolateExactHitReturnsNodeValue) {
+    CapacityCache cache(small_config());
+    const auto v = cache.interpolate(0.10, 0.05);
+    EXPECT_TRUE(v.exact);
+    EXPECT_EQ(v.rate, cache.at({2, 1}).rate);
+    EXPECT_GE(v.err_bound, 0.0);
+}
+
+TEST(CapacityCacheTest, InterpolateBracketsInteriorPoints) {
+    CapacityCache cache(small_config());
+    const auto v = cache.interpolate(0.125, 0.06);  // strictly between nodes
+    EXPECT_FALSE(v.exact);
+    const double c00 = cache.at({2, 1}).rate;
+    const double c10 = cache.at({3, 1}).rate;
+    const double c01 = cache.at({2, 2}).rate;
+    const double c11 = cache.at({3, 2}).rate;
+    const double lo = std::min({c00, c10, c01, c11});
+    const double hi = std::max({c00, c10, c01, c11});
+    EXPECT_GE(v.rate, lo);
+    EXPECT_LE(v.rate, hi);
+    // The certified bound covers the corner spread.
+    EXPECT_GE(v.err_bound, hi - lo);
+}
+
+TEST(CapacityCacheTest, CapacityDecreasesAlongTheDeletionAxis) {
+    // Sanity for the monotonicity the interpolation bound leans on: more
+    // contention-induced deletions cannot raise the achievable rate (within
+    // a generous MC tolerance at these tiny sample sizes).
+    CapacityCache::Config cfg = small_config();
+    cfg.mc.block_len = 32;
+    cfg.mc.num_blocks = 8;
+    CapacityCache cache(cfg);
+    const double c0 = cache.at({0, 0}).rate;
+    const double c6 = cache.at({6, 0}).rate;
+    EXPECT_GT(c0, c6 - 0.05);
+}
+
+}  // namespace

@@ -3,7 +3,12 @@
 // count (per-block substream seeding + in-order folding, McOptions docs).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "ccap/info/deletion_bounds.hpp"
+#include "ccap/util/cpu_features.hpp"
 #include "ccap/util/rng.hpp"
 
 namespace {
@@ -151,5 +156,102 @@ TEST(ParallelMcDeterminism, BatchedBandedRateInvariantInThreadCount) {
         expect_bit_identical(serial, iid_mutual_information_rate(p, opts, rng));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parameterized threads x batch tile matrix (ROADMAP item 1 follow-up: the
+// thread axis of the MC tile, crossed with every interesting batch size).
+// Runs under the tier-1 TSan stage via the ParallelMc name filter.
+// ---------------------------------------------------------------------------
+
+struct TileCase {
+    unsigned threads;
+    std::size_t batch;
+};
+
+std::vector<TileCase> tile_cases() {
+    const std::size_t W =
+        ccap::util::simd_vector_doubles(ccap::util::active_simd_path());
+    std::vector<std::size_t> batches{1};
+    for (std::size_t b : {W - 1, W, 4 * W})
+        if (b >= 1 && std::find(batches.begin(), batches.end(), b) == batches.end())
+            batches.push_back(b);
+    std::vector<TileCase> cases;
+    for (unsigned t : {1U, 2U, 4U, 8U})
+        for (std::size_t b : batches) cases.push_back({t, b});
+    return cases;
+}
+
+class ParallelMcTileInvariance : public ::testing::TestWithParam<TileCase> {
+protected:
+    // Baseline: serial scalar sweep (threads = 1, one lane per tile).
+    // num_blocks = 4W + 3 leaves a ragged final tile at every batch > 1.
+    static McOptions base_options() {
+        McOptions opts;
+        opts.block_len = 32;
+        opts.num_blocks =
+            4 * ccap::util::simd_vector_doubles(ccap::util::active_simd_path()) + 3;
+        return opts;
+    }
+};
+
+TEST_P(ParallelMcTileInvariance, IidBitIdenticalToSerialScalar) {
+    const DriftParams p{0.12, 0.04, 0.02, 2, 24, 6};
+    McOptions opts = base_options();
+
+    opts.threads = 1;
+    opts.batch = 1;
+    Rng serial_rng(0xFEED5EED);
+    const MiEstimate serial = iid_mutual_information_rate(p, opts, serial_rng);
+    EXPECT_GT(serial.rate, 0.0);
+
+    opts.threads = GetParam().threads;
+    opts.batch = GetParam().batch;
+    Rng rng(0xFEED5EED);
+    expect_bit_identical(serial, iid_mutual_information_rate(p, opts, rng));
+}
+
+TEST_P(ParallelMcTileInvariance, ScalarTilingPolicyOverridesBatchAxis) {
+    // McTiling::scalar must pin the tile to one lane for ANY (threads,
+    // batch) request — resolved_mc_batch is a pure policy function — and the
+    // estimate must stay bit-identical to the serial scalar baseline.
+    const DriftParams p{0.12, 0.04, 0.02, 2, 24, 6};
+    McOptions opts = base_options();
+
+    opts.threads = 1;
+    opts.batch = 1;
+    Rng serial_rng(0x5CA1AB1E);
+    const MiEstimate serial = iid_mutual_information_rate(p, opts, serial_rng);
+
+    opts.threads = GetParam().threads;
+    opts.batch = GetParam().batch;
+    opts.tiling = McTiling::scalar;
+    EXPECT_EQ(resolved_mc_batch(opts, p), 1u);
+    Rng rng(0x5CA1AB1E);
+    expect_bit_identical(serial, iid_mutual_information_rate(p, opts, rng));
+}
+
+TEST_P(ParallelMcTileInvariance, MarkovBitIdenticalToSerialScalar) {
+    const DriftParams p{0.15, 0.02, 0.01, 2, 24, 6};
+    const MarkovSource src = MarkovSource::binary_repeat(0.75);
+    McOptions opts = base_options();
+
+    opts.threads = 1;
+    opts.batch = 1;
+    Rng serial_rng(0xD15EA5E);
+    const MiEstimate serial = markov_mutual_information_rate(p, src, opts, serial_rng);
+    EXPECT_GT(serial.rate, 0.0);
+
+    opts.threads = GetParam().threads;
+    opts.batch = GetParam().batch;
+    Rng rng(0xD15EA5E);
+    expect_bit_identical(serial, markov_mutual_information_rate(p, src, opts, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tile, ParallelMcTileInvariance, ::testing::ValuesIn(tile_cases()),
+    [](const ::testing::TestParamInfo<TileCase>& info) {
+        return "t" + std::to_string(info.param.threads) + "_b" +
+               std::to_string(info.param.batch);
+    });
 
 }  // namespace

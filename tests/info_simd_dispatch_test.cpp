@@ -198,6 +198,123 @@ TEST(SimdDispatch, EveryPathKeepsCertifiedSlackInBandedMode) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ragged masked tails: every kernel, every path, exact-size buffers.
+// ---------------------------------------------------------------------------
+
+// Exercises every LaneKernels entry on lane counts that are NOT multiples of
+// any vector width, with buffers allocated to exactly the touched size — a
+// tail that read or wrote one lane past L would trip ASan/UBSan in the
+// sanitizer tier-1 stages and, for stores, corrupt the guard value checked
+// below. Results must be bitwise those of the scalar reference kernels.
+TEST(SimdDispatch, RaggedTailKernelsBitIdenticalToScalar) {
+    const LaneKernels& ref = *lane_kernels_scalar();
+    Rng rng(424242);
+    constexpr std::size_t kRuns = 3;
+    auto fill = [&rng](std::size_t n) {
+        std::vector<double> v(n);
+        for (auto& x : v) x = 0.25 + rng.uniform();  // positive: safe divisor
+        return v;
+    };
+    for (SimdPath p : available_paths()) {
+        const LaneKernels& k = lane_kernels_for(p);
+        for (const std::size_t L : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 11u, 13u}) {
+            SCOPED_TRACE(std::string("path=") + k.name + " L=" + std::to_string(L));
+            const std::vector<double> src = fill(kRuns * L);
+            const std::vector<double> e = fill(kRuns * L);
+            const std::vector<double> norm = fill(L);
+            std::vector<std::uint8_t> sel(L);
+            for (auto& s : sel) s = rng.bernoulli(0.5) ? 1 : 0;
+            std::vector<double> dw = fill(kRuns), tw = fill(kRuns);
+
+            auto a = fill(kRuns * L);
+            auto b = a;
+            k.axpy(a.data(), src.data(), 1.75, L);
+            ref.axpy(b.data(), src.data(), 1.75, L);
+            EXPECT_EQ(a, b);
+
+            k.fma_weighted(a.data(), src.data(), dw[0], tw[0], e.data(), L);
+            ref.fma_weighted(b.data(), src.data(), dw[0], tw[0], e.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.accumulate(a.data(), src.data(), L);
+            ref.accumulate(b.data(), src.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.maximum(a.data(), src.data(), L);
+            ref.maximum(b.data(), src.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.divide(a.data(), norm.data(), L);
+            ref.divide(b.data(), norm.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.select_const(a.data(), sel.data(), 0.125, 0.875, L);
+            ref.select_const(b.data(), sel.data(), 0.125, 0.875, L);
+            EXPECT_EQ(a, b);
+
+            k.select_lanes(a.data(), sel.data(), e.data(), src.data(), L);
+            ref.select_lanes(b.data(), sel.data(), e.data(), src.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.fma_run(a.data(), src.data(), dw.data(), tw.data(), e.data(), kRuns, L);
+            ref.fma_run(b.data(), src.data(), dw.data(), tw.data(), e.data(), kRuns, L);
+            EXPECT_EQ(a, b);
+
+            k.fma_acc_run(a.data(), src.data(), dw.data(), tw.data(), e.data(), kRuns, L);
+            ref.fma_acc_run(b.data(), src.data(), dw.data(), tw.data(), e.data(), kRuns, L);
+            EXPECT_EQ(a, b);
+
+            // fma_dest_run walks the weight arrays backward from the given
+            // origin: pass the last element so indices [-cnt+1, 0] stay in
+            // bounds. Cover cnt = 0 (pure-deletion only) through kRuns, with
+            // and without the src_del term.
+            for (std::size_t cnt : {std::size_t{0}, std::size_t{1}, kRuns}) {
+                for (const double* del : {static_cast<const double*>(nullptr), norm.data()}) {
+                    if (cnt == 0 && !del) continue;  // all-zero output either way
+                    std::vector<double> da(L), db(L);
+                    k.fma_dest_run(da.data(), src.data(), dw.data() + (kRuns - 1),
+                                   tw.data() + (kRuns - 1), e.data(), del, 0.375, cnt, L);
+                    ref.fma_dest_run(db.data(), src.data(), dw.data() + (kRuns - 1),
+                                     tw.data() + (kRuns - 1), e.data(), del, 0.375, cnt, L);
+                    EXPECT_EQ(da, db) << "cnt=" << cnt << " del=" << (del != nullptr);
+                }
+            }
+        }
+    }
+}
+
+// Sub-width batches must run unpadded (lane_stride == lanes): the masked
+// tails make the dead padding lanes unnecessary, and the engine output must
+// still match the scalar engine bit for bit.
+TEST(SimdDispatch, TinyBatchesRunUnpaddedAndBitIdentical) {
+    PathGuard guard;
+    const DriftParams params{0.10, 0.05, 0.02, 2, 8, 5};
+    const DriftHmm hmm(params);
+    constexpr std::size_t kN = 40;
+    for (SimdPath p : available_paths()) {
+        ASSERT_EQ(ccap::util::force_simd_path(p), p);
+        const std::size_t W = ccap::util::simd_vector_doubles(p);
+        for (std::size_t batch = 2; batch < W; ++batch) {
+            const MatrixLanes lanes = make_lanes(params, kN, batch, 5100 + batch);
+            const auto rx = spans(lanes.rx);
+            ScopedWorkspace ws;
+            BatchLatticeEngine eng(params, hmm.tables(), rx, kN, ws.get());
+            // The whole point of the masked tails: no dead padding lanes.
+            EXPECT_EQ(eng.lane_stride(), batch)
+                << "path=" << ccap::util::simd_path_name(p);
+            const auto got = hmm.log2_likelihood_batch(spans(lanes.tx), rx, ws);
+            for (std::size_t l = 0; l < batch; ++l) {
+                ScopedWorkspace ref_ws;
+                EXPECT_EQ(got[l].log2_evidence,
+                          hmm.log2_likelihood(lanes.tx[l], lanes.rx[l], ref_ws))
+                    << "path=" << ccap::util::simd_path_name(p) << " batch=" << batch
+                    << " lane=" << l;
+            }
+        }
+    }
+}
+
 TEST(SimdDispatch, ResolvedMcBatchRespectsTilingPolicyAndVectorWidth) {
     PathGuard guard;
     const DriftParams params{0.05, 0.03, 0.01, 2, 16, 8};

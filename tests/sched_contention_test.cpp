@@ -1,0 +1,228 @@
+#include "ccap/sched/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+using ccap::info::CapacityCache;
+using ccap::sched::ContentionConfig;
+using ccap::sched::ContentionEngine;
+using ccap::sched::ContentionReport;
+using ccap::sched::FlowLoad;
+using ccap::sched::FlowOutcome;
+
+CapacityCache::Config cache_config(bool enabled = true) {
+    CapacityCache::Config cfg;
+    cfg.grid = {0.02, 0.02, 0.40, 0.20};
+    cfg.base.max_drift = 8;
+    cfg.base.max_insert_run = 4;
+    cfg.mc.block_len = 16;
+    cfg.mc.num_blocks = 2;
+    cfg.mc.threads = 1;
+    cfg.enabled = enabled;
+    return cfg;
+}
+
+ContentionConfig engine_config() {
+    ContentionConfig cfg;
+    cfg.flows = 192;
+    cfg.offered_load = 0.9;
+    cfg.ticks = 256;
+    cfg.slices = 8;
+    cfg.domain_flows = 12;
+    cfg.queue_cap = 4;
+    cfg.deadline = 32;
+    cfg.seed = 77;
+    return cfg;
+}
+
+void expect_reports_identical(const ContentionReport& a, const ContentionReport& b) {
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t f = 0; f < a.flows.size(); ++f) {
+        EXPECT_EQ(a.flows[f].load.offered, b.flows[f].load.offered) << "flow " << f;
+        EXPECT_EQ(a.flows[f].load.served, b.flows[f].load.served) << "flow " << f;
+        EXPECT_EQ(a.flows[f].p_d_eff, b.flows[f].p_d_eff) << "flow " << f;
+        EXPECT_EQ(a.flows[f].p_i_eff, b.flows[f].p_i_eff) << "flow " << f;
+        EXPECT_EQ(a.flows[f].capacity, b.flows[f].capacity) << "flow " << f;
+    }
+    EXPECT_EQ(a.total_offered, b.total_offered);
+    EXPECT_EQ(a.total_served, b.total_served);
+    EXPECT_EQ(a.total_dropped, b.total_dropped);
+    EXPECT_EQ(a.aggregate_capacity_per_tick, b.aggregate_capacity_per_tick);
+    EXPECT_EQ(a.mean_capacity, b.mean_capacity);
+    EXPECT_EQ(a.distinct_nodes, b.distinct_nodes);
+}
+
+TEST(ContentionEngineTest, RejectsDegenerateConfigs) {
+    CapacityCache cache(cache_config());
+    ContentionConfig cfg = engine_config();
+    cfg.flows = 0;
+    EXPECT_THROW(ContentionEngine(cfg, cache), std::invalid_argument);
+    cfg = engine_config();
+    cfg.ticks = 0;
+    EXPECT_THROW(ContentionEngine(cfg, cache), std::invalid_argument);
+    cfg = engine_config();
+    cfg.queue_cap = 0;
+    EXPECT_THROW(ContentionEngine(cfg, cache), std::invalid_argument);
+    cfg = engine_config();
+    cfg.domain_flows = 0;
+    EXPECT_THROW(ContentionEngine(cfg, cache), std::invalid_argument);
+}
+
+TEST(ContentionEngineTest, SimulationConservesSymbols) {
+    CapacityCache cache(cache_config());
+    ContentionEngine engine(engine_config(), cache);
+    const std::vector<FlowLoad> loads = engine.simulate();
+    ASSERT_EQ(loads.size(), engine.config().flows);
+    std::uint64_t offered = 0, accounted = 0;
+    for (const FlowLoad& l : loads) {
+        offered += l.offered;
+        // Served + dropped never exceeds offered (the rest is backlog at
+        // the horizon).
+        EXPECT_LE(l.served + l.dropped_overflow + l.dropped_expired, l.offered);
+        accounted += l.served + l.dropped_overflow + l.dropped_expired;
+    }
+    EXPECT_GT(offered, 0u);
+    EXPECT_LE(accounted, offered);
+}
+
+TEST(ContentionEngineTest, FractionalSliceBudgetsStillServe) {
+    // Many slices over few flows gives each slice a fractional token budget
+    // per tick (here 25 * ~6/400 ~= 0.39). The pacer must bank budget across
+    // ticks up to one symbol's cost, not starve behind a sub-cost burst cap.
+    CapacityCache cache(cache_config());
+    ContentionConfig cfg = engine_config();
+    cfg.flows = 400;
+    cfg.slices = 64;
+    cfg.offered_load = 0.9;
+    const ContentionReport report = ContentionEngine(cfg, cache).run();
+    EXPECT_GT(report.total_offered, 0u);
+    EXPECT_GT(report.total_served, 0u);
+    // A 0.9-loaded system with banked fractional budgets should serve a
+    // substantial share of what is offered, not a token trickle.
+    EXPECT_GT(report.total_served, report.total_offered / 4);
+}
+
+TEST(ContentionEngineTest, MapEffectiveHardensDropsIntoDeletions) {
+    CapacityCache cache(cache_config());
+    ContentionEngine engine(engine_config(), cache);
+
+    FlowLoad clean{100, 100, 0, 0};
+    const FlowOutcome base = engine.map_effective(clean, 0);
+    EXPECT_DOUBLE_EQ(base.p_d_eff, cache.config().base.p_d);
+    EXPECT_DOUBLE_EQ(base.p_i_eff, cache.config().base.p_i);
+
+    FlowLoad lossy{100, 75, 20, 5};
+    const FlowOutcome hit = engine.map_effective(lossy, 0);
+    EXPECT_GT(hit.p_d_eff, base.p_d_eff);
+    EXPECT_DOUBLE_EQ(hit.p_d_eff, 0.25);  // 25 drops out of 100 offered, base p_d = 0
+
+    const FlowOutcome noisy = engine.map_effective(clean, /*foreign=*/512);
+    EXPECT_GT(noisy.p_i_eff, base.p_i_eff);
+    // Both axes clamp to the capacity grid.
+    FlowLoad dead{100, 0, 100, 0};
+    EXPECT_LE(engine.map_effective(dead, 1u << 20).p_d_eff, cache.config().grid.pd_max);
+    EXPECT_LE(engine.map_effective(dead, 1u << 20).p_i_eff, cache.config().grid.pi_max);
+}
+
+TEST(ContentionParallelTest, SimulationBitIdenticalAcrossThreadCounts) {
+    CapacityCache cache(cache_config());
+    ContentionConfig cfg = engine_config();
+    cfg.threads = 1;
+    const std::vector<FlowLoad> serial = ContentionEngine(cfg, cache).simulate();
+    for (unsigned threads : {2u, 8u}) {
+        cfg.threads = threads;
+        const std::vector<FlowLoad> parallel = ContentionEngine(cfg, cache).simulate();
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t f = 0; f < serial.size(); ++f) {
+            EXPECT_EQ(parallel[f].offered, serial[f].offered) << "flow " << f;
+            EXPECT_EQ(parallel[f].served, serial[f].served) << "flow " << f;
+            EXPECT_EQ(parallel[f].dropped_overflow, serial[f].dropped_overflow);
+            EXPECT_EQ(parallel[f].dropped_expired, serial[f].dropped_expired);
+        }
+    }
+}
+
+TEST(ContentionParallelTest, FullRunBitIdenticalAcrossThreadCounts) {
+    ContentionConfig cfg = engine_config();
+    cfg.threads = 1;
+    CapacityCache cache1(cache_config());
+    const ContentionReport serial = ContentionEngine(cfg, cache1).run();
+
+    cfg.threads = 8;
+    CapacityCache cache8(cache_config());
+    const ContentionReport parallel = ContentionEngine(cfg, cache8).run();
+    expect_reports_identical(serial, parallel);
+}
+
+TEST(ContentionEngineTest, CacheOnAndOffAreBitIdenticalInExactMode) {
+    const ContentionConfig cfg = engine_config();
+    CapacityCache cached(cache_config(true));
+    CapacityCache uncached(cache_config(false));
+    const ContentionReport with_cache = ContentionEngine(cfg, cached).run();
+    const ContentionReport without_cache = ContentionEngine(cfg, uncached).run();
+    expect_reports_identical(with_cache, without_cache);
+    EXPECT_GT(with_cache.cache.hits, 0u);
+    EXPECT_EQ(without_cache.cache.hits, 0u);
+}
+
+TEST(ContentionEngineTest, DedupAndNaivePathsAreBitIdentical) {
+    ContentionConfig cfg = engine_config();
+    cfg.flows = 96;  // keep the naive per-flow pass quick
+    CapacityCache fast_cache(cache_config());
+    cfg.dedup_nodes = true;
+    const ContentionReport fast = ContentionEngine(cfg, fast_cache).run();
+
+    CapacityCache naive_cache(cache_config(false));
+    cfg.dedup_nodes = false;
+    const ContentionReport naive = ContentionEngine(cfg, naive_cache).run();
+    expect_reports_identical(fast, naive);
+    EXPECT_LT(fast.distinct_nodes, cfg.flows);  // the dedup actually collapsed work
+}
+
+TEST(ContentionEngineTest, RepeatedRunsOnASharedCacheAreIdentical) {
+    // Second run hits a warm cache everywhere; values must not move.
+    CapacityCache cache(cache_config());
+    const ContentionConfig cfg = engine_config();
+    const ContentionReport first = ContentionEngine(cfg, cache).run();
+    const ContentionReport second = ContentionEngine(cfg, cache).run();
+    expect_reports_identical(first, second);
+    EXPECT_EQ(second.cache.misses, 0u);
+}
+
+TEST(ContentionEngineTest, OverloadRaisesEffectiveDeletionsAndCutsCapacity) {
+    CapacityCache cache(cache_config());
+    ContentionConfig cfg = engine_config();
+    cfg.offered_load = 0.2;
+    const ContentionReport light = ContentionEngine(cfg, cache).run();
+    cfg.offered_load = 2.0;
+    const ContentionReport heavy = ContentionEngine(cfg, cache).run();
+
+    EXPECT_GT(heavy.total_offered, light.total_offered);
+    EXPECT_GT(heavy.total_dropped, light.total_dropped);
+    EXPECT_GT(heavy.mean_pd_eff, light.mean_pd_eff);
+    EXPECT_LT(heavy.mean_capacity, light.mean_capacity);
+}
+
+TEST(ContentionEngineTest, InterpolatedModeCarriesCertifiedBounds) {
+    ContentionConfig cfg = engine_config();
+    cfg.quantize_exact = false;
+    CapacityCache cache(cache_config());
+    const ContentionReport report = ContentionEngine(cfg, cache).run();
+    EXPECT_GE(report.aggregate_err_bound_per_tick, 0.0);
+    for (const FlowOutcome& o : report.flows) {
+        EXPECT_GE(o.err_bound, 0.0);
+        EXPECT_GE(o.capacity, 0.0);
+    }
+    // Interpolation stays within the certified distance of the quantized
+    // answer (the node estimate is inside the same bracket).
+    cfg.quantize_exact = true;
+    const ContentionReport exact = ContentionEngine(cfg, cache).run();
+    const double diff = report.aggregate_capacity_per_tick - exact.aggregate_capacity_per_tick;
+    EXPECT_LE(std::abs(diff), report.aggregate_err_bound_per_tick + 1e-12);
+}
+
+}  // namespace

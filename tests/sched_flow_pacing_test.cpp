@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "ccap/sched/flow_queue.hpp"
+#include "ccap/sched/pacing.hpp"
+
+namespace {
+
+using ccap::sched::FlowCounters;
+using ccap::sched::PacingConfig;
+using ccap::sched::PacingController;
+using ccap::sched::RoundRobinFlowQueue;
+
+TEST(PacingControllerTest, RejectsNonPositiveBudget) {
+    EXPECT_THROW(PacingController({0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(PacingController({-1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PacingControllerTest, BudgetAccruesPerTickAndSpends) {
+    PacingController pacer({2.0, 0.0});
+    EXPECT_FALSE(pacer.try_consume());  // no budget before the first tick
+    pacer.on_tick();
+    EXPECT_TRUE(pacer.try_consume());
+    EXPECT_TRUE(pacer.try_consume());
+    EXPECT_FALSE(pacer.try_consume());  // 2 tokens per tick, not 3
+    EXPECT_EQ(pacer.stats().consumed, 2u);
+    EXPECT_EQ(pacer.stats().throttled, 2u);
+    EXPECT_EQ(pacer.stats().ticks, 1u);
+}
+
+TEST(PacingControllerTest, IdleBudgetClampsToBurstCap) {
+    PacingController pacer({1.0, 3.0});
+    for (int t = 0; t < 10; ++t) pacer.on_tick();  // idle ticks bank up to the cap
+    EXPECT_DOUBLE_EQ(pacer.budget(), 3.0);
+    EXPECT_TRUE(pacer.try_consume());
+    EXPECT_TRUE(pacer.try_consume());
+    EXPECT_TRUE(pacer.try_consume());
+    EXPECT_FALSE(pacer.try_consume());
+}
+
+TEST(PacingControllerTest, DefaultBurstCapIsOneTick) {
+    PacingController pacer({2.5, 0.0});
+    for (int t = 0; t < 4; ++t) pacer.on_tick();
+    EXPECT_DOUBLE_EQ(pacer.budget(), 2.5);  // burst_budget = 0 -> budget_per_tick
+}
+
+TEST(PacingControllerTest, FractionalCosts) {
+    PacingController pacer({1.0, 0.0});
+    pacer.on_tick();
+    EXPECT_TRUE(pacer.try_consume(0.25));
+    EXPECT_TRUE(pacer.try_consume(0.75));
+    EXPECT_FALSE(pacer.try_consume(0.25));
+}
+
+TEST(RoundRobinFlowQueueTest, ServesOldestSymbolPerFlowRoundRobin) {
+    RoundRobinFlowQueue q(3, 4);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(0, 2));
+    EXPECT_TRUE(q.push(2, 3));
+    EXPECT_EQ(q.backlog(), 3u);
+
+    auto a = q.pop(5);
+    auto b = q.pop(5);
+    auto c = q.pop(5);
+    ASSERT_TRUE(a && b && c);
+    // Round-robin: flow 0 gives its oldest, then flow 2, then flow 0 again.
+    EXPECT_EQ(a->flow, 0u);
+    EXPECT_EQ(a->enqueued_at, 1u);
+    EXPECT_EQ(b->flow, 2u);
+    EXPECT_EQ(c->flow, 0u);
+    EXPECT_EQ(c->enqueued_at, 2u);
+    EXPECT_FALSE(q.pop(5).has_value());
+    EXPECT_EQ(q.backlog(), 0u);
+}
+
+TEST(RoundRobinFlowQueueTest, HeavyFlowCannotStarveNeighbours) {
+    RoundRobinFlowQueue q(2, 8);
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(1, 1));
+    std::vector<std::size_t> order;
+    for (int i = 0; i < 3; ++i) order.push_back(q.pop(2)->flow);
+    // Flow 1's single symbol is served on the second visit, not ninth.
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 0}));
+}
+
+TEST(RoundRobinFlowQueueTest, OverflowDropsAreCounted) {
+    RoundRobinFlowQueue q(1, 2);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_FALSE(q.push(0, 2));  // ring full
+    EXPECT_EQ(q.flow(0).dropped_overflow, 1u);
+    EXPECT_EQ(q.flow(0).enqueued, 2u);
+    EXPECT_EQ(q.backlog(), 2u);
+}
+
+TEST(RoundRobinFlowQueueTest, ExpiredHeadsDropLazilyAtServeTime) {
+    RoundRobinFlowQueue q(1, 4, /*deadline=*/2);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(0, 9));
+    // At t=10 the first symbol is 9 ticks old (> 2): dropped, second served.
+    auto served = q.pop(10);
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(served->enqueued_at, 9u);
+    EXPECT_EQ(q.flow(0).dropped_expired, 1u);
+    EXPECT_EQ(q.flow(0).served, 1u);
+}
+
+TEST(RoundRobinFlowQueueTest, WholeBacklogCanExpire) {
+    RoundRobinFlowQueue q(2, 4, /*deadline=*/1);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(1, 1));
+    EXPECT_FALSE(q.pop(100).has_value());  // everything stale, nothing served
+    EXPECT_EQ(q.totals().dropped_expired, 2u);
+    EXPECT_EQ(q.backlog(), 0u);
+    // The queue keeps working after a total flush.
+    EXPECT_TRUE(q.push(1, 101));
+    EXPECT_EQ(q.pop(101)->flow, 1u);
+}
+
+TEST(RoundRobinFlowQueueTest, TotalsAggregateAcrossFlows) {
+    RoundRobinFlowQueue q(3, 1);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(1, 1));
+    EXPECT_FALSE(q.push(1, 1));
+    (void)q.pop(2);
+    const FlowCounters t = q.totals();
+    EXPECT_EQ(t.enqueued, 2u);
+    EXPECT_EQ(t.served, 1u);
+    EXPECT_EQ(t.dropped_overflow, 1u);
+    EXPECT_EQ(t.dropped_expired, 0u);
+}
+
+TEST(RoundRobinFlowQueueTest, PacerAndQueueComposeIntoAServeLoop) {
+    // The intended composition: one tick's budget drains round-robin.
+    RoundRobinFlowQueue q(4, 4);
+    PacingController pacer({2.0, 0.0});
+    for (std::size_t f = 0; f < 4; ++f) EXPECT_TRUE(q.push(f, 1));
+    std::vector<std::size_t> served;
+    for (ccap::sched::SimTime t = 2; t <= 3; ++t) {
+        pacer.on_tick();
+        while (q.backlog() > 0 && pacer.try_consume()) served.push_back(q.pop(t)->flow);
+    }
+    EXPECT_EQ(served, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "ccap/util/shard_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using ccap::util::ShardedMemoCache;
+
+TEST(ShardCacheTest, FindMissThenInsertThenHit) {
+    ShardedMemoCache<int, std::string> cache(4, 8);
+    EXPECT_FALSE(cache.find(7).has_value());
+    cache.insert(7, "seven");
+    const auto hit = cache.find(7);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "seven");
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardCacheTest, InsertOverwritesInPlace) {
+    ShardedMemoCache<int, int> cache(2, 4);
+    cache.insert(1, 10);
+    cache.insert(1, 11);
+    EXPECT_EQ(cache.find(1).value(), 11);
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShardCacheTest, EvictsFifoPerShardAtCapacity) {
+    // One shard so eviction order is fully observable.
+    ShardedMemoCache<int, int> cache(1, 3);
+    cache.insert(1, 1);
+    cache.insert(2, 2);
+    cache.insert(3, 3);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    cache.insert(4, 4);  // evicts key 1, the oldest
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.find(1).has_value());
+    EXPECT_TRUE(cache.find(2).has_value());
+    EXPECT_TRUE(cache.find(4).has_value());
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ShardCacheTest, OverwriteDoesNotRefreshEvictionPosition) {
+    ShardedMemoCache<int, int> cache(1, 2);
+    cache.insert(1, 1);
+    cache.insert(2, 2);
+    cache.insert(1, 100);  // overwrite: key 1 keeps its FIFO slot
+    cache.insert(3, 3);    // evicts key 1 (still the oldest insert)
+    EXPECT_FALSE(cache.find(1).has_value());
+    EXPECT_TRUE(cache.find(2).has_value());
+    EXPECT_TRUE(cache.find(3).has_value());
+}
+
+TEST(ShardCacheTest, GetOrComputeComputesOnceThenHits) {
+    ShardedMemoCache<int, int> cache(4, 8);
+    int computes = 0;
+    const auto square = [&computes](const int& k) {
+        ++computes;
+        return k * k;
+    };
+    EXPECT_EQ(cache.get_or_compute(5, square), 25);
+    EXPECT_EQ(cache.get_or_compute(5, square), 25);
+    EXPECT_EQ(computes, 1);
+}
+
+TEST(ShardCacheTest, ClearDropsEntriesKeepsCounters) {
+    ShardedMemoCache<int, int> cache(4, 8);
+    cache.insert(1, 1);
+    cache.insert(2, 2);
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_FALSE(cache.find(1).has_value());
+}
+
+TEST(ShardCacheTest, ConcurrentGetOrComputeIsConsistent) {
+    // Key-deterministic compute: racing duplicate computes must agree, so
+    // every reader sees the same value regardless of interleaving.
+    ShardedMemoCache<std::uint64_t, std::uint64_t> cache(8, 64);
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kKeys = 64;
+    std::vector<std::vector<std::uint64_t>> seen(kThreads,
+                                                 std::vector<std::uint64_t>(kKeys));
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (std::uint64_t k = 0; k < kKeys; ++k)
+                seen[t][k] = cache.get_or_compute(
+                    k, [](const std::uint64_t& key) { return key * 2654435761ULL; });
+        });
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(cache.stats().entries, kKeys);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 //   mi        Monte-Carlo achievable rate through the drift lattice
 //   windows   windowed parameter estimates + changepoint scan
 //   protocol  run a (hardened) feedback protocol under faults and report
+//   contend   multi-tenant contention engine: capacity under offered load
 //
 // Parallelism: `--threads N` caps the worker threads used by the
 // Monte-Carlo estimators and the sweep grid (default: one per hardware
@@ -45,6 +46,7 @@
 #include "ccap/estimate/trace_io.hpp"
 #include "ccap/info/deletion_bounds.hpp"
 #include "ccap/info/lattice_simd.hpp"
+#include "ccap/sched/contention.hpp"
 #include "ccap/util/cpu_features.hpp"
 #include "ccap/util/thread_pool.hpp"
 
@@ -430,6 +432,85 @@ int cmd_protocol(const Args& args) {
     return 0;
 }
 
+int cmd_contend(const Args& args) {
+    args.reject_unknown({"flows", "load", "ticks", "slices", "domain", "queue-cap",
+                         "deadline", "collision-rate", "pd", "pi", "ps", "grid-step",
+                         "mi-block", "mi-blocks", "seed", "threads", "simd", "cache",
+                         "interp", "verbose"});
+    apply_simd_flag(args);
+
+    info::CapacityCache::Config cc;
+    cc.base.p_d = args.number("pd", 0.0);
+    cc.base.p_i = args.number("pi", 0.0);
+    cc.base.p_s = args.number("ps", 0.0);
+    const double grid_step = args.number("grid-step", 0.01);
+    if (!(grid_step > 0.0)) throw UsageError("option --grid-step expects a value > 0");
+    cc.grid.pd_step = grid_step;
+    cc.grid.pi_step = grid_step;
+    cc.mc.block_len = static_cast<std::size_t>(args.count("mi-block", 48));
+    cc.mc.num_blocks = static_cast<std::size_t>(args.count("mi-blocks", 8));
+    const std::string cache_flag = args.text("cache", "on");
+    if (cache_flag == "on")
+        cc.enabled = true;
+    else if (cache_flag == "off")
+        cc.enabled = false;
+    else
+        throw UsageError("option --cache expects on or off, got '" + cache_flag + "'");
+    info::CapacityCache cache(cc);
+
+    sched::ContentionConfig cfg;
+    cfg.flows = static_cast<std::size_t>(args.count("flows", 4096));
+    cfg.offered_load = args.number("load", 0.8);
+    cfg.ticks = args.count("ticks", 1024);
+    cfg.slices = static_cast<std::size_t>(args.count("slices", 64));
+    cfg.domain_flows = static_cast<std::size_t>(args.count("domain", 16));
+    cfg.queue_cap = static_cast<std::size_t>(args.count("queue-cap", 16));
+    cfg.deadline = args.count("deadline", 0);
+    cfg.collision_rate = args.number("collision-rate", 0.10);
+    if (args.values.count("interp")) {
+        const std::string v = args.text("interp", "off");
+        if (v == "on")
+            cfg.quantize_exact = false;
+        else if (v == "off")
+            cfg.quantize_exact = true;
+        else
+            throw UsageError("option --interp expects on or off, got '" + v + "'");
+    }
+    cfg.threads = threads_from(args);
+    cfg.seed = args.count("seed", 1);
+    sched::ContentionEngine engine(cfg, cache);
+
+    if (args.values.count("verbose")) print_lattice_verbose(stdout, cc.mc, cc.base);
+
+    const sched::ContentionReport report = engine.run();
+    std::printf("contention: %zu flows, offered load %.2f, %llu ticks, "
+                "%.1f symbols/tick service\n",
+                cfg.flows, cfg.offered_load, static_cast<unsigned long long>(cfg.ticks),
+                engine.service_per_tick());
+    std::printf("traffic: offered %llu, served %llu, dropped %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(report.total_offered),
+                static_cast<unsigned long long>(report.total_served),
+                static_cast<unsigned long long>(report.total_dropped),
+                report.total_offered > 0
+                    ? 100.0 * static_cast<double>(report.total_dropped) /
+                          static_cast<double>(report.total_offered)
+                    : 0.0);
+    std::printf("effective channel (served-flow mean): P_d %.4f, P_i %.4f\n",
+                report.mean_pd_eff, report.mean_pi_eff);
+    std::printf("capacity: %.4f bits/use mean, %.4f bits/tick aggregate",
+                report.mean_capacity, report.aggregate_capacity_per_tick);
+    if (!cfg.quantize_exact)
+        std::printf(" (+- %.4f certified)", report.aggregate_err_bound_per_tick);
+    std::printf("\n");
+    std::printf("capacity nodes: %zu distinct for %zu flows; cache hits %llu, "
+                "misses %llu, entries %llu\n",
+                report.distinct_nodes, cfg.flows,
+                static_cast<unsigned long long>(report.cache.hits),
+                static_cast<unsigned long long>(report.cache.misses),
+                static_cast<unsigned long long>(report.cache.entries));
+    return 0;
+}
+
 void usage() {
     std::fputs(
         "usage: ccap <command> [options]\n"
@@ -450,6 +531,10 @@ void usage() {
         "            --use-cap U --storm-period/--storm-len\n"
         "            --drift-amp/--drift-period\n"
         "            --stuck-period/--stuck-len/--stuck-symbol]\n"
+        "  contend   [--flows F --load R --ticks T --slices S --domain D\n"
+        "            --queue-cap Q --deadline A --collision-rate K --pd X --pi Y\n"
+        "            --ps Z --grid-step G --mi-block L --mi-blocks K --seed S\n"
+        "            --threads T --simd P --cache on|off --interp on|off --verbose]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
@@ -467,7 +552,7 @@ void usage() {
 /// One line, for the exit-code-2 paths; the full block above is for `help`.
 void usage_hint() {
     std::fputs(
-        "usage: ccap {bounds|analyze|simulate|sweep|mi|windows|protocol|help} "
+        "usage: ccap {bounds|analyze|simulate|sweep|mi|windows|protocol|contend|help} "
         "[--option value ...]\n",
         stderr);
 }
@@ -502,6 +587,7 @@ int main(int argc, char** argv) {
         if (command == "mi") return cmd_mi(args);
         if (command == "windows") return cmd_windows(args);
         if (command == "protocol") return cmd_protocol(args);
+        if (command == "contend") return cmd_contend(args);
         std::fprintf(stderr, "ccap: unknown command '%s'\n", command.c_str());
         usage_hint();
         return 2;
