@@ -17,14 +17,17 @@ cmake -B "$BUILD" -S . \
     -DCCAP_BUILD_BENCH=ON \
     -DCCAP_BUILD_TESTS=OFF \
     -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD" -j"$(nproc)" --target \
-    bench_e1_theorem1_upper \
-    bench_e3_theorem5_lower \
-    bench_e4_convergence \
-    bench_x10_lattice_kernel \
-    bench_x11_batch_lattice \
-    bench_x12_fault_injection \
+BENCHES=(
+    bench_e1_theorem1_upper
+    bench_e3_theorem5_lower
+    bench_e4_convergence
+    bench_x10_lattice_kernel
+    bench_x11_batch_lattice
+    bench_x12_fault_injection
     bench_x13_contention
+    bench_x14_adaptive_mc
+)
+cmake --build "$BUILD" -j"$(nproc)" --target "${BENCHES[@]}"
 
 # Each harness writes BENCH_<name>.json into its working directory. Every
 # record is stamped with the SIMD kernel path the run dispatched to
@@ -33,16 +36,14 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
 # Honour an explicit override so a scalar/avx2 baseline can be produced on
 # an avx512 box when needed.
 echo "bench_all: SIMD path: ${CCAP_SIMD:-auto (widest available)}"
-(
-    cd "$BUILD"
-    ./bench/bench_e1_theorem1_upper
-    ./bench/bench_e3_theorem5_lower
-    ./bench/bench_e4_convergence
-    ./bench/bench_x10_lattice_kernel
-    ./bench/bench_x11_batch_lattice
-    ./bench/bench_x12_fault_injection
-    ./bench/bench_x13_contention
-)
+for bench in "${BENCHES[@]}"; do
+    start=$SECONDS
+    if ! (cd "$BUILD" && "./bench/$bench"); then
+        echo "bench_all: FAIL: $bench exited non-zero after $((SECONDS - start))s" >&2
+        exit 1
+    fi
+    echo "bench_all: $bench finished in $((SECONDS - start))s"
+done
 
 refreshed=0
 for baseline in BENCH_*.json; do

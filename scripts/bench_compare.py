@@ -36,19 +36,27 @@ import os
 import sys
 
 LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
-HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits", "per_sec")
+HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits", "per_sec",
+                    "saved", "converged")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup", "per_sec")
-# Provenance / configuration fields are never compared.
+# Provenance / configuration fields are never compared. The adaptive-MC
+# spent-block counts (blocks_*_total, n_fixed) are configuration-dependent
+# observations, not quality metrics: the gated metric is their ratio
+# (blocks_saved), so raw spend deltas must not double-fail a run.
 SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
         "fault_profile", "simd", "cpu", "flows", "ticks", "mc_block", "mc_blocks",
-        "distinct_nodes"}
+        "distinct_nodes", "target_sem", "points", "round", "max_blocks",
+        "block_len", "blocks_fixed_total", "blocks_adaptive_total", "n_fixed"}
 # Identity fields: records measured under different identities (a different
-# bench, a different fault-profile suite, or a different SIMD kernel path)
-# are incomparable — numbers from one fault mix or vector width must never
-# gate numbers from another. Mismatch is a usage error (exit 2), not a
-# regression. ("cpu" stays informational: the same path on different
-# machines is still the noise bench_compare already tolerates.)
-IDENTITY = ("name", "fault_profile", "simd")
+# bench, a different fault-profile suite, a different SIMD kernel path, or a
+# different adaptive-precision target) are incomparable — numbers from one
+# fault mix, vector width, or SEM target must never gate numbers from
+# another: halving target_sem quadruples the honest spend, so a
+# cross-precision diff would always read as a spurious regression. Mismatch
+# is a usage error (exit 2), not a regression. ("cpu" stays informational:
+# the same path on different machines is still the noise bench_compare
+# already tolerates.)
+IDENTITY = ("name", "fault_profile", "simd", "target_sem")
 
 
 def classify(key: str):

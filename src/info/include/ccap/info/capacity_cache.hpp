@@ -77,6 +77,17 @@ public:
         /// Per-node Monte-Carlo options. `threads` is ignored here — the
         /// bulk-ensure path parallelizes over nodes, one thread per node.
         McOptions mc{48, 8, 1};
+        /// Warm nodes to a target interpolation error instead of a fixed
+        /// block count: when > 0, the constructor translates this into an
+        /// adaptive per-node SEM target (mc.target_sem = target_interp_err
+        /// / 1.96, the z = 1.96 confidence radius interpolate() charges per
+        /// node) so every node — whether computed by at(), ensure(), or a
+        /// cache-off recompute — runs the same adaptive McOptions. Folding
+        /// the target into the Config, rather than passing it to ensure(),
+        /// is what keeps a node's value a pure function of (config, key).
+        /// Leave 0 to keep the fixed mc.num_blocks behavior. When mc.
+        /// target_sem is also set explicitly, the tighter target wins.
+        double target_interp_err = 0.0;
         /// Mixed into every node seed; distinct caches sample independently.
         std::uint64_t seed = 0x5eedca9e00c0ffeeULL;
         std::size_t shards = 16;
@@ -117,6 +128,15 @@ public:
         double rate = 0.0;       ///< bilinear estimate, bits per channel use
         double err_bound = 0.0;  ///< certified |truth - rate| bound (see above)
         bool exact = false;      ///< (pd, pi) landed exactly on a node
+        /// MC blocks actually spent by the nodes backing this value: the
+        /// one node on an exact hit, the sum over the 4 corners otherwise.
+        /// With adaptive precision the spend varies per node, so err_bound
+        /// reflects the blocks actually run, not a nominal num_blocks.
+        std::size_t blocks = 0;
+        /// Every backing node met its SEM target (always true in fixed
+        /// mode); false means some node hit the block cap first and
+        /// err_bound is wider than the configured target.
+        bool converged = true;
     };
 
     /// Monotone bilinear interpolation over the 4 surrounding grid nodes.

@@ -51,8 +51,12 @@ namespace ccap::info {
 struct MiEstimate {
     double rate = 0.0;        ///< mean achievable rate, bits per input symbol
     double sem = 0.0;         ///< standard error of the mean
-    std::size_t blocks = 0;   ///< blocks averaged
+    std::size_t blocks = 0;   ///< blocks actually spent (averaged)
     std::size_t block_len = 0;
+    /// Adaptive mode (McOptions::target_sem > 0): the SEM target was met
+    /// before the block cap. Always true in fixed mode, where no target
+    /// exists.
+    bool converged = true;
 };
 
 /// How the Monte-Carlo estimators shape their work across the batched
@@ -96,7 +100,41 @@ struct McOptions {
     /// Work-shaping policy; McTiling::scalar forces batch = 1 regardless
     /// of `batch` (handy for A/B timing without touching the lane knob).
     McTiling tiling = McTiling::lanes_by_threads;
+    /// Adaptive precision. 0 (default) = fixed mode: exactly num_blocks
+    /// blocks run, bit-identical to the historical behavior. > 0: blocks
+    /// run in rounds of num_blocks (mc_round_blocks), and after each round
+    /// the estimator stops once the fold-order SEM of every sample so far
+    /// is <= target_sem, or once mc_block_cap() blocks were spent. The SEM
+    /// is only inspected at round boundaries of the deterministic
+    /// compensated fold (util::CompensatedStats), so the stopping time —
+    /// and hence the whole MiEstimate — is a pure function of (root seed,
+    /// options, params): bit-identical at every thread count and batch
+    /// size, exactly like the fixed mode. (Caveat shared with `batch`:
+    /// with band_eps > 0, round and grant boundaries can split a lockstep
+    /// union-band tile, which may prune slightly less than one fused tile
+    /// — never more, so the lower bound stands.)
+    double target_sem = 0.0;
+    /// Adaptive-mode total block cap; 0 picks 64 rounds' worth
+    /// (64 * mc_round_blocks). Ignored in fixed mode.
+    std::size_t max_blocks = 0;
+    /// Shared block budget for iid_mutual_information_rate_points in
+    /// adaptive mode: 0 (default) = mc_block_cap() per point — never
+    /// binding, so every point's spend is decided by its own variance
+    /// alone. A smaller budget makes the cross-point scheduler allocate
+    /// top-up rounds Neyman-style: proportionally to each point's
+    /// predicted block deficit (sd / target_sem)^2, i.e. where the
+    /// variance actually is. Ignored by the single-point estimators.
+    std::size_t point_budget = 0;
 };
+
+/// Blocks per adaptive round: num_blocks, but at least 2 so a SEM exists
+/// after the pilot round.
+[[nodiscard]] std::size_t mc_round_blocks(const McOptions& opts);
+
+/// Total blocks the estimator may spend: num_blocks in fixed mode
+/// (target_sem == 0); max_blocks (0 -> 64 rounds) in adaptive mode, never
+/// below 2.
+[[nodiscard]] std::size_t mc_block_cap(const McOptions& opts);
 
 /// The lane count the estimators actually use for `opts`: opts.batch, or
 /// auto-resolved (0) ISA-aware — a multiple of the active SIMD vector
@@ -134,9 +172,28 @@ struct CapacityPoint {
 /// Evaluate iid_mutual_information_rate at many parameter points: the point
 /// axis is parallelized over opts.threads, each point runs serially inside
 /// (its blocks still advance through the SIMD lockstep engine in tiles of
-/// resolved_mc_batch lanes). out[i] is bit-identical to
+/// resolved_mc_batch lanes). In fixed mode (target_sem == 0) out[i] is
+/// bit-identical to
 ///   Rng r(points[i].seed);
 ///   iid_mutual_information_rate(points[i].params, {opts, threads = 1}, r);
+///
+/// Adaptive mode (target_sem > 0) runs a two-stage variance-aware
+/// scheduler: a pilot round (mc_round_blocks blocks) at every point, then
+/// repeated Neyman-style allocation passes that grant top-up rounds where
+/// the per-point variance says they are needed — each needy point's
+/// predicted deficit is ceil((sd_i / target_sem)^2) - spent_i blocks,
+/// granted outright while the shared budget (McOptions::point_budget)
+/// lasts and scaled proportionally when it does not. All decisions are
+/// functions of the deterministic per-point folds, so the spent counts and
+/// estimates are bit-identical at every thread count; and because block
+/// samples depend only on (point, global block index), out[i] is
+/// bit-identical to a standalone fixed-mode evaluation of the same point
+/// over the same number of blocks:
+///   Rng r(points[i].seed);
+///   iid_mutual_information_rate(points[i].params,
+///                               {opts, num_blocks = out[i].blocks,
+///                                target_sem = 0, threads = 1}, r);
+/// (at band_eps = 0; see the McOptions::target_sem caveat).
 [[nodiscard]] std::vector<MiEstimate> iid_mutual_information_rate_points(
     std::span<const CapacityPoint> points, const McOptions& opts);
 

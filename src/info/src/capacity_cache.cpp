@@ -29,6 +29,16 @@ CapacityCache::CapacityCache(Config cfg)
         throw std::invalid_argument("CapacityCache: grid maxima must satisfy pd+pi < 1");
     ipd_max_ = static_cast<std::int32_t>(std::floor(g.pd_max / g.pd_step + 1e-9));
     ipi_max_ = static_cast<std::int32_t>(std::floor(g.pi_max / g.pi_step + 1e-9));
+    if (cfg_.target_interp_err < 0.0)
+        throw std::invalid_argument("CapacityCache: target_interp_err must be >= 0");
+    if (cfg_.target_interp_err > 0.0) {
+        // interpolate() charges 1.96 * sem per node, so a per-node SEM of
+        // err / 1.96 delivers the requested confidence radius. Baked into
+        // the Config once, here, so every node evaluation path shares it.
+        const double sem_target = cfg_.target_interp_err / 1.96;
+        if (!(cfg_.mc.target_sem > 0.0) || sem_target < cfg_.mc.target_sem)
+            cfg_.mc.target_sem = sem_target;
+    }
     // Validate the extreme node up front so bad base params fail fast.
     node_params({ipd_max_, ipi_max_}).validate();
 }
@@ -89,8 +99,13 @@ CapacityCache::Interpolated CapacityCache::interpolate(double pd, double pi) {
     Interpolated out;
     if (td == 0.0 && ti == 0.0) {
         out.rate = c00.rate;
+        // Adaptive nodes stop on their realized SEM, so this radius — and
+        // the blocks/converged report — reflects what the node actually
+        // ran, not the nominal num_blocks.
         out.err_bound = 1.96 * c00.sem;
         out.exact = true;
+        out.blocks = c00.blocks;
+        out.converged = c00.converged;
         return out;
     }
     const MiEstimate c10 = at({i1, j0});
@@ -106,6 +121,8 @@ CapacityCache::Interpolated CapacityCache::interpolate(double pd, double pi) {
     const double sem = std::max({c00.sem, c10.sem, c01.sem, c11.sem});
     out.err_bound = (cmax - cmin) + 1.96 * sem;
     out.exact = false;
+    out.blocks = c00.blocks + c10.blocks + c01.blocks + c11.blocks;
+    out.converged = c00.converged && c10.converged && c01.converged && c11.converged;
     return out;
 }
 

@@ -93,49 +93,63 @@ std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source, uns
 
 namespace {
 
-/// Shared scaffolding of the two Monte-Carlo estimators: one root seed is
-/// split off the caller's Rng, every block runs on its own substream, and
-/// the per-block samples are folded in block order — the result cannot
-/// depend on the thread count or on scheduling.
-template <typename BlockFn>
-MiEstimate parallel_mc_estimate(const McOptions& opts, util::Rng& rng, BlockFn&& sample_block) {
+/// Adaptive-precision Monte-Carlo driver shared by every estimator.
+///
+/// One root seed is split off the caller's Rng; block b always runs on
+/// substream b of that root and the per-block samples fold in block order
+/// through the compensated accumulator — so the samples, the fold, and
+/// therefore the SEM trajectory are pure functions of (root, options,
+/// params), independent of threads, batch and scheduling.
+///
+/// Fixed mode (target_sem == 0) runs one round of exactly num_blocks
+/// blocks: the historical behavior, bit for bit. Adaptive mode runs rounds
+/// of mc_round_blocks blocks and re-checks the fold-order SEM after each
+/// round, stopping at the first round boundary where SEM <= target_sem or
+/// at mc_block_cap blocks. Because the check only reads the deterministic
+/// fold, the data-dependent stopping time is itself seed-deterministic.
+///
+/// Within a round, work is parallelized at lockstep-tile granularity with
+/// tile boundaries aligned to global multiples of `batch` counted from
+/// block 0 (never from the round start), so the tile partition of blocks
+/// [0, spent) is independent of where the rounds fell.
+/// sample_range(root, b0, out) must fill out[i] with the sample of block
+/// b0 + i, serially (the driver owns the parallelism); every range it
+/// receives lies within one aligned tile.
+template <typename RangeFn>
+MiEstimate adaptive_mc_estimate(const McOptions& opts, std::size_t batch, util::Rng& rng,
+                                RangeFn&& sample_range) {
     const std::uint64_t root = rng.next();
-    std::vector<double> samples(opts.num_blocks, 0.0);
-    util::parallel_for(
-        util::ThreadPool::shared(), opts.num_blocks,
-        [&](std::size_t b) {
-            util::Rng block_rng(util::substream_seed(root, b));
-            samples[b] = sample_block(block_rng);
-        },
-        opts.threads);
-    util::RunningStats stats;
-    for (double v : samples) stats.add(v);
-    return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
-}
+    const std::size_t cap = mc_block_cap(opts);
+    const bool adaptive = opts.target_sem > 0.0;
+    const std::size_t round = adaptive ? mc_round_blocks(opts) : cap;
 
-/// Batched variant: blocks are grouped into tiles of `batch` consecutive
-/// blocks and each tile runs its lattice sweeps through the lockstep
-/// engine. Seeding stays per block (substream by block index, folded in
-/// block order), so the samples — and hence the estimate — are the same
-/// as the scalar path for any batch/threads combination at band_eps = 0.
-/// sample_tile(b0, out) must fill out[i] with the sample of block b0 + i.
-template <typename TileFn>
-MiEstimate parallel_mc_estimate_tiles(const McOptions& opts, std::size_t batch,
-                                      util::Rng& rng, TileFn&& sample_tile) {
-    const std::uint64_t root = rng.next();
-    std::vector<double> samples(opts.num_blocks, 0.0);
-    const std::size_t tiles = (opts.num_blocks + batch - 1) / batch;
-    util::parallel_for(
-        util::ThreadPool::shared(), tiles,
-        [&](std::size_t t) {
-            const std::size_t b0 = t * batch;
-            const std::size_t b1 = std::min(b0 + batch, opts.num_blocks);
-            sample_tile(root, b0, std::span<double>(samples).subspan(b0, b1 - b0));
-        },
-        opts.threads);
-    util::RunningStats stats;
-    for (double v : samples) stats.add(v);
-    return {std::max(0.0, stats.mean()), stats.sem(), opts.num_blocks, opts.block_len};
+    util::CompensatedStats stats;
+    std::vector<double> samples;
+    std::size_t spent = 0;
+    bool converged = !adaptive;
+    while (spent < cap) {
+        const std::size_t b0 = spent;
+        const std::size_t b1 = std::min(cap, b0 + round);
+        samples.assign(b1 - b0, 0.0);
+        const std::size_t t0 = b0 / batch;
+        const std::size_t t1 = (b1 + batch - 1) / batch;
+        util::parallel_for(
+            util::ThreadPool::shared(), t1 - t0,
+            [&](std::size_t ti) {
+                const std::size_t t = t0 + ti;
+                const std::size_t lo = std::max(b0, t * batch);
+                const std::size_t hi = std::min(b1, (t + 1) * batch);
+                sample_range(root, lo, std::span<double>(samples).subspan(lo - b0, hi - lo));
+            },
+            opts.threads);
+        for (double v : samples) stats.add(v);
+        spent = b1;
+        if (adaptive && spent >= 2 && stats.sem() <= opts.target_sem) {
+            converged = true;
+            break;
+        }
+    }
+    return {std::max(0.0, stats.mean()), stats.sem(), spent, opts.block_len, converged};
 }
 
 /// McOptions::band_eps > 0 overrides the params' own band setting for the
@@ -147,6 +161,18 @@ DriftParams effective_params(const DriftParams& params, const McOptions& opts) {
 }
 
 }  // namespace
+
+std::size_t mc_round_blocks(const McOptions& opts) {
+    return std::max<std::size_t>(2, opts.num_blocks);
+}
+
+std::size_t mc_block_cap(const McOptions& opts) {
+    if (!(opts.target_sem > 0.0)) return opts.num_blocks;
+    constexpr std::size_t kDefaultCapRounds = 64;
+    const std::size_t cap =
+        opts.max_blocks ? opts.max_blocks : kDefaultCapRounds * mc_round_blocks(opts);
+    return std::max<std::size_t>(2, cap);
+}
 
 std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) {
     if (opts.tiling == McTiling::scalar) return 1;
@@ -173,6 +199,133 @@ std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) 
     return std::max<std::size_t>(1, b);
 }
 
+namespace {
+
+/// Serial sampler of iid-input MI blocks [b0, b0 + out.size()): each block
+/// generates tx/rx on its own substream of `root`, then both the
+/// point-prior conditional and the uniform-prior marginal sweep the
+/// lattice — in lockstep tiles aligned to global multiples of `batch`
+/// counted from block 0 (batch <= 1 routes to the scalar engine). The
+/// alignment makes the tile partition a function of the block indices
+/// alone, so any carve-up of [0, N) into ranges produces the same sweeps.
+/// One leased workspace per call: the lattice passes reuse the same
+/// arenas, allocation-free at steady state.
+struct IidBlockSampler {
+    const DriftHmm& hmm;
+    const DriftParams& params;
+    const util::Matrix& priors;
+    std::size_t block_len;
+    std::size_t batch;
+
+    void operator()(std::uint64_t root, std::size_t b0, std::span<double> out) const {
+        const unsigned m = params.alphabet;
+        ScopedWorkspace ws;
+        if (batch <= 1) {
+            std::vector<std::uint8_t> tx(block_len);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                util::Rng block_rng(util::substream_seed(root, b0 + i));
+                for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
+                const std::vector<std::uint8_t> rx =
+                    simulate_drift_channel(tx, params, block_rng);
+                const double log_cond = hmm.log2_likelihood(tx, rx, ws);
+                const double log_marg =
+                    hmm.log2_prior_marginal_banded(priors, rx, ws).log2_evidence;
+                // Non-finite = the block fell outside the lattice
+                // truncation; score it zero information, preserving the
+                // lower-bound semantics.
+                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                             ? (log_cond - log_marg) / static_cast<double>(block_len)
+                             : 0.0;
+            }
+            return;
+        }
+        std::size_t pos = 0;
+        while (pos < out.size()) {
+            const std::size_t b = b0 + pos;
+            const std::size_t tile_end = (b / batch + 1) * batch;  // global alignment
+            const std::size_t lanes = std::min(out.size() - pos, tile_end - b);
+            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
+            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                util::Rng block_rng(util::substream_seed(root, b + i));
+                tx[i].resize(block_len);
+                for (auto& s : tx[i])
+                    s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
+                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
+                txv[i] = tx[i];
+                rxv[i] = rx[i];
+            }
+            const std::vector<BandedEvidence> cond = hmm.log2_likelihood_batch(txv, rxv, ws);
+            const std::vector<BandedEvidence> marg =
+                hmm.log2_prior_marginal_batch(priors, rxv, ws);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                const double log_cond = cond[i].log2_evidence;
+                const double log_marg = marg[i].log2_evidence;
+                out[pos + i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                                   ? (log_cond - log_marg) / static_cast<double>(block_len)
+                                   : 0.0;
+            }
+            pos += lanes;
+        }
+    }
+};
+
+/// Markov-source counterpart. The conditional likelihoods of a tile run in
+/// lockstep; the joint (drift, symbol) Markov marginal has no batched
+/// counterpart yet and stays scalar per lane.
+struct MarkovBlockSampler {
+    const DriftHmm& hmm;
+    const DriftParams& params;
+    const MarkovSource& source;
+    std::size_t block_len;
+    std::size_t batch;
+
+    void operator()(std::uint64_t root, std::size_t b0, std::span<double> out) const {
+        ScopedWorkspace ws;
+        if (batch <= 1) {
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                util::Rng block_rng(util::substream_seed(root, b0 + i));
+                const std::vector<std::uint8_t> tx =
+                    simulate_markov_source(source, params.alphabet, block_len, block_rng);
+                const std::vector<std::uint8_t> rx =
+                    simulate_drift_channel(tx, params, block_rng);
+                const double log_cond = hmm.log2_likelihood(tx, rx, ws);
+                const double log_marg = hmm.log2_markov_marginal(source, block_len, rx, ws);
+                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                             ? (log_cond - log_marg) / static_cast<double>(block_len)
+                             : 0.0;
+            }
+            return;
+        }
+        std::size_t pos = 0;
+        while (pos < out.size()) {
+            const std::size_t b = b0 + pos;
+            const std::size_t tile_end = (b / batch + 1) * batch;
+            const std::size_t lanes = std::min(out.size() - pos, tile_end - b);
+            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
+            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                util::Rng block_rng(util::substream_seed(root, b + i));
+                tx[i] = simulate_markov_source(source, params.alphabet, block_len, block_rng);
+                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
+                txv[i] = tx[i];
+                rxv[i] = rx[i];
+            }
+            const std::vector<BandedEvidence> cond = hmm.log2_likelihood_batch(txv, rxv, ws);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                const double log_cond = cond[i].log2_evidence;
+                const double log_marg = hmm.log2_markov_marginal(source, block_len, rx[i], ws);
+                out[pos + i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
+                                   ? (log_cond - log_marg) / static_cast<double>(block_len)
+                                   : 0.0;
+            }
+            pos += lanes;
+        }
+    }
+};
+
+}  // namespace
+
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
                                           const McOptions& opts, util::Rng& rng) {
     params.validate();
@@ -182,50 +335,8 @@ MiEstimate markov_mutual_information_rate(const DriftParams& params, const Marko
 
     const DriftHmm hmm(effective_params(params, opts));
     const std::size_t batch = resolved_mc_batch(opts, params);
-    if (batch <= 1) {
-        return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
-            const std::vector<std::uint8_t> tx =
-                simulate_markov_source(source, params.alphabet, opts.block_len, block_rng);
-            const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
-            // One leased workspace per pool worker: the lattice passes of a
-            // block reuse the same arenas, allocation-free at steady state.
-            ScopedWorkspace ws;
-            const double log_cond = hmm.log2_likelihood(tx, rx, ws);
-            const double log_marg = hmm.log2_markov_marginal(source, opts.block_len, rx, ws);
-            if (!std::isfinite(log_cond) || !std::isfinite(log_marg))
-                return 0.0;  // outside the truncation: score zero information
-            return (log_cond - log_marg) / static_cast<double>(opts.block_len);
-        });
-    }
-    // Batched tile: the conditional likelihoods of a tile run in lockstep;
-    // the joint (drift, symbol) Markov marginal has no batched counterpart
-    // yet and stays scalar per lane.
-    return parallel_mc_estimate_tiles(
-        opts, batch, rng,
-        [&](std::uint64_t root, std::size_t b0, std::span<double> out) {
-            const std::size_t lanes = out.size();
-            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
-            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
-            for (std::size_t i = 0; i < lanes; ++i) {
-                util::Rng block_rng(util::substream_seed(root, b0 + i));
-                tx[i] = simulate_markov_source(source, params.alphabet, opts.block_len,
-                                               block_rng);
-                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
-                txv[i] = tx[i];
-                rxv[i] = rx[i];
-            }
-            ScopedWorkspace ws;
-            const std::vector<BandedEvidence> cond =
-                hmm.log2_likelihood_batch(txv, rxv, ws);
-            for (std::size_t i = 0; i < lanes; ++i) {
-                const double log_cond = cond[i].log2_evidence;
-                const double log_marg =
-                    hmm.log2_markov_marginal(source, opts.block_len, rx[i], ws);
-                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
-                             ? (log_cond - log_marg) / static_cast<double>(opts.block_len)
-                             : 0.0;
-            }
-        });
+    const MarkovBlockSampler sampler{hmm, params, source, opts.block_len, batch};
+    return adaptive_mc_estimate(opts, batch, rng, sampler);
 }
 
 MiEstimate markov_mutual_information_rate(const DriftParams& params, const MarkovSource& source,
@@ -242,60 +353,11 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, const McOption
         throw std::invalid_argument("iid_mutual_information_rate: empty experiment");
 
     const DriftHmm hmm(effective_params(params, opts));
-    const unsigned m = params.alphabet;
-    const util::Matrix uniform_priors(opts.block_len, m, 1.0 / static_cast<double>(m));
+    const util::Matrix uniform_priors(opts.block_len, params.alphabet,
+                                      1.0 / static_cast<double>(params.alphabet));
     const std::size_t batch = resolved_mc_batch(opts, params);
-
-    if (batch <= 1) {
-        return parallel_mc_estimate(opts, rng, [&](util::Rng& block_rng) {
-            std::vector<std::uint8_t> tx(opts.block_len);
-            for (auto& s : tx) s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
-            const std::vector<std::uint8_t> rx = simulate_drift_channel(tx, params, block_rng);
-
-            // One leased workspace per pool worker (see the Markov
-            // estimator). The marginal needs only the forward evidence.
-            ScopedWorkspace ws;
-            const double log_cond = hmm.log2_likelihood(tx, rx, ws);
-            const double log_marg =
-                hmm.log2_prior_marginal_banded(uniform_priors, rx, ws).log2_evidence;
-            if (!std::isfinite(log_cond) || !std::isfinite(log_marg)) {
-                // Block fell outside the lattice truncation; score it zero
-                // information, preserving the lower-bound semantics.
-                return 0.0;
-            }
-            return (log_cond - log_marg) / static_cast<double>(opts.block_len);
-        });
-    }
-    // Batched tile: both the point-prior conditional and the uniform-prior
-    // marginal of a tile's blocks run in lockstep through the SoA engine.
-    return parallel_mc_estimate_tiles(
-        opts, batch, rng,
-        [&](std::uint64_t root, std::size_t b0, std::span<double> out) {
-            const std::size_t lanes = out.size();
-            std::vector<std::vector<std::uint8_t>> tx(lanes), rx(lanes);
-            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
-            for (std::size_t i = 0; i < lanes; ++i) {
-                util::Rng block_rng(util::substream_seed(root, b0 + i));
-                tx[i].resize(opts.block_len);
-                for (auto& s : tx[i])
-                    s = static_cast<std::uint8_t>(block_rng.uniform_below(m));
-                rx[i] = simulate_drift_channel(tx[i], params, block_rng);
-                txv[i] = tx[i];
-                rxv[i] = rx[i];
-            }
-            ScopedWorkspace ws;
-            const std::vector<BandedEvidence> cond =
-                hmm.log2_likelihood_batch(txv, rxv, ws);
-            const std::vector<BandedEvidence> marg =
-                hmm.log2_prior_marginal_batch(uniform_priors, rxv, ws);
-            for (std::size_t i = 0; i < lanes; ++i) {
-                const double log_cond = cond[i].log2_evidence;
-                const double log_marg = marg[i].log2_evidence;
-                out[i] = (std::isfinite(log_cond) && std::isfinite(log_marg))
-                             ? (log_cond - log_marg) / static_cast<double>(opts.block_len)
-                             : 0.0;
-            }
-        });
+    const IidBlockSampler sampler{hmm, params, uniform_priors, opts.block_len, batch};
+    return adaptive_mc_estimate(opts, batch, rng, sampler);
 }
 
 MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t block_len,
@@ -303,18 +365,149 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t bl
     return iid_mutual_information_rate(params, McOptions{block_len, num_blocks, 0}, rng);
 }
 
+namespace {
+
+/// Per-point state of the adaptive cross-point scheduler. The root seed,
+/// the model and the fold are all derived from the point alone, so every
+/// decision the scheduler takes about this point — and the estimate it
+/// emits — is independent of the other points' values (only the *budget*
+/// couples points, and only when McOptions::point_budget binds).
+struct PointCtx {
+    DriftParams params;        ///< the channel the blocks sample
+    DriftHmm hmm;              ///< built from effective_params (band override)
+    util::Matrix priors;       ///< uniform input priors for the marginal pass
+    std::size_t batch;         ///< resolved lockstep tile width for this point
+    std::uint64_t root;        ///< Rng(point.seed).next(), as standalone would draw
+    util::CompensatedStats stats;
+    std::size_t spent = 0;
+    bool converged = false;
+};
+
+}  // namespace
+
 std::vector<MiEstimate> iid_mutual_information_rate_points(
     std::span<const CapacityPoint> points, const McOptions& opts) {
     std::vector<MiEstimate> out(points.size());
-    McOptions inner = opts;
-    inner.threads = 1;  // the point axis owns the parallelism
+    if (points.empty()) return out;
+
+    if (!(opts.target_sem > 0.0)) {
+        // Fixed mode: per-point standalone evaluation, parallel over the
+        // point axis (the historical behavior, bit for bit).
+        McOptions inner = opts;
+        inner.threads = 1;  // the point axis owns the parallelism
+        util::parallel_for(
+            util::ThreadPool::shared(), points.size(),
+            [&](std::size_t i) {
+                util::Rng rng(points[i].seed);
+                out[i] = iid_mutual_information_rate(points[i].params, inner, rng);
+            },
+            opts.threads);
+        return out;
+    }
+
+    // Adaptive mode: pilot round everywhere, then Neyman-style top-up
+    // passes. All scheduling decisions read only the deterministic
+    // per-point folds, serially, so spent counts and estimates do not
+    // depend on the thread count.
+    if (opts.block_len == 0 || opts.num_blocks == 0)
+        throw std::invalid_argument("iid_mutual_information_rate_points: empty experiment");
+    const std::size_t cap = mc_block_cap(opts);
+    const std::size_t round = mc_round_blocks(opts);
+
+    std::vector<PointCtx> ctx;
+    ctx.reserve(points.size());
+    for (const CapacityPoint& pt : points) {
+        pt.params.validate();
+        const unsigned m = pt.params.alphabet;
+        util::Rng rng(pt.seed);
+        ctx.push_back(PointCtx{pt.params, DriftHmm(effective_params(pt.params, opts)),
+                               util::Matrix(opts.block_len, m, 1.0 / static_cast<double>(m)),
+                               resolved_mc_batch(opts, pt.params), rng.next(),
+                               util::CompensatedStats{}, 0, false});
+    }
+
+    // Run `n` more blocks of point `c`, serially: block b always samples
+    // substream b of the point's root and folds in block order, exactly as
+    // a standalone run would, so (point, spent) determines the estimate.
+    const auto run_blocks = [&](PointCtx& c, std::size_t n) {
+        std::vector<double> samples(n);
+        const IidBlockSampler sampler{c.hmm, c.params, c.priors, opts.block_len, c.batch};
+        sampler(c.root, c.spent, samples);
+        for (double v : samples) c.stats.add(v);
+        c.spent += n;
+    };
+
+    // Stage 1: pilot round at every point (always runs; the budget governs
+    // the top-ups).
     util::parallel_for(
-        util::ThreadPool::shared(), points.size(),
-        [&](std::size_t i) {
-            util::Rng rng(points[i].seed);
-            out[i] = iid_mutual_information_rate(points[i].params, inner, rng);
-        },
-        opts.threads);
+        util::ThreadPool::shared(), ctx.size(),
+        [&](std::size_t i) { run_blocks(ctx[i], std::min(round, cap)); }, opts.threads);
+    const std::size_t pilot_cost = std::min(round, cap) * ctx.size();
+    std::size_t budget = opts.point_budget ? opts.point_budget : cap * ctx.size();
+    budget = budget > pilot_cost ? budget - pilot_cost : 0;
+
+    // Stage 2: repeated allocation passes. Each pass computes every needy
+    // point's predicted block need n* = (sd / target_sem)^2, grants the
+    // deficit (rounded up to whole rounds, clamped to the cap) outright
+    // when the budget covers the pass, and scales grants proportionally
+    // when it does not.
+    while (budget > 0) {
+        std::vector<std::size_t> needy;
+        std::vector<std::size_t> want;
+        std::size_t total_want = 0;
+        for (std::size_t i = 0; i < ctx.size(); ++i) {
+            PointCtx& c = ctx[i];
+            if (c.converged || c.spent >= cap) continue;
+            if (c.stats.sem() <= opts.target_sem) {
+                c.converged = true;
+                continue;
+            }
+            const double sd = c.stats.stddev();
+            const double predicted = (sd / opts.target_sem) * (sd / opts.target_sem);
+            std::size_t deficit =
+                predicted > static_cast<double>(c.spent)
+                    ? static_cast<std::size_t>(std::ceil(predicted)) - c.spent
+                    : 1;  // SEM still above target: must make progress
+            deficit = (deficit + round - 1) / round * round;  // whole rounds
+            deficit = std::min(deficit, cap - c.spent);
+            needy.push_back(i);
+            want.push_back(deficit);
+            total_want += deficit;
+        }
+        if (needy.empty()) break;
+        if (total_want > budget) {
+            // Scarcity: scale every grant by budget / total_want, keeping
+            // whole rounds where possible; guarantee progress by giving the
+            // first needy point whatever is left when rounding zeroes all.
+            std::size_t granted_total = 0;
+            for (std::size_t k = 0; k < needy.size(); ++k) {
+                const auto scaled = static_cast<std::size_t>(
+                    static_cast<double>(want[k]) * static_cast<double>(budget) /
+                    static_cast<double>(total_want));
+                want[k] = std::min(scaled / round * round, cap - ctx[needy[k]].spent);
+                granted_total += want[k];
+            }
+            if (granted_total == 0)
+                want[0] = std::min({budget, round, cap - ctx[needy[0]].spent});
+        }
+        std::size_t granted = 0;
+        for (std::size_t w : want) granted += w;
+        if (granted == 0) break;  // every needy point is at the cap
+        util::parallel_for(
+            util::ThreadPool::shared(), needy.size(),
+            [&](std::size_t k) {
+                if (want[k] > 0) run_blocks(ctx[needy[k]], want[k]);
+            },
+            opts.threads);
+        budget = budget > granted ? budget - granted : 0;
+    }
+
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+        PointCtx& c = ctx[i];
+        if (c.stats.sem() <= opts.target_sem) c.converged = true;
+        out[i] = {std::max(0.0, c.stats.mean()), c.stats.sem(), c.spent, opts.block_len,
+                  c.converged};
+    }
     return out;
 }
 

@@ -101,6 +101,15 @@ struct ContentionReport {
     /// Sum of per-flow err_bound * served / ticks (0 in exact mode).
     double aggregate_err_bound_per_tick = 0.0;
     std::size_t distinct_nodes = 0;     ///< grid nodes actually evaluated
+    /// Monte-Carlo blocks backing this run's capacity values: the sum over
+    /// distinct evaluated nodes in the dedup-exact path, over per-flow
+    /// evaluations in the naive path, and over each flow's backing corner
+    /// nodes in interpolated mode. With an adaptive cache config
+    /// (target_interp_err / mc.target_sem) this is where the saved blocks
+    /// show up; in fixed mode it is just num_blocks times the node count.
+    std::uint64_t mc_blocks_spent = 0;
+    /// Every backing node met its SEM target (vacuously true in fixed mode).
+    bool mc_converged = true;
     util::ShardCacheStats cache;        ///< cache stats delta for this run
 };
 

@@ -164,6 +164,11 @@ ContentionReport ContentionEngine::run() const {
         // Fast path: one MC evaluation per distinct node, batched over the
         // pool, then O(1) lookups per flow.
         cache_->ensure(unique, cfg_.threads);
+        for (const info::CapacityKey& k : unique) {
+            const info::MiEstimate est = cache_->at(k);
+            report.mc_blocks_spent += est.blocks;
+            report.mc_converged = report.mc_converged && est.converged;
+        }
         for (std::size_t f = 0; f < cfg_.flows; ++f)
             report.flows[f].capacity = cache_->at(keys[f]).rate;
     } else if (cfg_.quantize_exact) {
@@ -179,8 +184,11 @@ ContentionReport ContentionEngine::run() const {
         opts.threads = cfg_.threads;
         const std::vector<info::MiEstimate> values =
             info::iid_mutual_information_rate_points(points, opts);
-        for (std::size_t f = 0; f < cfg_.flows; ++f)
+        for (std::size_t f = 0; f < cfg_.flows; ++f) {
             report.flows[f].capacity = values[f].rate;
+            report.mc_blocks_spent += values[f].blocks;
+            report.mc_converged = report.mc_converged && values[f].converged;
+        }
     } else {
         // Interpolated mode: warm the nearest nodes in one batched pass,
         // then bilinear per flow with a certified error bound.
@@ -190,6 +198,8 @@ ContentionReport ContentionEngine::run() const {
                 cache_->interpolate(report.flows[f].p_d_eff, report.flows[f].p_i_eff);
             report.flows[f].capacity = v.rate;
             report.flows[f].err_bound = v.err_bound;
+            report.mc_blocks_spent += v.blocks;
+            report.mc_converged = report.mc_converged && v.converged;
         }
     }
 

@@ -48,6 +48,48 @@ double RunningStats::sem() const noexcept {
 
 double RunningStats::ci_halfwidth(double z) const noexcept { return z * sem(); }
 
+namespace {
+
+/// One Kahan step: s += v with the rounding error carried in c. Written as
+/// the canonical four-operation sequence; kept out of line-level cleverness
+/// so no compiler reassociation (the build does not enable fast-math) can
+/// collapse the compensation away.
+inline void kahan_add(double& s, double& c, double v) noexcept {
+    const double y = v - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+}
+
+}  // namespace
+
+void CompensatedStats::add(double x) noexcept {
+    if (n_ == 0) shift_ = x;  // pin the shift to the first sample
+    ++n_;
+    const double d = x - shift_;
+    kahan_add(sum_, sum_c_, d);
+    kahan_add(sq_, sq_c_, d * d);
+}
+
+double CompensatedStats::mean() const noexcept {
+    return n_ ? shift_ + sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double CompensatedStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    const double n = static_cast<double>(n_);
+    // Shifted-data variance: both terms are at the noise scale (the shift
+    // removed the large common mean), so the subtraction is benign.
+    const double centered = sq_ - sum_ * sum_ / n;
+    return std::max(0.0, centered / (n - 1.0));
+}
+
+double CompensatedStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double CompensatedStats::sem() const noexcept {
+    return n_ >= 2 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
     if (!(hi > lo) || bins == 0)

@@ -135,6 +135,88 @@ TEST(CapacityCacheTest, InterpolateBracketsInteriorPoints) {
     EXPECT_GE(v.err_bound, hi - lo);
 }
 
+TEST(CapacityCacheTest, AdaptiveConfigTranslatesTargetErrToNodeSemTarget) {
+    CapacityCache::Config cfg = small_config();
+    cfg.target_interp_err = 0.0392;  // 1.96 * 0.02
+    CapacityCache cache(cfg);
+    EXPECT_NEAR(cache.config().mc.target_sem, 0.02, 1e-12);
+
+    // An explicitly tighter mc.target_sem wins over the derived one.
+    CapacityCache::Config tighter = small_config();
+    tighter.target_interp_err = 0.0392;
+    tighter.mc.target_sem = 0.001;
+    EXPECT_NEAR(CapacityCache(tighter).config().mc.target_sem, 0.001, 1e-12);
+
+    CapacityCache::Config bad = small_config();
+    bad.target_interp_err = -0.1;
+    EXPECT_THROW(CapacityCache{bad}, std::invalid_argument);
+}
+
+TEST(CapacityCacheTest, AdaptiveNodesStayBitIdenticalAcrossCacheAndEnsure) {
+    // The determinism contract must survive adaptive precision: the node
+    // value (including the data-dependent blocks spent) is still a pure
+    // function of (config, key), however it was computed.
+    CapacityCache::Config cfg = small_config();
+    cfg.target_interp_err = 0.08;
+    CapacityCache cached(cfg);
+    CapacityCache::Config off = cfg;
+    off.enabled = false;
+    CapacityCache uncached(off);
+    CapacityCache warmed(cfg);
+    const std::vector<CapacityKey> keys = {{0, 0}, {2, 1}, {6, 3}};
+    warmed.ensure(keys, 4);
+    for (const CapacityKey& k : keys) {
+        const MiEstimate c = cached.at(k);
+        const MiEstimate u = uncached.at(k);
+        const MiEstimate w = warmed.at(k);
+        EXPECT_EQ(c.rate, u.rate);
+        EXPECT_EQ(c.sem, u.sem);
+        EXPECT_EQ(c.blocks, u.blocks);
+        EXPECT_EQ(c.converged, u.converged);
+        EXPECT_EQ(c.rate, w.rate);
+        EXPECT_EQ(c.blocks, w.blocks);
+    }
+}
+
+TEST(CapacityCacheTest, InterpolateReportsBlocksActuallySpent) {
+    // Satellite regression: err_bound and the new blocks/converged fields
+    // must reflect the adaptive nodes' realized spend, not the nominal
+    // num_blocks.
+    CapacityCache::Config cfg = small_config();
+    cfg.target_interp_err = 0.08;
+    CapacityCache cache(cfg);
+
+    const auto exact = cache.interpolate(0.10, 0.05);
+    ASSERT_TRUE(exact.exact);
+    const MiEstimate node = cache.at({2, 1});
+    EXPECT_EQ(exact.blocks, node.blocks);
+    EXPECT_EQ(exact.converged, node.converged);
+    EXPECT_EQ(exact.err_bound, 1.96 * node.sem);
+    if (node.converged) {
+        EXPECT_LE(exact.err_bound, cfg.target_interp_err + 1e-12);
+    }
+
+    const auto interior = cache.interpolate(0.125, 0.06);
+    ASSERT_FALSE(interior.exact);
+    const std::size_t corner_sum = cache.at({2, 1}).blocks + cache.at({3, 1}).blocks +
+                                   cache.at({2, 2}).blocks + cache.at({3, 2}).blocks;
+    EXPECT_EQ(interior.blocks, corner_sum);
+    EXPECT_GE(interior.blocks, 4 * ccap::info::mc_round_blocks(cache.config().mc));
+}
+
+TEST(CapacityCacheTest, FixedModeInterpolateKeepsNominalBlocks) {
+    // With no adaptive target every node spends exactly num_blocks and the
+    // new fields degrade to the nominal accounting.
+    CapacityCache cache(small_config());
+    const auto exact = cache.interpolate(0.10, 0.05);
+    ASSERT_TRUE(exact.exact);
+    EXPECT_TRUE(exact.converged);
+    EXPECT_EQ(exact.blocks, cache.config().mc.num_blocks);
+    const auto interior = cache.interpolate(0.125, 0.06);
+    EXPECT_TRUE(interior.converged);
+    EXPECT_EQ(interior.blocks, 4 * cache.config().mc.num_blocks);
+}
+
 TEST(CapacityCacheTest, CapacityDecreasesAlongTheDeletionAxis) {
     // Sanity for the monotonicity the interpolation bound leans on: more
     // contention-induced deletions cannot raise the achievable rate (within

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@ void expect_bit_identical(const MiEstimate& a, const MiEstimate& b) {
     EXPECT_EQ(a.sem, b.sem);
     EXPECT_EQ(a.blocks, b.blocks);
     EXPECT_EQ(a.block_len, b.block_len);
+    EXPECT_EQ(a.converged, b.converged);
 }
 
 TEST(ParallelMcDeterminism, IidRateInvariantInThreadCount) {
@@ -253,5 +255,269 @@ INSTANTIATE_TEST_SUITE_P(
         return "t" + std::to_string(info.param.threads) + "_b" +
                std::to_string(info.param.batch);
     });
+
+// ---------------------------------------------------------------------------
+// Adaptive early stopping (McOptions::target_sem). The data-dependent
+// stopping time must itself be a pure function of the root seed — the same
+// blocks spent, and the same bits out, at every thread count and batch
+// size. Suite names start with ParallelMc so the tier-1 TSan stage covers
+// the concurrent round loop.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMcAdaptive, TargetZeroIsFixedModeExactly) {
+    // target_sem = 0 must reproduce the historical fixed-block behavior bit
+    // for bit; max_blocks and point_budget are documented as ignored there.
+    const DriftParams p{0.15, 0.05, 0.02, 2, 32, 8};
+    McOptions fixed;
+    fixed.block_len = 48;
+    fixed.num_blocks = 12;
+    fixed.threads = 2;
+    Rng a(0xC0FFEE);
+    const MiEstimate baseline = iid_mutual_information_rate(p, fixed, a);
+    EXPECT_TRUE(baseline.converged);
+    EXPECT_EQ(baseline.blocks, fixed.num_blocks);
+
+    McOptions opts = fixed;
+    opts.target_sem = 0.0;
+    opts.max_blocks = 7;      // ignored in fixed mode
+    opts.point_budget = 3;    // ignored by the single-point estimators
+    Rng b(0xC0FFEE);
+    expect_bit_identical(baseline, iid_mutual_information_rate(p, opts, b));
+}
+
+TEST(ParallelMcAdaptive, ConvergedMeetsTargetAndSpendsWholeRounds) {
+    const DriftParams p{0.1, 0.02, 0.0, 2, 24, 6};
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 8;  // round size in adaptive mode
+    opts.target_sem = 0.02;
+    opts.threads = 2;
+    Rng rng(123);
+    const MiEstimate est = iid_mutual_information_rate(p, opts, rng);
+    ASSERT_TRUE(est.converged);
+    EXPECT_LE(est.sem, opts.target_sem);
+    EXPECT_GE(est.blocks, mc_round_blocks(opts));
+    EXPECT_LE(est.blocks, mc_block_cap(opts));
+    EXPECT_EQ(est.blocks % mc_round_blocks(opts), 0u);
+}
+
+TEST(ParallelMcAdaptive, ZeroVarianceChannelStopsAfterPilotRound) {
+    // A noiseless channel scores every block exactly 1 bit/use: the SEM is
+    // identically 0 after the pilot round, so the driver must stop there.
+    const DriftParams p{0.0, 0.0, 0.0, 2, 24, 6};
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 1e-6;
+    Rng rng(5);
+    const MiEstimate est = iid_mutual_information_rate(p, opts, rng);
+    EXPECT_TRUE(est.converged);
+    EXPECT_EQ(est.blocks, mc_round_blocks(opts));
+    EXPECT_NEAR(est.rate, 1.0, 1e-9);
+    EXPECT_LE(est.sem, opts.target_sem);
+}
+
+TEST(ParallelMcAdaptive, BlockCapBoundsSpendAndClearsConverged) {
+    // An unreachable target must stop at mc_block_cap with converged=false,
+    // never loop.
+    const DriftParams p{0.2, 0.05, 0.02, 2, 24, 6};
+    McOptions opts;
+    opts.block_len = 24;
+    opts.num_blocks = 4;
+    opts.target_sem = 1e-12;
+    opts.max_blocks = 20;
+    Rng rng(9);
+    const MiEstimate est = iid_mutual_information_rate(p, opts, rng);
+    EXPECT_FALSE(est.converged);
+    EXPECT_EQ(est.blocks, mc_block_cap(opts));
+    EXPECT_EQ(est.blocks, 20u);
+}
+
+struct AdaptiveCase {
+    unsigned threads;
+    std::size_t batch;
+};
+
+class ParallelMcAdaptiveInvariance : public ::testing::TestWithParam<AdaptiveCase> {};
+
+TEST_P(ParallelMcAdaptiveInvariance, IidStoppingTimeBitIdenticalToSerialScalar) {
+    // Heterogeneous enough that the stop happens after several rounds; the
+    // spent count (not just the value) must match the serial scalar run.
+    const DriftParams p{0.18, 0.04, 0.02, 2, 24, 6};
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 0.015;
+    opts.max_blocks = 96;
+
+    opts.threads = 1;
+    opts.batch = 1;
+    Rng serial_rng(0xADA97);
+    const MiEstimate serial = iid_mutual_information_rate(p, opts, serial_rng);
+    EXPECT_GT(serial.blocks, mc_round_blocks(opts));  // took > 1 round
+
+    opts.threads = GetParam().threads;
+    opts.batch = GetParam().batch;
+    Rng rng(0xADA97);
+    expect_bit_identical(serial, iid_mutual_information_rate(p, opts, rng));
+}
+
+TEST_P(ParallelMcAdaptiveInvariance, MarkovStoppingTimeBitIdenticalToSerialScalar) {
+    const DriftParams p{0.2, 0.0, 0.01, 2, 24, 6};
+    const MarkovSource src = MarkovSource::binary_repeat(0.7);
+    McOptions opts;
+    opts.block_len = 28;
+    opts.num_blocks = 5;
+    opts.target_sem = 0.02;
+    opts.max_blocks = 80;
+
+    opts.threads = 1;
+    opts.batch = 1;
+    Rng serial_rng(0xADA98);
+    const MiEstimate serial = markov_mutual_information_rate(p, src, opts, serial_rng);
+
+    opts.threads = GetParam().threads;
+    opts.batch = GetParam().batch;
+    Rng rng(0xADA98);
+    expect_bit_identical(serial, markov_mutual_information_rate(p, src, opts, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adaptive, ParallelMcAdaptiveInvariance,
+    ::testing::Values(AdaptiveCase{1, 1}, AdaptiveCase{1, 0}, AdaptiveCase{8, 1},
+                      AdaptiveCase{8, 0}),
+    [](const ::testing::TestParamInfo<AdaptiveCase>& info) {
+        return "t" + std::to_string(info.param.threads) + "_b" +
+               std::to_string(info.param.batch);
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-point budget allocation (iid_mutual_information_rate_points in
+// adaptive mode).
+// ---------------------------------------------------------------------------
+
+std::vector<CapacityPoint> heterogeneous_points() {
+    // Low-noise points converge almost immediately; the noisy ones need
+    // many more blocks — the spread the Neyman allocator exists for.
+    std::vector<CapacityPoint> pts;
+    std::uint64_t seed = 1000;
+    for (double pd : {0.02, 0.1, 0.25, 0.4})
+        pts.push_back({DriftParams{pd, 0.02, 0.0, 2, 24, 6}, seed++});
+    return pts;
+}
+
+TEST(ParallelMcAdaptivePoints, EachPointMatchesStandaloneFixedRun) {
+    // The tentpole identity: out[i] must be bit-identical to a standalone
+    // fixed-mode evaluation of the same point over the same spent count.
+    const std::vector<CapacityPoint> pts = heterogeneous_points();
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 0.02;
+    opts.max_blocks = 120;
+    const std::vector<MiEstimate> out = iid_mutual_information_rate_points(pts, opts);
+    ASSERT_EQ(out.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        McOptions fixed = opts;
+        fixed.target_sem = 0.0;
+        fixed.num_blocks = out[i].blocks;
+        fixed.threads = 1;
+        Rng rng(pts[i].seed);
+        const MiEstimate standalone =
+            iid_mutual_information_rate(pts[i].params, fixed, rng);
+        EXPECT_EQ(out[i].rate, standalone.rate) << "point " << i;
+        EXPECT_EQ(out[i].sem, standalone.sem) << "point " << i;
+        EXPECT_EQ(out[i].blocks, standalone.blocks) << "point " << i;
+    }
+}
+
+TEST(ParallelMcAdaptivePoints, SpendFollowsVariance) {
+    // The budget-allocation claim: blocks go where the per-block variance
+    // is. The stopping rule spends ~ (sd / target)^2 per point, so the
+    // realized per-block sd (sem * sqrt(blocks)) of the biggest spender
+    // must dominate the smallest spender's — and a heterogeneous grid must
+    // actually produce differentiated spends.
+    const std::vector<CapacityPoint> pts = heterogeneous_points();
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 0.015;
+    opts.max_blocks = 240;
+    const std::vector<MiEstimate> out = iid_mutual_information_rate_points(pts, opts);
+    const auto sd = [](const MiEstimate& e) {
+        return e.sem * std::sqrt(static_cast<double>(e.blocks));
+    };
+    const auto [lo, hi] = std::minmax_element(
+        out.begin(), out.end(),
+        [](const MiEstimate& a, const MiEstimate& b) { return a.blocks < b.blocks; });
+    EXPECT_GT(hi->blocks, lo->blocks);
+    EXPECT_GE(sd(*hi), sd(*lo));
+    for (const MiEstimate& e : out) {
+        if (e.converged) {
+            EXPECT_LE(e.sem, opts.target_sem);
+        }
+    }
+}
+
+TEST(ParallelMcAdaptivePoints, ThreadCountDoesNotChangeSpentCountsOrBits) {
+    const std::vector<CapacityPoint> pts = heterogeneous_points();
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 0.02;
+    opts.max_blocks = 120;
+    opts.point_budget = 160;  // binding: the scheduler must scale grants
+
+    opts.threads = 1;
+    const std::vector<MiEstimate> serial = iid_mutual_information_rate_points(pts, opts);
+    for (unsigned threads : {2U, 8U}) {
+        opts.threads = threads;
+        const std::vector<MiEstimate> par = iid_mutual_information_rate_points(pts, opts);
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expect_bit_identical(serial[i], par[i]);
+    }
+}
+
+TEST(ParallelMcAdaptivePoints, SharedBudgetCapsTotalSpend) {
+    const std::vector<CapacityPoint> pts = heterogeneous_points();
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 1e-9;  // unreachable: only the budget stops the run
+    opts.max_blocks = 4096;
+    opts.point_budget = 100;
+    const std::vector<MiEstimate> out = iid_mutual_information_rate_points(pts, opts);
+    std::size_t total = 0;
+    for (const MiEstimate& e : out) total += e.blocks;
+    // The pilot always runs; past it, grants must never exceed the budget.
+    const std::size_t pilot = mc_round_blocks(opts) * pts.size();
+    EXPECT_LE(total, std::max<std::size_t>(opts.point_budget, pilot));
+    for (const MiEstimate& e : out) EXPECT_FALSE(e.converged);
+}
+
+TEST(ParallelMcAdaptivePoints, FixedModeUnchangedByNewFields) {
+    // target_sem = 0 keeps the per-point standalone semantics bit for bit,
+    // whatever the adaptive knobs say.
+    const std::vector<CapacityPoint> pts = heterogeneous_points();
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    const std::vector<MiEstimate> plain = iid_mutual_information_rate_points(pts, opts);
+    McOptions decorated = opts;
+    decorated.max_blocks = 17;
+    decorated.point_budget = 5;
+    const std::vector<MiEstimate> with = iid_mutual_information_rate_points(pts, decorated);
+    ASSERT_EQ(plain.size(), with.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        expect_bit_identical(plain[i], with[i]);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        Rng rng(pts[i].seed);
+        McOptions inner = opts;
+        inner.threads = 1;
+        expect_bit_identical(plain[i],
+                             iid_mutual_information_rate(pts[i].params, inner, rng));
+    }
+}
 
 }  // namespace

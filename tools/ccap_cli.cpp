@@ -154,6 +154,18 @@ void apply_simd_flag(const Args& args) {
     util::force_simd_path(path);
 }
 
+/// `--mc-target-sem S --mc-max-blocks M`: adaptive Monte-Carlo precision
+/// for the lattice subcommands. S > 0 turns the estimators adaptive (run
+/// in rounds, stop once the standard error of the mean reaches S); M caps
+/// the total blocks (0 keeps the library default of 64 rounds). S = 0
+/// (the default) keeps the historical fixed-block behavior bit for bit.
+void apply_adaptive_flags(const Args& args, info::McOptions& opts) {
+    const double target = args.number("mc-target-sem", 0.0);
+    if (target < 0.0) throw UsageError("option --mc-target-sem expects a value >= 0");
+    opts.target_sem = target;
+    opts.max_blocks = static_cast<std::size_t>(args.count("mc-max-blocks", 0));
+}
+
 /// `--verbose` line for the lattice subcommands: the resolved SIMD kernel
 /// path and the Monte-Carlo tile shape (lockstep lattice lanes x worker
 /// threads) the estimator will actually run with.
@@ -244,7 +256,8 @@ int cmd_windows(const Args& args) {
 
 int cmd_sweep(const Args& args) {
     args.reject_unknown({"bits", "threads", "mi-blocks", "mi-block-len", "band-eps",
-                         "mc-batch", "seed", "simd", "verbose"});
+                         "mc-batch", "mc-target-sem", "mc-max-blocks", "seed", "simd",
+                         "verbose"});
     apply_simd_flag(args);
     const auto bits = static_cast<unsigned>(args.count("bits", 1));
     const unsigned threads = threads_from(args);
@@ -268,6 +281,7 @@ int cmd_sweep(const Args& args) {
         opts.threads = threads;
         opts.band_eps = band_eps;
         opts.batch = mc_batch;
+        apply_adaptive_flags(args, opts);
         print_lattice_verbose(stderr, opts, dp);
     }
     // Materialize the grid, evaluate the points in parallel, print in order.
@@ -297,6 +311,7 @@ int cmd_sweep(const Args& args) {
                 opts.threads = 1;  // the grid is already parallel
                 opts.band_eps = band_eps;
                 opts.batch = mc_batch;
+                apply_adaptive_flags(args, opts);
                 // Independent substream per grid point: deterministic under
                 // any thread count, like the estimators themselves.
                 util::Rng rng(util::substream_seed(seed, i));
@@ -317,7 +332,8 @@ int cmd_sweep(const Args& args) {
 
 int cmd_mi(const Args& args) {
     args.reject_unknown({"pd", "pi", "ps", "bits", "block", "blocks", "seed", "threads",
-                         "markov-stay", "band-eps", "mc-batch", "simd", "verbose"});
+                         "markov-stay", "band-eps", "mc-batch", "mc-target-sem",
+                         "mc-max-blocks", "simd", "verbose"});
     apply_simd_flag(args);
     info::DriftParams p;
     p.p_d = args.number("pd", 0.0);
@@ -333,6 +349,7 @@ int cmd_mi(const Args& args) {
     // Lockstep lattice lanes per Monte-Carlo tile; 0 (default) auto-tiles,
     // 1 forces the scalar path. Does not change the estimate.
     opts.batch = static_cast<std::size_t>(args.count("mc-batch", 0));
+    apply_adaptive_flags(args, opts);
     if (args.values.count("verbose")) print_lattice_verbose(stdout, opts, p);
     util::Rng rng(args.count("seed", 1));
 
@@ -348,6 +365,10 @@ int cmd_mi(const Args& args) {
                 est.sem, 1.96 * est.sem);
     std::printf("blocks: %zu x %zu symbols, threads: %u\n", est.blocks, est.block_len,
                 opts.threads);
+    if (opts.target_sem > 0.0)
+        std::printf("adaptive: target sem %.4g, spent %zu of %zu blocks, %s\n",
+                    opts.target_sem, est.blocks, info::mc_block_cap(opts),
+                    est.converged ? "converged" : "hit block cap");
     return 0;
 }
 
@@ -435,8 +456,8 @@ int cmd_protocol(const Args& args) {
 int cmd_contend(const Args& args) {
     args.reject_unknown({"flows", "load", "ticks", "slices", "domain", "queue-cap",
                          "deadline", "collision-rate", "pd", "pi", "ps", "grid-step",
-                         "mi-block", "mi-blocks", "seed", "threads", "simd", "cache",
-                         "interp", "verbose"});
+                         "mi-block", "mi-blocks", "mc-target-sem", "mc-max-blocks",
+                         "seed", "threads", "simd", "cache", "interp", "verbose"});
     apply_simd_flag(args);
 
     info::CapacityCache::Config cc;
@@ -449,6 +470,7 @@ int cmd_contend(const Args& args) {
     cc.grid.pi_step = grid_step;
     cc.mc.block_len = static_cast<std::size_t>(args.count("mi-block", 48));
     cc.mc.num_blocks = static_cast<std::size_t>(args.count("mi-blocks", 8));
+    apply_adaptive_flags(args, cc.mc);
     const std::string cache_flag = args.text("cache", "on");
     if (cache_flag == "on")
         cc.enabled = true;
@@ -508,6 +530,11 @@ int cmd_contend(const Args& args) {
                 static_cast<unsigned long long>(report.cache.hits),
                 static_cast<unsigned long long>(report.cache.misses),
                 static_cast<unsigned long long>(report.cache.entries));
+    if (cc.mc.target_sem > 0.0)
+        std::printf("adaptive mc: %llu blocks across nodes (target sem %.4g, %s)\n",
+                    static_cast<unsigned long long>(report.mc_blocks_spent),
+                    cc.mc.target_sem,
+                    report.mc_converged ? "all converged" : "some nodes hit block cap");
     return 0;
 }
 
@@ -520,10 +547,12 @@ void usage() {
         "  simulate  --sent FILE --received FILE [--pd X --pi Y --ps Z --bits N\n"
         "            --len L --seed S]\n"
         "  sweep     [--bits N --threads T --mi-blocks K --mi-block-len L\n"
-        "            --band-eps E --mc-batch B --seed S --simd P --verbose]\n"
+        "            --band-eps E --mc-batch B --mc-target-sem S --mc-max-blocks M\n"
+        "            --seed S --simd P --verbose]\n"
         "  mi        [--pd X --pi Y --ps Z --bits N --block L --blocks K\n"
         "            --seed S --threads T --markov-stay Q --band-eps E\n"
-        "            --mc-batch B --simd P --verbose]\n"
+        "            --mc-batch B --mc-target-sem S --mc-max-blocks M --simd P\n"
+        "            --verbose]\n"
         "  windows   --sent FILE --received FILE [--window W]\n"
         "  protocol  [--proto saw|counter|gbn --pd X --ps Z --bits N --len L\n"
         "            --seed S --p-ack-loss P --p-ack-corrupt Q --ack-delay D\n"
@@ -533,14 +562,20 @@ void usage() {
         "            --stuck-period/--stuck-len/--stuck-symbol]\n"
         "  contend   [--flows F --load R --ticks T --slices S --domain D\n"
         "            --queue-cap Q --deadline A --collision-rate K --pd X --pi Y\n"
-        "            --ps Z --grid-step G --mi-block L --mi-blocks K --seed S\n"
-        "            --threads T --simd P --cache on|off --interp on|off --verbose]\n"
+        "            --ps Z --grid-step G --mi-block L --mi-blocks K\n"
+        "            --mc-target-sem S --mc-max-blocks M --seed S --threads T\n"
+        "            --simd P --cache on|off --interp on|off --verbose]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
         "results are a slightly looser lower bound); 0 is exact.\n"
         "--mc-batch B advances B Monte-Carlo blocks in lockstep through the\n"
         "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n"
+        "--mc-target-sem S > 0 makes the Monte-Carlo estimators adaptive:\n"
+        "blocks run in rounds until the standard error reaches S or\n"
+        "--mc-max-blocks M is spent (0 = 64 rounds). Stopping reads only the\n"
+        "deterministic fold, so results stay bit-identical across --threads\n"
+        "and --mc-batch; S = 0 keeps the fixed block count exactly.\n"
         "--simd scalar|neon|avx2|avx512 pins the lattice kernel path (same as\n"
         "the CCAP_SIMD env var; requests clamp down to what the CPU has).\n"
         "All paths are bit-identical at --band-eps 0. --verbose prints the\n"
