@@ -26,6 +26,7 @@ BENCHES=(
     bench_x12_fault_injection
     bench_x13_contention
     bench_x14_adaptive_mc
+    bench_x15_point_batch
 )
 cmake --build "$BUILD" -j"$(nproc)" --target "${BENCHES[@]}"
 

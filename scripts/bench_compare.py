@@ -35,28 +35,33 @@ import json
 import os
 import sys
 
-LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack")
+LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack", "sem_ratio")
 HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits", "per_sec",
-                    "saved", "converged")
+                    "saved", "converged", "invariant")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup", "per_sec")
 # Provenance / configuration fields are never compared. The adaptive-MC
 # spent-block counts (blocks_*_total, n_fixed) are configuration-dependent
 # observations, not quality metrics: the gated metric is their ratio
-# (blocks_saved), so raw spend deltas must not double-fail a run.
+# (blocks_saved), so raw spend deltas must not double-fail a run. The CRN
+# sweep's raw per-mode spends and worst-point SEMs are likewise
+# observations: the gated figures are sweep_speedup and adjacent_sem_ratio.
 SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
         "fault_profile", "simd", "cpu", "flows", "ticks", "mc_block", "mc_blocks",
         "distinct_nodes", "target_sem", "points", "round", "max_blocks",
-        "block_len", "blocks_fixed_total", "blocks_adaptive_total", "n_fixed"}
+        "block_len", "blocks_fixed_total", "blocks_adaptive_total", "n_fixed",
+        "blocks_indep_total", "blocks_crn_total", "worst_sem_indep",
+        "worst_sem_crn"}
 # Identity fields: records measured under different identities (a different
-# bench, a different fault-profile suite, a different SIMD kernel path, or a
-# different adaptive-precision target) are incomparable — numbers from one
-# fault mix, vector width, or SEM target must never gate numbers from
-# another: halving target_sem quadruples the honest spend, so a
-# cross-precision diff would always read as a spurious regression. Mismatch
-# is a usage error (exit 2), not a regression. ("cpu" stays informational:
-# the same path on different machines is still the noise bench_compare
-# already tolerates.)
-IDENTITY = ("name", "fault_profile", "simd", "target_sem")
+# bench, a different fault-profile suite, a different SIMD kernel path, a
+# different adaptive-precision target, or a different point-tiling mode) are
+# incomparable — numbers from one fault mix, vector width, SEM target, or
+# variate-coupling scheme must never gate numbers from another: halving
+# target_sem quadruples the honest spend, and a CRN record diffed against an
+# independent-streams record would always read as a spurious throughput
+# regression (or a spurious variance win). Mismatch is a usage error
+# (exit 2), not a regression. ("cpu" stays informational: the same path on
+# different machines is still the noise bench_compare already tolerates.)
+IDENTITY = ("name", "fault_profile", "simd", "target_sem", "point_tile", "crn")
 
 
 def classify(key: str):

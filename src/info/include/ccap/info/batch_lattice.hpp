@@ -60,6 +60,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <stdexcept>
 
 #include "ccap/info/drift_hmm.hpp"
 #include "ccap/info/lattice_engine.hpp"
@@ -82,52 +83,48 @@ public:
           lanes_(received.size()),
           d_max_(params.max_drift),
           width_(static_cast<std::size_t>(2 * params.max_drift + 1)) {
-        const std::size_t L = lanes_;
-        // Lane stride padded to the vector width: full batches round up so
-        // the kernel main loops run full vectors (padding lanes hold exactly
-        // 0.0 throughout). Tiny batches (L < W) stay unpadded — the x86
-        // kernels finish ragged rows with one masked vector op that neither
-        // reads nor writes lanes past L, so sub-width batches no longer pay
-        // for W-L dead lanes per kernel call.
-        const std::size_t W = k_->vector_doubles;
-        lanes_pad_ = L < W ? std::max<std::size_t>(1, L) : (L + W - 1) / W * W;
-        const std::size_t Lp = lanes_pad_;
-        const auto ll = ws.lane_longs(2 * L);
-        m_ = ll.subspan(0, L);
-        alive_ = ll.subspan(L, L);
-        std::size_t m_max = 0;
-        for (std::size_t l = 0; l < L; ++l) {
-            m_[l] = static_cast<long long>(received[l].size());
-            m_max = std::max(m_max, received[l].size());
-        }
-        m_max_ = m_max;
-        // Zero-padded SoA pack of the received sequences; the pad symbol is
-        // arbitrary — cells that would consume it are masked back to zero —
-        // but padding lanes must hold a valid symbol (0) so emission planes
-        // stay finite there.
-        rx_ = ws.rx_bytes(std::max<std::size_t>(1, m_max * Lp));
-        std::fill(rx_.begin(), rx_.end(), 0);
-        for (std::size_t l = 0; l < L; ++l) {
-            const auto& r = received[l];
-            for (std::size_t k = 0; k < r.size(); ++k) rx_[k * Lp + l] = r[k];
-        }
-        trail_ = ws.trail(m_max + 1);
+        bind(received, ws);
+        trail_ = ws.trail(m_max_ + 1);
         trail_[0] = 1.0;
-        for (std::size_t k = 1; k <= m_max; ++k)
+        for (std::size_t k = 1; k <= m_max_; ++k)
             trail_[k] = trail_[k - 1] * params.p_i * t_->inv_m;
-        row_stride_ = width_ * Lp;
-        alpha_ = ws.alpha((n_ + 1) * row_stride_);
-        beta_ = ws.beta((n_ + 1) * row_stride_);
-        scale_a_ = ws.scales_a((n_ + 1) * L);
-        scale_b_ = ws.scales_b((n_ + 1) * L);
-        band_ = ws.bands(2 * (n_ + 1));
-        emit_ = ws.scratch(row_stride_);
-        const auto ld = ws.lane_doubles(5 * Lp);
-        norm_ = ld.subspan(0, Lp);
-        pruned_ = ld.subspan(Lp, Lp);
-        slack_ = ld.subspan(2 * Lp, Lp);
-        rmax_ = ld.subspan(3 * Lp, Lp);
-        acc_ = ld.subspan(4 * Lp, Lp);
+    }
+
+    /// Per-lane-parameter mode: lane l runs under lane_params[l]. The
+    /// structural fields (alphabet, max_drift, max_insert_run) must agree
+    /// across lanes — they fix the lattice shape — while p_d / p_i / p_s
+    /// may differ per lane. Weight tables, trailing factors and emission
+    /// tables become [.. ][lane] SoA planes replicating the DriftTables
+    /// formulas per lane, and the hot sweeps run the *_pl per-lane-weight
+    /// kernels: lane l's result is bit-identical (at band_eps = 0) to a
+    /// scalar engine run under lane_params[l] alone. This is the
+    /// common-random-numbers sweep mode of deletion_bounds.cpp: one lattice
+    /// pass evaluates a whole parameter-grid tile.
+    BatchLatticeEngine(std::span<const DriftParams> lane_params,
+                      std::span<const std::span<const std::uint8_t>> received,
+                      std::size_t tx_len, LatticeWorkspace& ws)
+        : p_(&checked_front(lane_params)),
+          t_(nullptr),
+          k_(received.size() > 1 ? &active_lane_kernels() : lane_kernels_scalar()),
+          n_(tx_len),
+          lanes_(received.size()),
+          d_max_(p_->max_drift),
+          width_(static_cast<std::size_t>(2 * p_->max_drift + 1)),
+          per_lane_(true),
+          lane_p_(lane_params) {
+        if (lane_params.size() != received.size())
+            throw std::invalid_argument(
+                "BatchLatticeEngine: lane parameter count != lane count");
+        for (const DriftParams& q : lane_params) {
+            q.validate();
+            if (q.alphabet != p_->alphabet || q.max_drift != p_->max_drift ||
+                q.max_insert_run != p_->max_insert_run)
+                throw std::invalid_argument(
+                    "BatchLatticeEngine: per-lane params must share "
+                    "alphabet/max_drift/max_insert_run");
+        }
+        bind(received, ws);
+        build_lane_planes(ws);
     }
 
     [[nodiscard]] std::size_t n() const noexcept { return n_; }
@@ -148,8 +145,27 @@ public:
     }
 
     /// P(received symbol r | transmitted symbol s): emission-table lookup.
+    /// Shared-parameter mode only (per-lane engines use emit_lane()).
     [[nodiscard]] double emit(std::uint8_t r, std::uint8_t s) const noexcept {
         return t_->emit_tab[static_cast<std::size_t>(r) * p_->alphabet + s];
+    }
+
+    /// Whether this engine runs the per-lane-parameter mode.
+    [[nodiscard]] bool per_lane() const noexcept { return per_lane_; }
+
+    /// Per-lane emission lookup (per-lane mode; valid for lane < lane_stride(),
+    /// padding columns replicate lane 0).
+    [[nodiscard]] double emit_lane(std::size_t lane, std::uint8_t r,
+                                   std::uint8_t s) const noexcept {
+        return etab_pl_[(static_cast<std::size_t>(r) * p_->alphabet + s) * lanes_pad_ + lane];
+    }
+
+    /// SoA emission-table plane for table entry (r, s): lane_stride()
+    /// doubles, one per lane. The per-lane emission-plane fillers in
+    /// batch_lattice.cpp select between these with the lane kernels.
+    [[nodiscard]] const double* etab_plane(std::uint8_t r, std::uint8_t s) const noexcept {
+        return etab_pl_.data() +
+               (static_cast<std::size_t>(r) * p_->alphabet + s) * lanes_pad_;
     }
 
     /// SoA-packed received symbol of `lane` at position k (k < m(lane)).
@@ -161,6 +177,9 @@ public:
     [[nodiscard]] double trailing(std::size_t lane, int d) const noexcept {
         const long long k = m_[lane] - (static_cast<long long>(n_) + d);
         if (k < 0) return 0.0;
+        if (per_lane_)
+            return trail_pl_[static_cast<std::size_t>(k) * lanes_pad_ + lane] *
+                   one_minus_pi_pl_[lane];
         return trail_[static_cast<std::size_t>(k)] * (1.0 - p_->p_i);
     }
 
@@ -275,9 +294,18 @@ public:
                     dp_max >= dp_min ? static_cast<std::size_t>(dp_max - dp_min + 1) : 0;
                 const int g0 = cnt ? d + 1 - dp_min : 1;  // in [1, run] when cnt > 0
                 const double* src_del = d + 1 <= phi ? prev + (idx(d) + 1) * Lp : nullptr;
-                k.fma_dest_run(cur + idx(d) * Lp, prev + idx(dp_min) * Lp,
-                               t_->del_w.data() + g0, t_->tx_w.data() + (g0 - 1),
-                               emit_.data() + idx(d) * Lp, src_del, t_->del_w[0], cnt, Lp);
+                if (per_lane_) {
+                    k.fma_dest_run_pl(cur + idx(d) * Lp, prev + idx(dp_min) * Lp,
+                                      del_w_pl_.data() + static_cast<std::size_t>(g0) * Lp,
+                                      tx_w_pl_.data() + static_cast<std::size_t>(g0 - 1) * Lp,
+                                      emit_.data() + idx(d) * Lp, src_del,
+                                      del_w_pl_.data(), cnt, Lp);
+                } else {
+                    k.fma_dest_run(cur + idx(d) * Lp, prev + idx(dp_min) * Lp,
+                                   t_->del_w.data() + g0, t_->tx_w.data() + (g0 - 1),
+                                   emit_.data() + idx(d) * Lp, src_del, t_->del_w[0], cnt,
+                                   Lp);
+                }
             }
 
             // Mask each lane's cells beyond its own valid window: their
@@ -413,7 +441,11 @@ public:
                     const int ghi = std::min(run, nhi - dp + 1);
                     int g = glo;
                     if (g == 0 && g <= ghi) {
-                        k.axpy(acc_.data(), next + (idx(dp) - 1) * Lp, t_->del_w[0], Lp);
+                        if (per_lane_)
+                            k.axpy_lanes(acc_.data(), next + (idx(dp) - 1) * Lp,
+                                         del_w_pl_.data(), Lp);
+                        else
+                            k.axpy(acc_.data(), next + (idx(dp) - 1) * Lp, t_->del_w[0], Lp);
                         g = 1;
                     }
                     if (g <= ghi) {
@@ -421,9 +453,18 @@ public:
                         // the same per-lane order as the unfused loop).
                         const std::size_t cell =
                             (idx(dp) + static_cast<std::size_t>(g) - 1) * Lp;
-                        k.fma_acc_run(acc_.data(), next + cell, t_->del_w.data() + g,
-                                      t_->tx_w.data() + (g - 1), emit_.data() + cell,
-                                      static_cast<std::size_t>(ghi - g + 1), Lp);
+                        if (per_lane_)
+                            k.fma_acc_run_pl(acc_.data(), next + cell,
+                                             del_w_pl_.data() +
+                                                 static_cast<std::size_t>(g) * Lp,
+                                             tx_w_pl_.data() +
+                                                 static_cast<std::size_t>(g - 1) * Lp,
+                                             emit_.data() + cell,
+                                             static_cast<std::size_t>(ghi - g + 1), Lp);
+                        else
+                            k.fma_acc_run(acc_.data(), next + cell, t_->del_w.data() + g,
+                                          t_->tx_w.data() + (g - 1), emit_.data() + cell,
+                                          static_cast<std::size_t>(ghi - g + 1), Lp);
                     }
                 }
                 double* c = cur + idx(dp) * Lp;
@@ -469,6 +510,102 @@ public:
     }
 
 private:
+    static const DriftParams& checked_front(std::span<const DriftParams> lane_params) {
+        if (lane_params.empty())
+            throw std::invalid_argument("BatchLatticeEngine: empty lane parameter span");
+        return lane_params.front();
+    }
+
+    /// Shared setup: lane stride, received pack and arena grabs. Both
+    /// constructors delegate here after fixing the lattice shape.
+    void bind(std::span<const std::span<const std::uint8_t>> received,
+              LatticeWorkspace& ws) {
+        const std::size_t L = lanes_;
+        // Lane stride padded to the vector width: full batches round up so
+        // the kernel main loops run full vectors (padding lanes hold exactly
+        // 0.0 throughout). Tiny batches (L < W) stay unpadded — the x86
+        // kernels finish ragged rows with one masked vector op that neither
+        // reads nor writes lanes past L, so sub-width batches no longer pay
+        // for W-L dead lanes per kernel call.
+        const std::size_t W = k_->vector_doubles;
+        lanes_pad_ = L < W ? std::max<std::size_t>(1, L) : (L + W - 1) / W * W;
+        const std::size_t Lp = lanes_pad_;
+        const auto ll = ws.lane_longs(2 * L);
+        m_ = ll.subspan(0, L);
+        alive_ = ll.subspan(L, L);
+        std::size_t m_max = 0;
+        for (std::size_t l = 0; l < L; ++l) {
+            m_[l] = static_cast<long long>(received[l].size());
+            m_max = std::max(m_max, received[l].size());
+        }
+        m_max_ = m_max;
+        // Zero-padded SoA pack of the received sequences; the pad symbol is
+        // arbitrary — cells that would consume it are masked back to zero —
+        // but padding lanes must hold a valid symbol (0) so emission planes
+        // stay finite there.
+        rx_ = ws.rx_bytes(std::max<std::size_t>(1, m_max * Lp));
+        std::fill(rx_.begin(), rx_.end(), 0);
+        for (std::size_t l = 0; l < L; ++l) {
+            const auto& r = received[l];
+            for (std::size_t k = 0; k < r.size(); ++k) rx_[k * Lp + l] = r[k];
+        }
+        row_stride_ = width_ * Lp;
+        alpha_ = ws.alpha((n_ + 1) * row_stride_);
+        beta_ = ws.beta((n_ + 1) * row_stride_);
+        scale_a_ = ws.scales_a((n_ + 1) * L);
+        scale_b_ = ws.scales_b((n_ + 1) * L);
+        band_ = ws.bands(2 * (n_ + 1));
+        emit_ = ws.scratch(row_stride_);
+        const auto ld = ws.lane_doubles(5 * Lp);
+        norm_ = ld.subspan(0, Lp);
+        pruned_ = ld.subspan(Lp, Lp);
+        slack_ = ld.subspan(2 * Lp, Lp);
+        rmax_ = ld.subspan(3 * Lp, Lp);
+        acc_ = ld.subspan(4 * Lp, Lp);
+    }
+
+    /// Per-lane SoA weight/trail/emission planes, replicating the
+    /// DriftTables formulas lane by lane so each lane's sweep performs the
+    /// exact operation sequence of a scalar engine under its own params
+    /// (padding columns replicate lane 0 to stay finite).
+    void build_lane_planes(LatticeWorkspace& ws) {
+        const std::size_t Lp = lanes_pad_;
+        const std::size_t runs1 = static_cast<std::size_t>(p_->max_insert_run) + 1;
+        const std::size_t A = p_->alphabet;
+        const std::size_t cells = (2 * runs1 + (m_max_ + 1) + 1 + A * A) * Lp;
+        const auto wp = ws.weight_planes(cells);
+        std::size_t off = 0;
+        del_w_pl_ = wp.subspan(off, runs1 * Lp);
+        off += runs1 * Lp;
+        tx_w_pl_ = wp.subspan(off, runs1 * Lp);
+        off += runs1 * Lp;
+        trail_pl_ = wp.subspan(off, (m_max_ + 1) * Lp);
+        off += (m_max_ + 1) * Lp;
+        one_minus_pi_pl_ = wp.subspan(off, Lp);
+        off += Lp;
+        etab_pl_ = wp.subspan(off, A * A * Lp);
+        for (std::size_t l = 0; l < Lp; ++l) {
+            const DriftParams& q = lane_p_[l < lanes_ ? l : 0];
+            const double inv_m = 1.0 / static_cast<double>(q.alphabet);
+            double ip = 1.0;  // ins_pow[g], advanced exactly as DriftTables does
+            del_w_pl_[l] = ip * q.p_d;
+            tx_w_pl_[l] = ip * q.p_t();
+            for (std::size_t g = 1; g < runs1; ++g) {
+                ip = ip * q.p_i * inv_m;
+                del_w_pl_[g * Lp + l] = ip * q.p_d;
+                tx_w_pl_[g * Lp + l] = ip * q.p_t();
+            }
+            trail_pl_[l] = 1.0;
+            for (std::size_t k = 1; k <= m_max_; ++k)
+                trail_pl_[k * Lp + l] = trail_pl_[(k - 1) * Lp + l] * q.p_i * inv_m;
+            one_minus_pi_pl_[l] = 1.0 - q.p_i;
+            const double p_sub = q.p_s / (static_cast<double>(q.alphabet) - 1.0);
+            for (std::size_t r = 0; r < A; ++r)
+                for (std::size_t s = 0; s < A; ++s)
+                    etab_pl_[(r * A + s) * Lp + l] = r == s ? 1.0 - q.p_s : p_sub;
+        }
+    }
+
     void kill_all_from(std::size_t j) noexcept {
         constexpr double kNegInf = -std::numeric_limits<double>::infinity();
         all_dead_ = true;
@@ -499,6 +636,33 @@ private:
     std::span<int> band_;
     bool all_dead_ = false;
     bool banded_ = false;
+    bool per_lane_ = false;
+    std::span<const DriftParams> lane_p_;
+    std::span<double> del_w_pl_, tx_w_pl_, trail_pl_, one_minus_pi_pl_, etab_pl_;
 };
+
+// Per-lane-parameter batched entry points (batch_lattice.cpp): lane i runs
+// under lane_params[i], whose structural fields (alphabet, max_drift,
+// max_insert_run) must agree across lanes. At band_eps = 0 every lane's
+// result is bit-identical to the scalar call under lane_params[i] alone; in
+// banded mode each lane keeps its own certified slack. These power the
+// common-random-numbers point-tile sweeps of deletion_bounds.cpp, which
+// evaluate one realized received sequence under a whole grid tile of
+// channel parameters in a single lattice pass.
+
+/// Batched log2_likelihood_banded with per-lane parameters: lane i pairs
+/// transmitted[i] with received[i] under lane_params[i].
+[[nodiscard]] std::vector<BandedEvidence> log2_likelihood_batch_per_lane(
+    std::span<const DriftParams> lane_params,
+    std::span<const std::span<const std::uint8_t>> transmitted,
+    std::span<const std::span<const std::uint8_t>> received, LatticeWorkspace& ws,
+    double band_eps = 0.0);
+
+/// Batched log2_prior_marginal_banded with per-lane parameters: one shared
+/// priors matrix (n x alphabet), one received sequence per lane.
+[[nodiscard]] std::vector<BandedEvidence> log2_prior_marginal_batch_per_lane(
+    std::span<const DriftParams> lane_params, const util::Matrix& priors,
+    std::span<const std::span<const std::uint8_t>> received, LatticeWorkspace& ws,
+    double band_eps = 0.0);
 
 }  // namespace ccap::info

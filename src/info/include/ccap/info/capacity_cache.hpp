@@ -115,6 +115,19 @@ public:
             static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.ipi)));
     }
 
+    /// The McOptions every node evaluation must use. In CRN mode
+    /// (mc.point_tile > 0) this pins the shared-tape root to a pure
+    /// function of the config seed: without it the engine would derive the
+    /// root from the first point of whatever span it is handed, and a
+    /// node's value would depend on which batch warmed it — at(), bulk
+    /// ensure() and the naive per-flow path must all agree bit for bit.
+    [[nodiscard]] McOptions node_mc_options() const noexcept {
+        McOptions opts = cfg_.mc;
+        if (opts.point_tile != 0 && opts.crn_root == 0)
+            opts.crn_root = util::substream_seed(cfg_.seed, 0xc2a7ULL);
+        return opts;
+    }
+
     /// The capacity estimate at a node: cached when enabled, recomputed
     /// otherwise — bit-identical either way.
     [[nodiscard]] MiEstimate at(CapacityKey key);

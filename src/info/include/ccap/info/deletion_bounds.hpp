@@ -123,9 +123,57 @@ struct McOptions {
     /// alone. A smaller budget makes the cross-point scheduler allocate
     /// top-up rounds Neyman-style: proportionally to each point's
     /// predicted block deficit (sd / target_sem)^2, i.e. where the
-    /// variance actually is. Ignored by the single-point estimators.
+    /// variance actually is. In CRN mode (point_tile > 0) the budget is
+    /// spent in tile order, whole rounds at a time, so a binding budget
+    /// couples spends to the tile partition — leave it 0 for the
+    /// tile-invariance guarantee. Ignored by the single-point estimators.
     std::size_t point_budget = 0;
+    /// Common-random-numbers (CRN) point tiling for
+    /// iid_mutual_information_rate_points. 0 (default) = independent
+    /// streams: every point draws its own blocks from its own seed — the
+    /// historical behavior, bit for bit. kMcPointTileAuto picks a
+    /// SIMD-width-multiple tile automatically; N > 0 groups the point span
+    /// into tiles of N points that share one variate tape per block: each
+    /// block's transmitted symbols and channel-event uniforms are drawn
+    /// once from the per-block substream and realized under every point's
+    /// parameters, and the whole tile rides one per-lane-parameter lattice
+    /// sweep (batch_lattice.hpp). Sampling cost is paid once per block
+    /// instead of once per (point, block), SIMD lanes stay full even at
+    /// small per-point batches, and adjacent points' estimates become
+    /// positively correlated — shrinking the variance of their differences
+    /// (PointSweepReport; docs/THEORY.md section 15). The shared tape is
+    /// rooted at the FIRST point's seed (see crn_root); every point keeps
+    /// its exact marginal block law, and estimates are bit-identical at
+    /// every thread count, batch and point_tile width (band_eps = 0 and
+    /// non-binding point_budget; with banding the shared union band
+    /// carries the same tile caveat as `batch`). Requires all points to
+    /// share alphabet, max_drift and max_insert_run. Ignored by the
+    /// single-point estimators.
+    std::size_t point_tile = 0;
+    /// Explicit root for the CRN variate tapes. 0 (default) derives the
+    /// root from the first point's seed, which ties every sample to the
+    /// evaluated span: fine for one-shot sweeps, wrong for memoization,
+    /// where the same grid node may be warmed in different batches.
+    /// A nonzero root makes each (block, point) sample a pure function of
+    /// (crn_root, block index, point params) — independent of which other
+    /// points share the call — so CapacityCache derives one from its
+    /// config seed and gets batch-composition-independent node values
+    /// (bulk ensure(), single-node at() and the naive per-flow path all
+    /// agree bit for bit). Ignored when point_tile = 0.
+    std::uint64_t crn_root = 0;
 };
+
+/// McOptions::point_tile sentinel: choose the CRN tile width automatically
+/// (a small multiple of the active SIMD vector width).
+inline constexpr std::size_t kMcPointTileAuto = static_cast<std::size_t>(-1);
+
+/// The CRN tile width iid_mutual_information_rate_points actually uses for
+/// a span of `num_points` points: 0 when opts.point_tile is 0 (independent
+/// streams); otherwise opts.point_tile — auto resolves to a vector-width
+/// multiple — clamped to num_points. Tiny workloads stay sub-vector-width
+/// rather than padding up: the masked-tail kernels (lattice_simd.hpp) make
+/// small sweeps pay only for live lanes.
+[[nodiscard]] std::size_t resolved_point_tile(const McOptions& opts, std::size_t num_points);
 
 /// Blocks per adaptive round: num_blocks, but at least 2 so a SEM exists
 /// after the pilot round.
@@ -196,6 +244,27 @@ struct CapacityPoint {
 /// (at band_eps = 0; see the McOptions::target_sem caveat).
 [[nodiscard]] std::vector<MiEstimate> iid_mutual_information_rate_points(
     std::span<const CapacityPoint> points, const McOptions& opts);
+
+/// Optional diagnostics of a point sweep (the 3-argument overload below).
+struct PointSweepReport {
+    /// Resolved CRN tile width (resolved_point_tile; 0 = independent).
+    std::size_t point_tile = 0;
+    /// adjacent_diff_sem[i] = standard error of (estimate_i - estimate_{i+1})
+    /// for adjacent points of the span (empty when fewer than 2 points).
+    /// Under CRN coupling, points of one tile share their blocks, so the
+    /// difference SEM is measured over the paired per-block samples —
+    /// positively correlated samples push it far below the independent
+    /// combination sqrt(sem_i^2 + sem_j^2), which is what cross-tile pairs
+    /// (and every pair in independent mode) report.
+    std::vector<double> adjacent_diff_sem;
+};
+
+/// iid_mutual_information_rate_points with sweep diagnostics. `report` may
+/// be null (then identical to the 2-argument overload, which forwards
+/// here). McOptions::point_tile selects independent streams (0) or
+/// common-random-numbers point tiles (see McOptions).
+[[nodiscard]] std::vector<MiEstimate> iid_mutual_information_rate_points(
+    std::span<const CapacityPoint> points, const McOptions& opts, PointSweepReport* report);
 
 /// Sample a sequence from a first-order Markov source.
 [[nodiscard]] std::vector<std::uint8_t> simulate_markov_source(const MarkovSource& source,

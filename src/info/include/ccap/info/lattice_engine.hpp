@@ -122,6 +122,12 @@ public:
     [[nodiscard]] std::span<std::uint8_t> tx_bytes(std::size_t cells) {
         return grab(tx_u8_, cells);
     }
+    /// Per-lane weight/emission planes for the per-lane-parameter engine
+    /// mode: [run | trail-step | table-entry][lane] SoA rows, one value per
+    /// lane instead of one shared scalar.
+    [[nodiscard]] std::span<double> weight_planes(std::size_t cells) {
+        return grab(wplanes_, cells);
+    }
 
 private:
     template <typename Vec>
@@ -130,7 +136,8 @@ private:
         return {v.data(), n};
     }
 
-    ArenaVector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_, lane_d_;
+    ArenaVector<double> alpha_, beta_, scale_a_, scale_b_, trail_, scr1_, scr2_, scr3_, lane_d_,
+        wplanes_;
     ArenaVector<int> band_;
     ArenaVector<long long> lane_ll_;
     ArenaVector<std::uint32_t> u32_;

@@ -88,6 +88,29 @@ struct LaneKernels {
     void (*fma_dest_run)(double* dst, const double* src, const double* dw,
                          const double* tw, const double* e, const double* src_del,
                          double w_del, std::size_t cnt, std::size_t L);
+    /// dst[l] += src[l] * w[l] — axpy with a per-lane weight row. The
+    /// per-lane-parameter engine's run-0 pure-deletion term, where each
+    /// lane carries its own channel's del_w[0].
+    void (*axpy_lanes)(double* dst, const double* src, const double* w, std::size_t L);
+    /// Per-lane-weight fma_acc_run: the weight arrays are [run][lane]
+    /// planes with the same stride L as the data rows. For g ascending in
+    /// [0, runs): acc[l] += src[g*L + l] * (dw[g*L + l] + tw[g*L + l] * e[g*L + l]).
+    /// Identical operation sequence to fma_acc_run when every lane of a
+    /// weight plane holds the same value.
+    void (*fma_acc_run_pl)(double* acc, const double* src, const double* dw,
+                           const double* tw, const double* e, std::size_t runs,
+                           std::size_t L);
+    /// Per-lane-weight fma_dest_run: dw/tw are [run][lane] planes walked
+    /// BACKWARD by whole planes from their given origin, and the run-0
+    /// deletion weight is a per-lane row:
+    ///   a[l] = 0; for i in [0, cnt): a[l] += src[i*L + l] * (dw[-i*L + l]
+    ///                                        + tw[-i*L + l] * e[l]);
+    ///   if (src_del) a[l] += src_del[l] * w_del[l];  dst[l] = a[l];
+    /// Same contracts as fma_dest_run otherwise (`e` readable for L doubles
+    /// even at cnt == 0; each destination cell stored exactly once).
+    void (*fma_dest_run_pl)(double* dst, const double* src, const double* dw,
+                            const double* tw, const double* e, const double* src_del,
+                            const double* w_del, std::size_t cnt, std::size_t L);
 
     const char* name;            ///< "scalar" | "neon" | "avx2" | "avx512"
     std::size_t vector_doubles;  ///< lanes per vector op (1/2/4/8)

@@ -110,6 +110,78 @@ struct PriorEmitPlane {
     }
 };
 
+/// Per-lane-parameter variant of TxEmitPlane: the emission table differs by
+/// lane, so the two cached per-row lane vectors select between the engine's
+/// SoA emission-table planes instead of two scalar entries. Every selected
+/// value is the exact per-lane table entry a scalar gather would load, so
+/// all SIMD paths stay bit-identical. Padding columns of the planes
+/// replicate lane 0 and the selector pads are valid symbol 0, so pad
+/// entries stay finite.
+struct TxEmitPlanePerLane {
+    const BatchLatticeEngine* eng;
+    unsigned alphabet;
+    const std::uint8_t* tx;  // SoA pack: symbol of lane l at row j is tx[j * lanes + l]
+    std::size_t lanes;       // padded lane stride (BatchLatticeEngine::lane_stride())
+    std::span<double> e01;   // 2 * lanes scratch: emissions for received 0 | received 1
+    const LaneKernels* kernels;
+    std::size_t cached_row = static_cast<std::size_t>(-1);
+
+    void operator()(double* __restrict ed, std::size_t j, const std::uint8_t* __restrict rxr) {
+        const std::size_t L = lanes;
+        const std::uint8_t* txr = tx + j * L;
+        if (alphabet == 2) {
+            const double* e0 = e01.data();
+            const double* e1 = e01.data() + L;
+            if (j != cached_row) {
+                kernels->select_lanes(e01.data(), txr, eng->etab_plane(0, 0),
+                                      eng->etab_plane(0, 1), L);
+                kernels->select_lanes(e01.data() + L, txr, eng->etab_plane(1, 0),
+                                      eng->etab_plane(1, 1), L);
+                cached_row = j;
+            }
+            kernels->select_lanes(ed, rxr, e0, e1, L);
+        } else {
+            for (std::size_t l = 0; l < L; ++l) ed[l] = eng->emit_lane(l, rxr[l], txr[l]);
+        }
+    }
+};
+
+/// Per-lane-parameter variant of PriorEmitPlane: each row costs alphabet
+/// per-lane dot products accumulated with the axpy kernel — the multiply
+/// q[s] * etab[r][s] matches LatticeEngine::emit_prior bit for bit (IEEE
+/// multiplication commutes, adds run in the same s-ascending order).
+struct PriorEmitPlanePerLane {
+    const util::Matrix* priors;
+    const BatchLatticeEngine* eng;
+    unsigned alphabet;
+    std::size_t lanes;       // padded lane stride
+    std::span<double> vals;  // alphabet * lanes plane: row r's per-lane factors
+    const LaneKernels* kernels;
+    std::size_t cached_row = static_cast<std::size_t>(-1);
+
+    void operator()(double* __restrict ed, std::size_t j, const std::uint8_t* __restrict rxr) {
+        const std::size_t L = lanes;
+        if (j != cached_row) {
+            const auto q = priors->row(j);
+            for (unsigned rr = 0; rr < alphabet; ++rr) {
+                double* vr = vals.data() + static_cast<std::size_t>(rr) * L;
+                std::fill(vr, vr + L, 0.0);
+                for (std::size_t s = 0; s < q.size(); ++s)
+                    kernels->axpy(vr, eng->etab_plane(static_cast<std::uint8_t>(rr),
+                                                      static_cast<std::uint8_t>(s)),
+                                  q[s], L);
+            }
+            cached_row = j;
+        }
+        if (alphabet == 2) {
+            kernels->select_lanes(ed, rxr, vals.data(), vals.data() + L, L);
+        } else {
+            for (std::size_t l = 0; l < L; ++l)
+                ed[l] = vals[static_cast<std::size_t>(rxr[l]) * L + l];
+        }
+    }
+};
+
 void check_priors(const util::Matrix& priors, unsigned alphabet, const char* who) {
     if (priors.cols() != alphabet)
         throw std::invalid_argument(std::string(who) + ": priors cols != alphabet");
@@ -333,6 +405,60 @@ std::vector<DriftHmm::EventExpectations> DriftHmm::expected_events_batch(
             if (w_tr > 0.0 && rest > 0) o.insertions += w_tr * static_cast<double>(rest);
         }
     }
+    return out;
+}
+
+std::vector<BandedEvidence> log2_likelihood_batch_per_lane(
+    std::span<const DriftParams> lane_params,
+    std::span<const std::span<const std::uint8_t>> transmitted,
+    std::span<const std::span<const std::uint8_t>> received, LatticeWorkspace& ws,
+    double band_eps) {
+    if (transmitted.size() != received.size() || transmitted.size() != lane_params.size())
+        throw std::invalid_argument("log2_likelihood_batch_per_lane: lane count mismatch");
+    const std::size_t L = transmitted.size();
+    std::vector<BandedEvidence> out(L);
+    if (L == 0) return out;
+    const std::size_t n = lockstep_tx_len(transmitted, "log2_likelihood_batch_per_lane");
+    const unsigned alphabet = lane_params[0].alphabet;
+    for (std::size_t l = 0; l < L; ++l) {
+        check_symbols(transmitted[l], alphabet, "transmitted");
+        check_symbols(received[l], alphabet, "received");
+    }
+
+    BatchLatticeEngine eng(lane_params, received, n, ws);
+    const std::size_t Lp = eng.lane_stride();
+    const std::span<std::uint8_t> tx = ws.tx_bytes(std::max<std::size_t>(1, n * Lp));
+    std::fill(tx.begin(), tx.end(), 0);  // pad lanes carry valid symbol 0
+    for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t j = 0; j < n; ++j) tx[j * Lp + l] = transmitted[l][j];
+    TxEmitPlanePerLane emit_pt{&eng, alphabet,           tx.data(),
+                               Lp,   ws.scratch2(2 * Lp), &eng.kernels()};
+    eng.forward(emit_pt, band_eps);
+    for (std::size_t l = 0; l < L; ++l) out[l] = eng.evidence(l);
+    return out;
+}
+
+std::vector<BandedEvidence> log2_prior_marginal_batch_per_lane(
+    std::span<const DriftParams> lane_params, const util::Matrix& priors,
+    std::span<const std::span<const std::uint8_t>> received, LatticeWorkspace& ws,
+    double band_eps) {
+    if (received.size() != lane_params.size())
+        throw std::invalid_argument(
+            "log2_prior_marginal_batch_per_lane: lane count mismatch");
+    const std::size_t L = received.size();
+    std::vector<BandedEvidence> out(L);
+    if (L == 0) return out;
+    const unsigned alphabet = lane_params[0].alphabet;
+    check_priors(priors, alphabet, "log2_prior_marginal_batch_per_lane");
+    for (std::size_t l = 0; l < L; ++l) check_symbols(received[l], alphabet, "received");
+
+    BatchLatticeEngine eng(lane_params, received, priors.rows(), ws);
+    const std::size_t Lp = eng.lane_stride();
+    PriorEmitPlanePerLane emit_p{&priors, &eng, alphabet, Lp,
+                                 ws.scratch3(static_cast<std::size_t>(alphabet) * Lp),
+                                 &eng.kernels()};
+    eng.forward(emit_p, band_eps);
+    for (std::size_t l = 0; l < L; ++l) out[l] = eng.evidence(l);
     return out;
 }
 

@@ -57,7 +57,7 @@ DriftParams CapacityCache::node_params(CapacityKey key) const noexcept {
 
 MiEstimate CapacityCache::compute(CapacityKey key) const {
     const CapacityPoint point{node_params(key), node_seed(key)};
-    return iid_mutual_information_rate_points(std::span(&point, 1), cfg_.mc)[0];
+    return iid_mutual_information_rate_points(std::span(&point, 1), node_mc_options())[0];
 }
 
 MiEstimate CapacityCache::at(CapacityKey key) {
@@ -77,7 +77,7 @@ void CapacityCache::ensure(std::span<const CapacityKey> keys, unsigned threads) 
     std::vector<CapacityPoint> points;
     points.reserve(missing.size());
     for (const CapacityKey& k : missing) points.push_back({node_params(k), node_seed(k)});
-    McOptions opts = cfg_.mc;
+    McOptions opts = node_mc_options();
     opts.threads = threads;
     const std::vector<MiEstimate> values =
         iid_mutual_information_rate_points(points, opts);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ccap/info/batch_lattice.hpp"
 #include "ccap/info/entropy.hpp"
 #include "ccap/info/lattice_engine.hpp"
 #include "ccap/util/cpu_features.hpp"
@@ -172,6 +173,22 @@ std::size_t mc_block_cap(const McOptions& opts) {
     const std::size_t cap =
         opts.max_blocks ? opts.max_blocks : kDefaultCapRounds * mc_round_blocks(opts);
     return std::max<std::size_t>(2, cap);
+}
+
+std::size_t resolved_point_tile(const McOptions& opts, std::size_t num_points) {
+    if (opts.point_tile == 0 || num_points == 0) return 0;
+    std::size_t g = opts.point_tile;
+    if (g == kMcPointTileAuto) {
+        // Auto: a small multiple of the active vector width — enough points
+        // per tile to amortize the shared tape and fill vectors, few enough
+        // that the heterogeneous union band stays tight.
+        const std::size_t W = util::simd_vector_doubles(util::active_simd_path());
+        g = std::max<std::size_t>(W, 8);
+        g = g / W * W;
+    }
+    // Clamp, never pad: a tile smaller than the vector width runs unpadded
+    // through the masked-tail kernels instead of paying for dead lanes.
+    return std::min(g, num_points);
 }
 
 std::size_t resolved_mc_batch(const McOptions& opts, const DriftParams& params) {
@@ -367,6 +384,160 @@ MiEstimate iid_mutual_information_rate(const DriftParams& params, std::size_t bl
 
 namespace {
 
+/// Shared common-random-numbers variate tape of one Monte-Carlo block:
+/// the transmitted symbols are drawn first (a FIXED number of draws —
+/// inversion floor(u*m), never uniform_below's rejection loop, so the
+/// tape's layout is a pure function of (root, block)), then channel-use
+/// uniform triples (u_event, u_sym, u_sub) are drawn sequentially on
+/// demand. Every point of a tile walks the same triple sequence,
+/// interpreting each against its own thresholds — the CRN coupling of
+/// docs/THEORY.md section 15.
+struct CrnTape {
+    util::Rng rng;
+    std::vector<std::uint8_t> tx;               ///< block_len input symbols
+    std::vector<double> u_event, u_sym, u_sub;  ///< per-channel-use triples
+
+    CrnTape(std::uint64_t root, std::size_t block, std::size_t block_len, unsigned m)
+        : rng(util::substream_seed(root, block)), tx(block_len) {
+        for (auto& s : tx) s = symbol_from(rng.uniform(), m);
+    }
+
+    static std::uint8_t symbol_from(double u, unsigned m) {
+        const auto v = static_cast<unsigned>(u * static_cast<double>(m));
+        return static_cast<std::uint8_t>(v < m ? v : m - 1);
+    }
+
+    void ensure(std::size_t n) {
+        while (u_event.size() < n) {
+            u_event.push_back(rng.uniform());
+            u_sym.push_back(rng.uniform());
+            u_sub.push_back(rng.uniform());
+        }
+    }
+};
+
+/// Realize the tape's block under `params`: the generative walk of
+/// simulate_drift_channel, driven by the shared triples. For any single
+/// point the triples are fresh iid uniforms read at a stopping time, so
+/// the realized received sequence has EXACTLY the Definition-1 channel law
+/// — sharing the tape across points changes joint, not marginal,
+/// distributions. Nearby points interpret most triples identically, so
+/// their realizations (and MI samples) are positively correlated.
+std::vector<std::uint8_t> crn_realize(CrnTape& tape, const DriftParams& params) {
+    const unsigned m = params.alphabet;
+    std::vector<std::uint8_t> rx;
+    rx.reserve(tape.tx.size() + 8);
+    std::size_t k = 0;
+    const auto take = [&](double& ue, double& us, double& ub) {
+        tape.ensure(k + 1);
+        ue = tape.u_event[k];
+        us = tape.u_sym[k];
+        ub = tape.u_sub[k];
+        ++k;
+    };
+    double ue = 0.0, us = 0.0, ub = 0.0;
+    for (std::uint8_t s : tape.tx) {
+        for (;;) {
+            take(ue, us, ub);
+            if (ue < params.p_i) {
+                rx.push_back(CrnTape::symbol_from(us, m));  // insertion
+            } else if (ue < params.p_i + params.p_d) {
+                break;  // deletion
+            } else {
+                std::uint8_t sym = s;  // transmission (maybe substituted)
+                if (params.p_s > 0.0 && ub < params.p_s) {
+                    const std::uint8_t r = CrnTape::symbol_from(us, m - 1);
+                    sym = static_cast<std::uint8_t>(r >= s ? r + 1 : r);
+                }
+                rx.push_back(sym);
+                break;
+            }
+        }
+    }
+    for (;;) {  // trailing insertions
+        take(ue, us, ub);
+        if (!(ue < params.p_i)) break;
+        rx.push_back(CrnTape::symbol_from(us, m));
+    }
+    return rx;
+}
+
+/// One CRN point tile: per-point folds plus the per-block sample history
+/// the paired-difference SEMs are computed from.
+struct CrnTileState {
+    std::vector<DriftParams> eff;                ///< effective per-point params
+    std::vector<util::CompensatedStats> stats;   ///< per-point fold
+    std::vector<std::vector<double>> history;    ///< per-point samples, block order
+    std::vector<std::size_t> spent;              ///< per-point blocks folded
+    std::vector<char> converged;
+};
+
+/// Advance blocks [b0, b1) of the tile for the active point subset: each
+/// sweep chunk covers kb consecutive blocks x active.size() points as
+/// lanes of one per-lane-parameter lattice pass (lane = block-major, point
+/// minor). Chunk boundaries align to global multiples of kb counted from
+/// block 0, so the chunk partition — and with band_eps = 0 every lane's
+/// sample — is a pure function of the block indices: thread- and
+/// round-invariant. The fold runs serially in (block, point) order.
+void crn_run_round(CrnTileState& st, std::span<const std::size_t> active,
+                   const util::Matrix& priors, std::uint64_t root, std::size_t block_len,
+                   double band_eps, std::size_t kb, std::size_t b0, std::size_t b1,
+                   unsigned threads) {
+    const std::size_t ga = active.size();
+    const unsigned m = st.eff[active[0]].alphabet;
+    std::vector<double> samples((b1 - b0) * ga, 0.0);
+    const std::size_t t0 = b0 / kb;
+    const std::size_t t1 = (b1 + kb - 1) / kb;
+    util::parallel_for(
+        util::ThreadPool::shared(), t1 - t0,
+        [&](std::size_t ti) {
+            const std::size_t t = t0 + ti;
+            const std::size_t lo = std::max(b0, t * kb);
+            const std::size_t hi = std::min(b1, (t + 1) * kb);
+            const std::size_t nb = hi - lo;
+            const std::size_t lanes = nb * ga;
+            ScopedWorkspace ws;
+            std::vector<std::vector<std::uint8_t>> txs(nb), rxs(lanes);
+            std::vector<DriftParams> lane_params(lanes);
+            for (std::size_t i = 0; i < nb; ++i) {
+                CrnTape tape(root, lo + i, block_len, m);
+                for (std::size_t gi = 0; gi < ga; ++gi) {
+                    const std::size_t lane = i * ga + gi;
+                    lane_params[lane] = st.eff[active[gi]];
+                    rxs[lane] = crn_realize(tape, lane_params[lane]);
+                }
+                txs[i] = std::move(tape.tx);
+            }
+            std::vector<DriftHmm::SymbolSpan> txv(lanes), rxv(lanes);
+            for (std::size_t i = 0; i < nb; ++i)
+                for (std::size_t gi = 0; gi < ga; ++gi) {
+                    txv[i * ga + gi] = txs[i];
+                    rxv[i * ga + gi] = rxs[i * ga + gi];
+                }
+            const std::vector<BandedEvidence> cond =
+                log2_likelihood_batch_per_lane(lane_params, txv, rxv, ws, band_eps);
+            const std::vector<BandedEvidence> marg =
+                log2_prior_marginal_batch_per_lane(lane_params, priors, rxv, ws, band_eps);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                const double lc = cond[lane].log2_evidence;
+                const double lm = marg[lane].log2_evidence;
+                samples[(lo - b0) * ga + lane] =
+                    (std::isfinite(lc) && std::isfinite(lm))
+                        ? (lc - lm) / static_cast<double>(block_len)
+                        : 0.0;
+            }
+        },
+        threads);
+    for (std::size_t b = b0; b < b1; ++b)
+        for (std::size_t gi = 0; gi < ga; ++gi) {
+            const double v = samples[(b - b0) * ga + gi];
+            const std::size_t g = active[gi];
+            st.stats[g].add(v);
+            st.history[g].push_back(v);
+            st.spent[g] = b + 1;
+        }
+}
+
 /// Per-point state of the adaptive cross-point scheduler. The root seed,
 /// the model and the fold are all derived from the point alone, so every
 /// decision the scheduler takes about this point — and the estimate it
@@ -387,8 +558,138 @@ struct PointCtx {
 
 std::vector<MiEstimate> iid_mutual_information_rate_points(
     std::span<const CapacityPoint> points, const McOptions& opts) {
+    return iid_mutual_information_rate_points(points, opts, nullptr);
+}
+
+std::vector<MiEstimate> iid_mutual_information_rate_points(
+    std::span<const CapacityPoint> points, const McOptions& opts, PointSweepReport* report) {
     std::vector<MiEstimate> out(points.size());
+    const std::size_t tile = resolved_point_tile(opts, points.size());
+    if (report) {
+        report->point_tile = tile;
+        report->adjacent_diff_sem.assign(points.size() >= 2 ? points.size() - 1 : 0, 0.0);
+    }
     if (points.empty()) return out;
+
+    if (tile > 0) {
+        // Common-random-numbers mode: tiles of `tile` points share every
+        // block's variate tape and ride one per-lane-parameter sweep.
+        if (opts.block_len == 0 || opts.num_blocks == 0)
+            throw std::invalid_argument(
+                "iid_mutual_information_rate_points: empty experiment");
+        const DriftParams& s0 = points[0].params;
+        for (const CapacityPoint& pt : points) {
+            pt.params.validate();
+            if (pt.params.alphabet != s0.alphabet || pt.params.max_drift != s0.max_drift ||
+                pt.params.max_insert_run != s0.max_insert_run)
+                throw std::invalid_argument(
+                    "iid_mutual_information_rate_points: CRN point tiling needs one "
+                    "alphabet/max_drift/max_insert_run across points (set point_tile = 0 "
+                    "for structurally heterogeneous spans)");
+        }
+        const bool adaptive = opts.target_sem > 0.0;
+        const std::size_t cap = mc_block_cap(opts);
+        const std::size_t round = adaptive ? mc_round_blocks(opts) : cap;
+        // The shared tape is rooted at the first point's seed, split off
+        // exactly as a standalone estimator would draw it — unless the
+        // caller pins an explicit root (memoizing callers must: a
+        // span-derived root makes node values depend on batch grouping).
+        std::uint64_t root = opts.crn_root;
+        if (root == 0) {
+            util::Rng seed_rng(points[0].seed);
+            root = seed_rng.next();
+        }
+        // The chunk width is a LANE-count target: a tile of G points packs
+        // G lanes per block, so the blocks-per-chunk divisor below already
+        // scales it down. Resolve it without the num_blocks clamp — in
+        // adaptive mode num_blocks is the (small) round size, and clamping
+        // would shrink chunks to one block each, rebuilding the engine and
+        // the per-lane tables per block instead of per ~batch lanes.
+        McOptions lane_target = opts;
+        lane_target.num_blocks = 0;
+        const std::size_t batch = resolved_mc_batch(lane_target, s0);
+
+        CrnTileState st;
+        st.eff.reserve(points.size());
+        for (const CapacityPoint& pt : points)
+            st.eff.push_back(effective_params(pt.params, opts));
+        st.stats.assign(points.size(), {});
+        st.history.assign(points.size(), {});
+        st.spent.assign(points.size(), 0);
+        st.converged.assign(points.size(), 0);
+        const double band_eps = st.eff[0].band_eps;
+        const util::Matrix priors(opts.block_len, s0.alphabet,
+                                  1.0 / static_cast<double>(s0.alphabet));
+        std::size_t budget = opts.point_budget ? opts.point_budget : cap * points.size();
+
+        for (std::size_t g0 = 0; g0 < points.size(); g0 += tile) {
+            const std::size_t gn = std::min(tile, points.size() - g0);
+            // Blocks per sweep chunk: the resolved lane budget divided
+            // among the tile's points, at least one block per sweep.
+            const std::size_t kb = std::max<std::size_t>(1, batch / gn);
+            std::vector<std::size_t> active(gn);
+            for (std::size_t i = 0; i < gn; ++i) active[i] = g0 + i;
+            std::size_t b = 0;
+            while (!active.empty() && b < cap) {
+                const std::size_t b1 = std::min(cap, b + round);
+                const std::size_t per_point = b1 - b;
+                std::size_t n_adv = active.size();
+                // The pilot round (b = 0) always runs in full, as in the
+                // independent scheduler; past it the budget binds.
+                if (adaptive && b > 0 && budget < n_adv * per_point)
+                    n_adv = budget / per_point;
+                if (n_adv == 0) break;
+                crn_run_round(st, std::span<const std::size_t>(active).first(n_adv),
+                              priors, root, opts.block_len, band_eps, kb, b, b1,
+                              opts.threads);
+                if (adaptive) {
+                    const std::size_t cost = n_adv * per_point;
+                    budget = budget > cost ? budget - cost : 0;
+                }
+                if (n_adv < active.size()) break;  // budget exhausted mid-tile
+                b = b1;
+                if (!adaptive) break;
+                // Round-synchronous stopping: converged points drop out of
+                // later sweeps; the check reads only the point's own
+                // deterministic fold, so stopping is thread-, batch- and
+                // tile-invariant (band_eps = 0, non-binding budget).
+                std::vector<std::size_t> still;
+                for (std::size_t g : active) {
+                    if (st.stats[g].sem() <= opts.target_sem)
+                        st.converged[g] = 1;
+                    else
+                        still.push_back(g);
+                }
+                active = std::move(still);
+            }
+        }
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const bool conv = !adaptive || st.converged[i] != 0 ||
+                              st.stats[i].sem() <= opts.target_sem;
+            out[i] = {std::max(0.0, st.stats[i].mean()), st.stats[i].sem(), st.spent[i],
+                      opts.block_len, conv};
+        }
+        if (report) {
+            for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+                const bool same_tile = i / tile == (i + 1) / tile;
+                const std::size_t n =
+                    std::min(st.history[i].size(), st.history[i + 1].size());
+                if (same_tile && n >= 2) {
+                    // Paired over the shared block prefix: the CRN
+                    // correlation cancels in the difference.
+                    util::CompensatedStats d;
+                    for (std::size_t bb = 0; bb < n; ++bb)
+                        d.add(st.history[i][bb] - st.history[i + 1][bb]);
+                    report->adjacent_diff_sem[i] = d.sem();
+                } else {
+                    report->adjacent_diff_sem[i] = std::sqrt(
+                        out[i].sem * out[i].sem + out[i + 1].sem * out[i + 1].sem);
+                }
+            }
+        }
+        return out;
+    }
 
     if (!(opts.target_sem > 0.0)) {
         // Fixed mode: per-point standalone evaluation, parallel over the
@@ -402,6 +703,10 @@ std::vector<MiEstimate> iid_mutual_information_rate_points(
                 out[i] = iid_mutual_information_rate(points[i].params, inner, rng);
             },
             opts.threads);
+        if (report)
+            for (std::size_t i = 0; i + 1 < out.size(); ++i)
+                report->adjacent_diff_sem[i] = std::sqrt(
+                    out[i].sem * out[i].sem + out[i + 1].sem * out[i + 1].sem);
         return out;
     }
 
@@ -508,6 +813,10 @@ std::vector<MiEstimate> iid_mutual_information_rate_points(
         out[i] = {std::max(0.0, c.stats.mean()), c.stats.sem(), c.spent, opts.block_len,
                   c.converged};
     }
+    if (report)
+        for (std::size_t i = 0; i + 1 < out.size(); ++i)
+            report->adjacent_diff_sem[i] =
+                std::sqrt(out[i].sem * out[i].sem + out[i + 1].sem * out[i + 1].sem);
     return out;
 }
 

@@ -261,10 +261,95 @@ void k_fma_dest_run(double* dst, const double* src, const double* dw, const doub
     }
 }
 
+void k_axpy_lanes(double* dst, const double* src, const double* w, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d d = _mm256_loadu_pd(dst + l);
+        const __m256d s = _mm256_loadu_pd(src + l);
+        _mm256_storeu_pd(dst + l,
+                         _mm256_add_pd(d, _mm256_mul_pd(s, _mm256_loadu_pd(w + l))));
+    }
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d d = mload(dst + l, m);
+        const __m256d s = mload(src + l, m);
+        mstore(dst + l, m, _mm256_add_pd(d, _mm256_mul_pd(s, mload(w + l, m))));
+    }
+}
+
+void k_fma_acc_run_pl(double* acc, const double* src, const double* dw, const double* tw,
+                      const double* e, std::size_t runs, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        __m256d a = _mm256_loadu_pd(acc + l);
+        for (std::size_t g = 0; g < runs; ++g) {  // g-ascending: unfused add order
+            const __m256d sv = _mm256_loadu_pd(src + g * L + l);
+            const __m256d ev = _mm256_loadu_pd(e + g * L + l);
+            const __m256d wv = _mm256_add_pd(
+                _mm256_loadu_pd(dw + g * L + l),
+                _mm256_mul_pd(_mm256_loadu_pd(tw + g * L + l), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        _mm256_storeu_pd(acc + l, a);
+    }
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        __m256d a = mload(acc + l, m);
+        for (std::size_t g = 0; g < runs; ++g) {
+            const __m256d sv = mload(src + g * L + l, m);
+            const __m256d ev = mload(e + g * L + l, m);
+            const __m256d wv = _mm256_add_pd(
+                mload(dw + g * L + l, m), _mm256_mul_pd(mload(tw + g * L + l, m), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        mstore(acc + l, m, a);
+    }
+}
+
+void k_fma_dest_run_pl(double* dst, const double* src, const double* dw, const double* tw,
+                       const double* e, const double* src_del, const double* w_del,
+                       std::size_t cnt, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m256d ev = _mm256_loadu_pd(e + l);  // unused garbage when cnt == 0
+        __m256d a = _mm256_setzero_pd();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            const __m256d sv = _mm256_loadu_pd(src + i * L + l);
+            const __m256d wv = _mm256_add_pd(
+                _mm256_loadu_pd(dw + gi), _mm256_mul_pd(_mm256_loadu_pd(tw + gi), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        if (src_del)
+            a = _mm256_add_pd(a, _mm256_mul_pd(_mm256_loadu_pd(src_del + l),
+                                               _mm256_loadu_pd(w_del + l)));
+        _mm256_storeu_pd(dst + l, a);
+    }
+    if (l < L) {
+        const __m256i m = tail_mask(L - l);
+        const __m256d ev = mload(e + l, m);
+        __m256d a = _mm256_setzero_pd();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            const __m256d sv = mload(src + i * L + l, m);
+            const __m256d wv =
+                _mm256_add_pd(mload(dw + gi, m), _mm256_mul_pd(mload(tw + gi, m), ev));
+            a = _mm256_add_pd(a, _mm256_mul_pd(sv, wv));
+        }
+        if (src_del)
+            a = _mm256_add_pd(a,
+                              _mm256_mul_pd(mload(src_del + l, m), mload(w_del + l, m)));
+        mstore(dst + l, m, a);
+    }
+}
+
 constexpr LaneKernels kAvx2Kernels = {
-    k_axpy,         k_fma_weighted, k_accumulate, k_maximum,     k_divide,
-    k_select_const, k_select_lanes, k_fma_run,    k_fma_acc_run,
-    k_fma_dest_run, "avx2",         kW,           util::SimdPath::avx2,
+    k_axpy,         k_fma_weighted, k_accumulate,     k_maximum,     k_divide,
+    k_select_const, k_select_lanes, k_fma_run,        k_fma_acc_run,
+    k_fma_dest_run, k_axpy_lanes,   k_fma_acc_run_pl, k_fma_dest_run_pl,
+    "avx2",         kW,             util::SimdPath::avx2,
 };
 
 }  // namespace

@@ -260,10 +260,99 @@ void k_fma_dest_run(double* dst, const double* src, const double* dw, const doub
     }
 }
 
+void k_axpy_lanes(double* dst, const double* src, const double* w, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m512d d = _mm512_loadu_pd(dst + l);
+        const __m512d s = _mm512_loadu_pd(src + l);
+        _mm512_storeu_pd(dst + l,
+                         _mm512_add_pd(d, _mm512_mul_pd(s, _mm512_loadu_pd(w + l))));
+    }
+    if (l < L) {
+        const __mmask8 m = tail_mask(L - l);
+        const __m512d d = _mm512_maskz_loadu_pd(m, dst + l);
+        const __m512d s = _mm512_maskz_loadu_pd(m, src + l);
+        _mm512_mask_storeu_pd(
+            dst + l, m,
+            _mm512_add_pd(d, _mm512_mul_pd(s, _mm512_maskz_loadu_pd(m, w + l))));
+    }
+}
+
+void k_fma_acc_run_pl(double* acc, const double* src, const double* dw, const double* tw,
+                      const double* e, std::size_t runs, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        __m512d a = _mm512_loadu_pd(acc + l);
+        for (std::size_t g = 0; g < runs; ++g) {  // g-ascending: unfused add order
+            const __m512d sv = _mm512_loadu_pd(src + g * L + l);
+            const __m512d ev = _mm512_loadu_pd(e + g * L + l);
+            const __m512d wv = _mm512_add_pd(
+                _mm512_loadu_pd(dw + g * L + l),
+                _mm512_mul_pd(_mm512_loadu_pd(tw + g * L + l), ev));
+            a = _mm512_add_pd(a, _mm512_mul_pd(sv, wv));
+        }
+        _mm512_storeu_pd(acc + l, a);
+    }
+    if (l < L) {
+        const __mmask8 m = tail_mask(L - l);
+        __m512d a = _mm512_maskz_loadu_pd(m, acc + l);
+        for (std::size_t g = 0; g < runs; ++g) {
+            const __m512d sv = _mm512_maskz_loadu_pd(m, src + g * L + l);
+            const __m512d ev = _mm512_maskz_loadu_pd(m, e + g * L + l);
+            const __m512d wv = _mm512_add_pd(
+                _mm512_maskz_loadu_pd(m, dw + g * L + l),
+                _mm512_mul_pd(_mm512_maskz_loadu_pd(m, tw + g * L + l), ev));
+            a = _mm512_add_pd(a, _mm512_mul_pd(sv, wv));
+        }
+        _mm512_mask_storeu_pd(acc + l, m, a);
+    }
+}
+
+void k_fma_dest_run_pl(double* dst, const double* src, const double* dw, const double* tw,
+                       const double* e, const double* src_del, const double* w_del,
+                       std::size_t cnt, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const __m512d ev = _mm512_loadu_pd(e + l);  // unused garbage when cnt == 0
+        __m512d a = _mm512_setzero_pd();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            const __m512d sv = _mm512_loadu_pd(src + i * L + l);
+            const __m512d wv = _mm512_add_pd(
+                _mm512_loadu_pd(dw + gi), _mm512_mul_pd(_mm512_loadu_pd(tw + gi), ev));
+            a = _mm512_add_pd(a, _mm512_mul_pd(sv, wv));
+        }
+        if (src_del)
+            a = _mm512_add_pd(a, _mm512_mul_pd(_mm512_loadu_pd(src_del + l),
+                                               _mm512_loadu_pd(w_del + l)));
+        _mm512_storeu_pd(dst + l, a);
+    }
+    if (l < L) {
+        const __mmask8 m = tail_mask(L - l);
+        const __m512d ev = _mm512_maskz_loadu_pd(m, e + l);
+        __m512d a = _mm512_setzero_pd();
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            const __m512d sv = _mm512_maskz_loadu_pd(m, src + i * L + l);
+            const __m512d wv = _mm512_add_pd(
+                _mm512_maskz_loadu_pd(m, dw + gi),
+                _mm512_mul_pd(_mm512_maskz_loadu_pd(m, tw + gi), ev));
+            a = _mm512_add_pd(a, _mm512_mul_pd(sv, wv));
+        }
+        if (src_del)
+            a = _mm512_add_pd(a, _mm512_mul_pd(_mm512_maskz_loadu_pd(m, src_del + l),
+                                               _mm512_maskz_loadu_pd(m, w_del + l)));
+        _mm512_mask_storeu_pd(dst + l, m, a);
+    }
+}
+
 constexpr LaneKernels kAvx512Kernels = {
-    k_axpy,         k_fma_weighted, k_accumulate, k_maximum,     k_divide,
-    k_select_const, k_select_lanes, k_fma_run,    k_fma_acc_run,
-    k_fma_dest_run, "avx512",       kW,           util::SimdPath::avx512,
+    k_axpy,         k_fma_weighted, k_accumulate,     k_maximum,     k_divide,
+    k_select_const, k_select_lanes, k_fma_run,        k_fma_acc_run,
+    k_fma_dest_run, k_axpy_lanes,   k_fma_acc_run_pl, k_fma_dest_run_pl,
+    "avx512",       kW,             util::SimdPath::avx512,
 };
 
 }  // namespace

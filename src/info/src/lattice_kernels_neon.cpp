@@ -160,10 +160,71 @@ void k_fma_dest_run(double* dst, const double* src, const double* dw, const doub
     }
 }
 
+void k_axpy_lanes(double* dst, const double* src, const double* w, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const float64x2_t d = vld1q_f64(dst + l);
+        const float64x2_t s = vld1q_f64(src + l);
+        vst1q_f64(dst + l, vaddq_f64(d, vmulq_f64(s, vld1q_f64(w + l))));
+    }
+    for (; l < L; ++l) dst[l] += src[l] * w[l];
+}
+
+void k_fma_acc_run_pl(double* acc, const double* src, const double* dw, const double* tw,
+                      const double* e, std::size_t runs, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        float64x2_t a = vld1q_f64(acc + l);
+        for (std::size_t g = 0; g < runs; ++g) {  // g-ascending: unfused add order
+            const float64x2_t sv = vld1q_f64(src + g * L + l);
+            const float64x2_t ev = vld1q_f64(e + g * L + l);
+            const float64x2_t wv = vaddq_f64(
+                vld1q_f64(dw + g * L + l), vmulq_f64(vld1q_f64(tw + g * L + l), ev));
+            a = vaddq_f64(a, vmulq_f64(sv, wv));
+        }
+        vst1q_f64(acc + l, a);
+    }
+    for (; l < L; ++l)
+        for (std::size_t g = 0; g < runs; ++g)
+            acc[l] += src[g * L + l] * (dw[g * L + l] + tw[g * L + l] * e[g * L + l]);
+}
+
+void k_fma_dest_run_pl(double* dst, const double* src, const double* dw, const double* tw,
+                       const double* e, const double* src_del, const double* w_del,
+                       std::size_t cnt, std::size_t L) {
+    std::size_t l = 0;
+    for (; l + kW <= L; l += kW) {
+        const float64x2_t ev = vld1q_f64(e + l);  // unused garbage when cnt == 0
+        float64x2_t a = vdupq_n_f64(0.0);
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            const float64x2_t sv = vld1q_f64(src + i * L + l);
+            const float64x2_t wv =
+                vaddq_f64(vld1q_f64(dw + gi), vmulq_f64(vld1q_f64(tw + gi), ev));
+            a = vaddq_f64(a, vmulq_f64(sv, wv));
+        }
+        if (src_del)
+            a = vaddq_f64(a, vmulq_f64(vld1q_f64(src_del + l), vld1q_f64(w_del + l)));
+        vst1q_f64(dst + l, a);
+    }
+    for (; l < L; ++l) {
+        double a = 0.0;
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi =
+                -static_cast<std::ptrdiff_t>(i * L) + static_cast<std::ptrdiff_t>(l);
+            a += src[i * L + l] * (dw[gi] + tw[gi] * e[l]);
+        }
+        if (src_del) a += src_del[l] * w_del[l];
+        dst[l] = a;
+    }
+}
+
 constexpr LaneKernels kNeonKernels = {
-    k_axpy,         k_fma_weighted, k_accumulate, k_maximum,     k_divide,
-    k_select_const, k_select_lanes, k_fma_run,    k_fma_acc_run,
-    k_fma_dest_run, "neon",         kW,           util::SimdPath::neon,
+    k_axpy,         k_fma_weighted, k_accumulate,     k_maximum,     k_divide,
+    k_select_const, k_select_lanes, k_fma_run,        k_fma_acc_run,
+    k_fma_dest_run, k_axpy_lanes,   k_fma_acc_run_pl, k_fma_dest_run_pl,
+    "neon",         kW,             util::SimdPath::neon,
 };
 
 }  // namespace

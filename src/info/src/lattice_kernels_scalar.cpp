@@ -79,10 +79,44 @@ void k_fma_dest_run(double* __restrict dst, const double* __restrict src,
     }
 }
 
+void k_axpy_lanes(double* __restrict dst, const double* __restrict src,
+                  const double* __restrict w, std::size_t L) {
+    for (std::size_t l = 0; l < L; ++l) dst[l] += src[l] * w[l];
+}
+
+void k_fma_acc_run_pl(double* __restrict acc, const double* __restrict src,
+                      const double* __restrict dw, const double* __restrict tw,
+                      const double* __restrict e, std::size_t runs, std::size_t L) {
+    for (std::size_t g = 0; g < runs; ++g) {
+        const double* __restrict sg = src + g * L;
+        const double* __restrict eg = e + g * L;
+        const double* __restrict dwg = dw + g * L;
+        const double* __restrict twg = tw + g * L;
+        for (std::size_t l = 0; l < L; ++l) acc[l] += sg[l] * (dwg[l] + twg[l] * eg[l]);
+    }
+}
+
+void k_fma_dest_run_pl(double* __restrict dst, const double* __restrict src,
+                       const double* __restrict dw, const double* __restrict tw,
+                       const double* __restrict e, const double* __restrict src_del,
+                       const double* __restrict w_del, std::size_t cnt, std::size_t L) {
+    for (std::size_t l = 0; l < L; ++l) {
+        double a = 0.0;
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::ptrdiff_t gi = -static_cast<std::ptrdiff_t>(i * L);
+            a += src[i * L + l] * (dw[gi + static_cast<std::ptrdiff_t>(l)] +
+                                   tw[gi + static_cast<std::ptrdiff_t>(l)] * e[l]);
+        }
+        if (src_del) a += src_del[l] * w_del[l];
+        dst[l] = a;
+    }
+}
+
 constexpr LaneKernels kScalarKernels = {
     k_axpy,         k_fma_weighted, k_accumulate,        k_maximum, k_divide,
     k_select_const, k_select_lanes, k_fma_run,           k_fma_acc_run,
-    k_fma_dest_run, "scalar",       1,                   util::SimdPath::scalar,
+    k_fma_dest_run, k_axpy_lanes,   k_fma_acc_run_pl,    k_fma_dest_run_pl,
+    "scalar",       1,              util::SimdPath::scalar,
 };
 
 }  // namespace

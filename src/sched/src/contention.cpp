@@ -180,7 +180,7 @@ ContentionReport ContentionEngine::run() const {
         points.reserve(cfg_.flows);
         for (std::size_t f = 0; f < cfg_.flows; ++f)
             points.push_back({cache_->node_params(keys[f]), cache_->node_seed(keys[f])});
-        info::McOptions opts = cache_->config().mc;
+        info::McOptions opts = cache_->node_mc_options();
         opts.threads = cfg_.threads;
         const std::vector<info::MiEstimate> values =
             info::iid_mutual_information_rate_points(points, opts);

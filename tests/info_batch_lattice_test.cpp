@@ -384,6 +384,209 @@ TEST(BatchLattice, BandedBatchKeepsPerLaneCertifiedSlack) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-lane-parameter mode (log2_*_batch_per_lane): lanes carry their own
+// transition-weight and emission planes; everything else — the union band,
+// the dead-lane bookkeeping, the bit-identity contract — is unchanged.
+// ---------------------------------------------------------------------------
+
+std::vector<DriftParams> heterogeneous_lane_params(std::size_t batch) {
+    // Varying (p_d, p_i, p_s) over a shared lattice shape — the grid-tile
+    // workload of the CRN sweep engine.
+    std::vector<DriftParams> ps;
+    for (std::size_t b = 0; b < batch; ++b) {
+        DriftParams p = kParams;
+        p.p_d = 0.02 + 0.05 * static_cast<double>(b % 5);
+        p.p_i = 0.01 + 0.02 * static_cast<double>(b % 3);
+        p.p_s = (b % 2) ? 0.03 : 0.0;
+        ps.push_back(p);
+    }
+    return ps;
+}
+
+Lanes make_hetero_lanes(std::span<const DriftParams> ps, std::size_t n,
+                        std::uint64_t seed) {
+    Lanes lanes;
+    Rng rng(seed);
+    for (const DriftParams& p : ps) {
+        std::vector<std::uint8_t> tx(n);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(p.alphabet));
+        lanes.rx.push_back(simulate_drift_channel(tx, p, rng));
+        lanes.tx.push_back(std::move(tx));
+    }
+    return lanes;
+}
+
+TEST(BatchLattice, PerLaneParamsBitIdenticalToScalarPerLane) {
+    const std::size_t n = 36;
+    for (std::size_t batch : kBatchSizes) {
+        const std::vector<DriftParams> ps = heterogeneous_lane_params(batch);
+        Lanes lanes = make_hetero_lanes(ps, n, 0xE1E1 + batch);
+        if (batch >= 3) {
+            lanes.rx[1].clear();      // all-deleted lane
+            lanes.rx[2].resize(1);    // dead lattice mid-pass
+        }
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got = log2_likelihood_batch_per_lane(
+            ps, lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const DriftHmm hmm(ps[b]);
+            const BandedEvidence want =
+                hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].log2_evidence, want.log2_evidence)
+                << "lane " << b << " B=" << batch;
+            EXPECT_EQ(got[b].log2_slack, 0.0) << "lane " << b;
+        }
+    }
+}
+
+TEST(BatchLattice, PerLanePriorMarginalBitIdenticalToScalarPerLane) {
+    const std::size_t n = 32;
+    Rng prior_rng(91);
+    const Matrix priors = random_priors(n, kParams.alphabet, prior_rng);
+    for (std::size_t batch : kBatchSizes) {
+        const std::vector<DriftParams> ps = heterogeneous_lane_params(batch);
+        const Lanes lanes = make_hetero_lanes(ps, n, 0xF2F2 + batch);
+        LatticeWorkspace batch_ws, scalar_ws;
+        const std::vector<BandedEvidence> got = log2_prior_marginal_batch_per_lane(
+            ps, priors, lanes.rx_spans(), batch_ws);
+        ASSERT_EQ(got.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const DriftHmm hmm(ps[b]);
+            const BandedEvidence want =
+                hmm.log2_prior_marginal_banded(priors, lanes.rx[b], scalar_ws);
+            EXPECT_EQ(got[b].log2_evidence, want.log2_evidence)
+                << "lane " << b << " B=" << batch;
+        }
+    }
+}
+
+TEST(BatchLattice, PerLaneQuaternaryAlphabetBitIdenticalToScalarPerLane) {
+    // The generic (non-binary) emission-gather path of the per-lane plane
+    // providers, pinned separately like the shared-table batch.
+    DriftParams base = kParams;
+    base.alphabet = 4;
+    const std::size_t n = 28;
+    Rng prior_rng(17);
+    const Matrix priors = random_priors(n, base.alphabet, prior_rng);
+    std::vector<DriftParams> ps;
+    for (std::size_t b = 0; b < 5; ++b) {
+        DriftParams p = base;
+        p.p_d = 0.05 + 0.06 * static_cast<double>(b);
+        ps.push_back(p);
+    }
+    const Lanes lanes = make_hetero_lanes(ps, n, 0xABCD);
+    LatticeWorkspace batch_ws, scalar_ws;
+    const std::vector<BandedEvidence> like = log2_likelihood_batch_per_lane(
+        ps, lanes.tx_spans(), lanes.rx_spans(), batch_ws);
+    const std::vector<BandedEvidence> marg = log2_prior_marginal_batch_per_lane(
+        ps, priors, lanes.rx_spans(), batch_ws);
+    for (std::size_t b = 0; b < ps.size(); ++b) {
+        const DriftHmm hmm(ps[b]);
+        EXPECT_EQ(like[b].log2_evidence,
+                  hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws)
+                      .log2_evidence)
+            << "lane " << b;
+        EXPECT_EQ(marg[b].log2_evidence,
+                  hmm.log2_prior_marginal_banded(priors, lanes.rx[b], scalar_ws)
+                      .log2_evidence)
+            << "lane " << b;
+    }
+}
+
+TEST(BatchLattice, PerLaneUniformParamsMatchSharedTableBatch) {
+    // Degenerate case: every lane carries the same parameters. The per-lane
+    // planes then hold the shared DriftTables values bit for bit, so the
+    // two batch paths must agree exactly.
+    const DriftHmm hmm(kParams);
+    const std::size_t n = 40;
+    for (std::size_t batch : {std::size_t{3}, std::size_t{8}}) {
+        const Lanes lanes = make_lanes(kParams, n, batch, 0x5151 + batch);
+        const std::vector<DriftParams> ps(batch, kParams);
+        LatticeWorkspace pl_ws, sh_ws;
+        const std::vector<BandedEvidence> got = log2_likelihood_batch_per_lane(
+            ps, lanes.tx_spans(), lanes.rx_spans(), pl_ws);
+        const std::vector<BandedEvidence> want =
+            hmm.log2_likelihood_batch(lanes.tx_spans(), lanes.rx_spans(), sh_ws);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t b = 0; b < batch; ++b) {
+            EXPECT_EQ(got[b].log2_evidence, want[b].log2_evidence) << "lane " << b;
+            EXPECT_EQ(got[b].log2_slack, want[b].log2_slack) << "lane " << b;
+        }
+    }
+}
+
+TEST(BatchLattice, PerLaneHeterogeneousUnionBandKeepsPerLaneSlack) {
+    // Stress the union band with extreme heterogeneity: a near-
+    // deterministic lane rides beside a high-deletion lane (whose mass
+    // drives the shared band), plus a dead lane. Each live lane must keep
+    // its own certified bracket, and the dead lane must be trimmed without
+    // polluting its neighbors.
+    const std::size_t n = 48;
+    DriftParams quiet = kParams;
+    quiet.p_d = 0.002;
+    quiet.p_i = 0.001;
+    quiet.p_s = 0.0;
+    DriftParams noisy = kParams;
+    noisy.p_d = 0.4;
+    noisy.p_i = 0.05;
+    noisy.p_s = 0.05;
+    const std::vector<DriftParams> ps{quiet, noisy, quiet, noisy, quiet};
+    Lanes lanes = make_hetero_lanes(ps, n, 0xBADBA2D);
+    lanes.rx[2].resize(1);  // dead mid-pass: << n - max_drift
+    constexpr double kEps = 1e-4;
+    constexpr double kSlop = 1e-6;
+    LatticeWorkspace batch_ws, scalar_ws;
+    const std::vector<BandedEvidence> got = log2_likelihood_batch_per_lane(
+        ps, lanes.tx_spans(), lanes.rx_spans(), batch_ws, kEps);
+    ASSERT_EQ(got.size(), ps.size());
+    for (std::size_t b = 0; b < ps.size(); ++b) {
+        const DriftHmm exact_hmm(ps[b]);
+        const double exact =
+            exact_hmm.log2_likelihood(lanes.tx[b], lanes.rx[b], scalar_ws);
+        if (!std::isfinite(exact)) {
+            // Dead lanes certify trivially and are trimmed from the sweep.
+            EXPECT_TRUE(!std::isfinite(got[b].log2_evidence) ||
+                        std::isinf(got[b].log2_slack))
+                << "lane " << b;
+            continue;
+        }
+        ASSERT_TRUE(std::isfinite(got[b].log2_evidence)) << "lane " << b;
+        EXPECT_GE(got[b].log2_slack, 0.0) << "lane " << b;
+        EXPECT_LE(got[b].log2_evidence, exact + kSlop) << "lane " << b;
+        EXPECT_LE(exact, got[b].log2_evidence + got[b].log2_slack + kSlop)
+            << "lane " << b;
+        // The union band never prunes more than the lane's own band.
+        DriftParams banded = ps[b];
+        banded.band_eps = kEps;
+        const DriftHmm banded_hmm(banded);
+        const BandedEvidence scalar =
+            banded_hmm.log2_likelihood_banded(lanes.tx[b], lanes.rx[b], scalar_ws);
+        EXPECT_GE(got[b].log2_evidence, scalar.log2_evidence - kSlop) << "lane " << b;
+    }
+}
+
+TEST(BatchLattice, PerLaneRejectsMismatchedStructureAndCounts) {
+    const std::size_t n = 16;
+    std::vector<DriftParams> ps = heterogeneous_lane_params(3);
+    const Lanes lanes = make_hetero_lanes(ps, n, 0x1DEA);
+    LatticeWorkspace ws;
+    {
+        std::vector<DriftParams> bad = ps;
+        bad[1].max_drift = kParams.max_drift + 2;
+        EXPECT_THROW((void)log2_likelihood_batch_per_lane(bad, lanes.tx_spans(),
+                                                          lanes.rx_spans(), ws),
+                     std::invalid_argument);
+    }
+    {
+        const std::vector<DriftParams> two(ps.begin(), ps.begin() + 2);
+        EXPECT_THROW((void)log2_likelihood_batch_per_lane(two, lanes.tx_spans(),
+                                                          lanes.rx_spans(), ws),
+                     std::invalid_argument);
+    }
+}
+
 TEST(BatchLattice, LockstepRequiresEqualTransmittedLengths) {
     const DriftHmm hmm(kParams);
     const std::vector<std::uint8_t> a(8, 0), b(9, 1), rx(8, 0);

@@ -111,6 +111,39 @@ TEST(CapacityCacheTest, EnsureMatchesSerialAt) {
     }
 }
 
+TEST(CapacityCacheTest, CrnNodeValuesIndependentOfWarmBatchComposition) {
+    // In CRN mode node_mc_options() pins the shared-tape root to the
+    // config seed, so a node's value is a pure function of (config, key):
+    // warming it alone, warming it in a bulk batch, and a cache-off
+    // recompute must all agree bit for bit.
+    CapacityCache::Config cfg = small_config();
+    cfg.mc.point_tile = ccap::info::kMcPointTileAuto;
+    const std::vector<CapacityKey> keys = {{0, 0}, {2, 1}, {4, 2}, {6, 3}};
+
+    CapacityCache bulk(cfg);
+    bulk.ensure(keys, 2);
+    CapacityCache solo(cfg);
+    for (const CapacityKey& k : keys) {
+        const MiEstimate a = bulk.at(k);
+        const MiEstimate b = solo.at(k);
+        EXPECT_EQ(a.rate, b.rate);
+        EXPECT_EQ(a.sem, b.sem);
+        EXPECT_EQ(a.blocks, b.blocks);
+    }
+
+    // A differently-composed warm batch (subset, different lead key) must
+    // not shift the shared values either.
+    CapacityCache subset(cfg);
+    const std::vector<CapacityKey> tail = {keys[2], keys[3]};
+    subset.ensure(tail, 1);
+    for (const CapacityKey& k : tail) EXPECT_EQ(subset.at(k).rate, bulk.at(k).rate);
+
+    CapacityCache::Config disabled = cfg;
+    disabled.enabled = false;
+    CapacityCache recompute(disabled);
+    for (const CapacityKey& k : keys) EXPECT_EQ(recompute.at(k).rate, bulk.at(k).rate);
+}
+
 TEST(CapacityCacheTest, InterpolateExactHitReturnsNodeValue) {
     CapacityCache cache(small_config());
     const auto v = cache.interpolate(0.10, 0.05);

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -518,6 +519,213 @@ TEST(ParallelMcAdaptivePoints, FixedModeUnchangedByNewFields) {
         expect_bit_identical(plain[i],
                              iid_mutual_information_rate(pts[i].params, inner, rng));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Common-random-numbers point tiling (McOptions::point_tile): whole grid
+// tiles ride one per-lane-parameter sweep off a shared per-block variate
+// tape. Suite names start with ParallelMc so the tier-1 TSan stage covers
+// the tiled sweep loop.
+// ---------------------------------------------------------------------------
+
+std::vector<CapacityPoint> crn_strip(std::size_t n) {
+    // A pd-ascending strip with shared lattice structure. Only the first
+    // point's seed matters in CRN mode (it roots the tape); distinct seeds
+    // keep the independent baseline honest.
+    std::vector<CapacityPoint> pts;
+    for (std::size_t i = 0; i < n; ++i)
+        pts.push_back({DriftParams{0.03 + 0.05 * static_cast<double>(i), 0.02, 0.0, 2,
+                                   24, 6},
+                       2000 + i});
+    return pts;
+}
+
+TEST(ParallelMcCrnPoints, ResolvedPointTilePolicy) {
+    McOptions opts;
+    EXPECT_EQ(resolved_point_tile(opts, 16), 0u);  // default: independent mode
+    opts.point_tile = 6;
+    EXPECT_EQ(resolved_point_tile(opts, 16), 6u);
+    EXPECT_EQ(resolved_point_tile(opts, 4), 4u);  // clamped to the grid
+    EXPECT_EQ(resolved_point_tile(opts, 0), 0u);
+    opts.point_tile = kMcPointTileAuto;
+    const std::size_t W =
+        ccap::util::simd_vector_doubles(ccap::util::active_simd_path());
+    const std::size_t g = resolved_point_tile(opts, 1000);
+    EXPECT_GE(g, std::max<std::size_t>(W, 8));
+    EXPECT_EQ(g % W, 0u);
+    EXPECT_EQ(resolved_point_tile(opts, 3), 3u);  // tiny grid: masked tail
+}
+
+TEST(ParallelMcCrnPoints, FixedModeBitIdenticalAcrossThreadsBatchAndTile) {
+    // The per-(block, point) sample is a pure function of the tape root and
+    // the point's parameters, so the estimates must not depend on how the
+    // grid is grouped into tiles, how blocks are chunked, or who runs them.
+    const std::vector<CapacityPoint> pts = crn_strip(7);
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 9;
+    opts.point_tile = 4;
+    opts.threads = 1;
+    opts.batch = 1;
+    const std::vector<MiEstimate> base = iid_mutual_information_rate_points(pts, opts);
+    ASSERT_EQ(base.size(), pts.size());
+    for (const MiEstimate& e : base) {
+        EXPECT_GT(e.rate, 0.0);
+        EXPECT_TRUE(e.converged);
+        EXPECT_EQ(e.blocks, opts.num_blocks);
+    }
+    for (unsigned threads : {2U, 8U})
+        for (std::size_t batch : {std::size_t{0}, std::size_t{3}, std::size_t{64}})
+            for (std::size_t tile :
+                 {std::size_t{1}, std::size_t{3}, std::size_t{7}, kMcPointTileAuto}) {
+                McOptions alt = opts;
+                alt.threads = threads;
+                alt.batch = batch;
+                alt.point_tile = tile;
+                const std::vector<MiEstimate> out =
+                    iid_mutual_information_rate_points(pts, alt);
+                ASSERT_EQ(out.size(), base.size());
+                for (std::size_t i = 0; i < base.size(); ++i)
+                    expect_bit_identical(base[i], out[i]);
+            }
+}
+
+TEST(ParallelMcCrnPoints, AdaptiveStoppingBitIdenticalAcrossThreadsAndTile) {
+    // Round-synchronous stopping reads each point's own fold, so the spent
+    // counts — not just the values — are thread- and tile-invariant.
+    const std::vector<CapacityPoint> pts = crn_strip(5);
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;  // round size in adaptive mode
+    opts.target_sem = 0.015;
+    opts.max_blocks = 96;
+    opts.point_tile = 5;
+    opts.threads = 1;
+    opts.batch = 1;
+    const std::vector<MiEstimate> base = iid_mutual_information_rate_points(pts, opts);
+    bool multi_round = false;
+    for (const MiEstimate& e : base) {
+        EXPECT_EQ(e.blocks % mc_round_blocks(opts), 0u);
+        if (e.blocks > mc_round_blocks(opts)) multi_round = true;
+        if (e.converged) {
+            EXPECT_LE(e.sem, opts.target_sem);
+        }
+    }
+    EXPECT_TRUE(multi_round);  // the strip is heterogeneous enough
+    for (unsigned threads : {4U, 8U})
+        for (std::size_t tile : {std::size_t{2}, std::size_t{5}}) {
+            McOptions alt = opts;
+            alt.threads = threads;
+            alt.point_tile = tile;
+            const std::vector<MiEstimate> out =
+                iid_mutual_information_rate_points(pts, alt);
+            ASSERT_EQ(out.size(), base.size());
+            for (std::size_t i = 0; i < base.size(); ++i)
+                expect_bit_identical(base[i], out[i]);
+        }
+}
+
+TEST(ParallelMcCrnPoints, MeansMatchIndependentEstimates) {
+    // Marginal-law preservation: the CRN estimate and the independent
+    // estimate sample the same quantity, so they must agree within joint
+    // error bars (5 sigma keeps the flake rate negligible).
+    const std::vector<CapacityPoint> pts = crn_strip(6);
+    McOptions opts;
+    opts.block_len = 48;
+    opts.num_blocks = 48;
+    opts.threads = 4;
+    const std::vector<MiEstimate> indep = iid_mutual_information_rate_points(pts, opts);
+    McOptions crn = opts;
+    crn.point_tile = kMcPointTileAuto;
+    const std::vector<MiEstimate> tiled = iid_mutual_information_rate_points(pts, crn);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double joint =
+            std::sqrt(indep[i].sem * indep[i].sem + tiled[i].sem * tiled[i].sem);
+        EXPECT_NEAR(tiled[i].rate, indep[i].rate, 5.0 * joint + 1e-12) << "point " << i;
+    }
+}
+
+TEST(ParallelMcCrnPoints, CrnShrinksAdjacentDifferenceSem) {
+    // The coupling's whole point: adjacent points interpret most shared
+    // variates identically, so their per-block samples are positively
+    // correlated and differences lose variance relative to independent
+    // sampling (whose report entries are the root-sum-square fallback).
+    const std::vector<CapacityPoint> pts = crn_strip(6);
+    McOptions opts;
+    opts.block_len = 48;
+    opts.num_blocks = 48;
+    opts.threads = 4;
+    PointSweepReport indep;
+    (void)iid_mutual_information_rate_points(pts, opts, &indep);
+    EXPECT_EQ(indep.point_tile, 0u);
+    ASSERT_EQ(indep.adjacent_diff_sem.size(), pts.size() - 1);
+
+    McOptions crn_opts = opts;
+    crn_opts.point_tile = pts.size();
+    PointSweepReport crn;
+    (void)iid_mutual_information_rate_points(pts, crn_opts, &crn);
+    EXPECT_EQ(crn.point_tile, pts.size());
+    ASSERT_EQ(crn.adjacent_diff_sem.size(), pts.size() - 1);
+
+    double crn_sum = 0.0, indep_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        crn_sum += crn.adjacent_diff_sem[i];
+        indep_sum += indep.adjacent_diff_sem[i];
+    }
+    EXPECT_LT(crn_sum, indep_sum);
+}
+
+TEST(ParallelMcCrnPoints, TinyGridStaysUnpaddedAndExact) {
+    // points x blocks below one vector width: the sweep rides the masked
+    // tail (sub-width batches are unpadded) and must be bit-identical to a
+    // one-lane evaluation of the same tape.
+    const std::vector<CapacityPoint> pts = crn_strip(2);
+    McOptions opts;
+    opts.block_len = 24;
+    opts.num_blocks = 1;
+    opts.point_tile = kMcPointTileAuto;  // resolves to 2: clamped to the grid
+    EXPECT_EQ(resolved_point_tile(opts, pts.size()), 2u);
+    opts.threads = 1;
+    const std::vector<MiEstimate> both = iid_mutual_information_rate_points(pts, opts);
+    McOptions one = opts;
+    one.point_tile = 1;  // one point per sweep: single-lane scalar path
+    const std::vector<MiEstimate> single = iid_mutual_information_rate_points(pts, one);
+    ASSERT_EQ(both.size(), single.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        expect_bit_identical(both[i], single[i]);
+}
+
+TEST(ParallelMcCrnPoints, RejectsStructurallyHeterogeneousGrids) {
+    // The tape and the per-lane sweep both assume one lattice shape; mixing
+    // shapes must fail loudly, not silently decouple.
+    std::vector<CapacityPoint> pts = crn_strip(3);
+    pts[2].params.max_drift = 32;
+    McOptions opts;
+    opts.block_len = 16;
+    opts.num_blocks = 2;
+    opts.point_tile = 2;
+    EXPECT_THROW((void)iid_mutual_information_rate_points(pts, opts),
+                 std::invalid_argument);
+}
+
+TEST(ParallelMcCrnPoints, SharedBudgetCapsSpendBeyondPilots) {
+    const std::vector<CapacityPoint> pts = crn_strip(4);
+    McOptions opts;
+    opts.block_len = 32;
+    opts.num_blocks = 6;
+    opts.target_sem = 1e-9;  // unreachable: only the budget stops the run
+    opts.max_blocks = 4096;
+    opts.point_budget = 40;
+    opts.point_tile = 2;
+    const std::vector<MiEstimate> out = iid_mutual_information_rate_points(pts, opts);
+    std::size_t total = 0;
+    for (const MiEstimate& e : out) {
+        EXPECT_GE(e.blocks, mc_round_blocks(opts));  // every tile pilots
+        EXPECT_FALSE(e.converged);
+        total += e.blocks;
+    }
+    // Pilot rounds always run; past them, grants never exceed the budget.
+    EXPECT_LE(total, opts.point_budget + mc_round_blocks(opts) * pts.size());
 }
 
 }  // namespace

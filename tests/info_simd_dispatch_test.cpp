@@ -159,6 +159,46 @@ TEST(SimdDispatch, EveryPathBitIdenticalToScalarEngine) {
     }
 }
 
+TEST(SimdDispatch, EveryPathPerLaneParamsBitIdenticalToScalarEngine) {
+    // The per-lane-parameter batch (parameter planes + *_pl kernels) on
+    // every available path, against each lane's own scalar engine.
+    PathGuard guard;
+    constexpr std::size_t kN = 40;
+    std::vector<DriftParams> ps;
+    for (std::size_t b = 0; b < 9; ++b)
+        ps.push_back(DriftParams{0.03 + 0.04 * static_cast<double>(b),
+                                 0.01 + 0.01 * static_cast<double>(b % 3),
+                                 (b % 2) ? 0.02 : 0.0, 2, 10, 6});
+    MatrixLanes lanes;
+    Rng rng(31337);
+    for (const DriftParams& p : ps) {
+        std::vector<std::uint8_t> tx(kN);
+        for (auto& s : tx) s = static_cast<std::uint8_t>(rng.uniform_below(p.alphabet));
+        lanes.rx.push_back(simulate_drift_channel(tx, p, rng));
+        lanes.tx.push_back(std::move(tx));
+    }
+    const auto tx = spans(lanes.tx);
+    const auto rx = spans(lanes.rx);
+
+    std::vector<double> want(ps.size());
+    {
+        ScopedWorkspace ws;
+        for (std::size_t l = 0; l < ps.size(); ++l)
+            want[l] = DriftHmm(ps[l]).log2_likelihood(lanes.tx[l], lanes.rx[l], ws);
+    }
+    for (SimdPath p : available_paths()) {
+        ASSERT_EQ(ccap::util::force_simd_path(p), p);
+        ScopedWorkspace ws;
+        const auto got = log2_likelihood_batch_per_lane(ps, tx, rx, ws);
+        ASSERT_EQ(got.size(), ps.size());
+        for (std::size_t l = 0; l < ps.size(); ++l) {
+            EXPECT_EQ(got[l].log2_evidence, want[l])
+                << "path=" << ccap::util::simd_path_name(p) << " lane=" << l;
+            EXPECT_EQ(got[l].log2_slack, 0.0);
+        }
+    }
+}
+
 TEST(SimdDispatch, EveryPathKeepsCertifiedSlackInBandedMode) {
     PathGuard guard;
     DriftParams exact{0.10, 0.05, 0.02, 2, 12, 6};
@@ -278,6 +318,39 @@ TEST(SimdDispatch, RaggedTailKernelsBitIdenticalToScalar) {
                     ref.fma_dest_run(db.data(), src.data(), dw.data() + (kRuns - 1),
                                      tw.data() + (kRuns - 1), e.data(), del, 0.375, cnt, L);
                     EXPECT_EQ(da, db) << "cnt=" << cnt << " del=" << (del != nullptr);
+                }
+            }
+
+            // Per-lane-weight variants (the parameter-plane engine mode):
+            // dw/tw are [run][lane] planes instead of per-run scalars.
+            const std::vector<double> dwp = fill(kRuns * L), twp = fill(kRuns * L);
+
+            k.axpy_lanes(a.data(), src.data(), norm.data(), L);
+            ref.axpy_lanes(b.data(), src.data(), norm.data(), L);
+            EXPECT_EQ(a, b);
+
+            k.fma_acc_run_pl(a.data(), src.data(), dwp.data(), twp.data(), e.data(),
+                             kRuns, L);
+            ref.fma_acc_run_pl(b.data(), src.data(), dwp.data(), twp.data(), e.data(),
+                               kRuns, L);
+            EXPECT_EQ(a, b);
+
+            // fma_dest_run_pl walks the weight planes backward by whole
+            // planes from the given origin: pass the last plane so offsets
+            // [-(cnt-1)*L, 0] stay in bounds.
+            for (std::size_t cnt : {std::size_t{0}, std::size_t{1}, kRuns}) {
+                for (const double* del : {static_cast<const double*>(nullptr), norm.data()}) {
+                    if (cnt == 0 && !del) continue;  // all-zero output either way
+                    std::vector<double> da(L), db(L);
+                    k.fma_dest_run_pl(da.data(), src.data(),
+                                      dwp.data() + (kRuns - 1) * L,
+                                      twp.data() + (kRuns - 1) * L, e.data(), del,
+                                      twp.data(), cnt, L);
+                    ref.fma_dest_run_pl(db.data(), src.data(),
+                                        dwp.data() + (kRuns - 1) * L,
+                                        twp.data() + (kRuns - 1) * L, e.data(), del,
+                                        twp.data(), cnt, L);
+                    EXPECT_EQ(da, db) << "pl cnt=" << cnt << " del=" << (del != nullptr);
                 }
             }
         }

@@ -166,11 +166,33 @@ void apply_adaptive_flags(const Args& args, info::McOptions& opts) {
     opts.max_blocks = static_cast<std::size_t>(args.count("mc-max-blocks", 0));
 }
 
+/// `--mc-point-tile G|auto`: common-random-numbers point tiling for grid
+/// sweeps. G grid points share every Monte-Carlo block's variate tape and
+/// ride one per-lane-parameter lattice sweep; "auto" picks a vector-width
+/// multiple. 0 (the default) keeps independent per-point substreams bit
+/// for bit.
+void apply_point_tile_flag(const Args& args, info::McOptions& opts) {
+    const auto it = args.values.find("mc-point-tile");
+    if (it == args.values.end()) return;
+    if (it->second == "auto") {
+        opts.point_tile = info::kMcPointTileAuto;
+        return;
+    }
+    try {
+        opts.point_tile = static_cast<std::size_t>(args.count("mc-point-tile", 0));
+    } catch (const UsageError&) {
+        throw UsageError("option --mc-point-tile expects a non-negative integer or "
+                         "'auto', got '" +
+                         it->second + "'");
+    }
+}
+
 /// `--verbose` line for the lattice subcommands: the resolved SIMD kernel
 /// path and the Monte-Carlo tile shape (lockstep lattice lanes x worker
 /// threads) the estimator will actually run with.
 void print_lattice_verbose(std::FILE* out, const info::McOptions& opts,
-                           const info::DriftParams& params) {
+                           const info::DriftParams& params,
+                           std::size_t sweep_points = 0) {
     const info::LaneKernels& k = info::active_lane_kernels();
     const unsigned workers =
         opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
@@ -182,6 +204,17 @@ void print_lattice_verbose(std::FILE* out, const info::McOptions& opts,
                  k.name, k.vector_doubles, util::cpu_feature_string().c_str(),
                  info::resolved_mc_batch(opts, params), workers, batch_str.c_str(),
                  opts.tiling == info::McTiling::scalar ? "scalar" : "lanes-by-threads");
+    if (opts.point_tile != 0) {
+        // CRN point tiling: report the resolved tile width (clamped to the
+        // grid when its size is known).
+        const std::size_t n =
+            sweep_points != 0 ? sweep_points : static_cast<std::size_t>(-1) / 2;
+        const std::string tile_str = opts.point_tile == info::kMcPointTileAuto
+                                         ? std::string("auto")
+                                         : std::to_string(opts.point_tile);
+        std::fprintf(out, "# mc point tile: %zu points/sweep (crn, requested %s)\n",
+                     info::resolved_point_tile(opts, n), tile_str.c_str());
+    }
 }
 
 int cmd_bounds(const Args& args) {
@@ -256,8 +289,8 @@ int cmd_windows(const Args& args) {
 
 int cmd_sweep(const Args& args) {
     args.reject_unknown({"bits", "threads", "mi-blocks", "mi-block-len", "band-eps",
-                         "mc-batch", "mc-target-sem", "mc-max-blocks", "seed", "simd",
-                         "verbose"});
+                         "mc-batch", "mc-point-tile", "mc-target-sem", "mc-max-blocks",
+                         "seed", "simd", "verbose"});
     apply_simd_flag(args);
     const auto bits = static_cast<unsigned>(args.count("bits", 1));
     const unsigned threads = threads_from(args);
@@ -268,27 +301,44 @@ int cmd_sweep(const Args& args) {
     const double band_eps = args.number("band-eps", 0.0);
     const auto mc_batch = static_cast<std::size_t>(args.count("mc-batch", 0));
     const auto seed = args.count("seed", 1);
-    if (args.values.count("verbose")) {
-        // stderr: stdout is the CSV. Every grid point shares one MC shape
-        // (block_len varies nothing that feeds the tile), so one line covers
-        // the sweep; each point runs its lattice serially inside a parallel
-        // grid, hence tile = lanes x grid workers.
-        info::DriftParams dp;
-        dp.alphabet = 1U << bits;
-        info::McOptions opts;
-        opts.block_len = mi_block_len;
-        opts.num_blocks = mi_blocks > 0 ? mi_blocks : 1;
-        opts.threads = threads;
-        opts.band_eps = band_eps;
-        opts.batch = mc_batch;
-        apply_adaptive_flags(args, opts);
-        print_lattice_verbose(stderr, opts, dp);
-    }
-    // Materialize the grid, evaluate the points in parallel, print in order.
+    // Materialize the grid up front: the MI column evaluates it as one
+    // point sweep, and the verbose tile report needs its size.
     std::vector<std::pair<double, double>> grid;
     for (double pd = 0.0; pd <= 0.501; pd += 0.05)
         for (double pi = 0.0; pi <= 0.301; pi += 0.05)
             if (pd + pi < 1.0) grid.emplace_back(pd, pi);
+    info::McOptions mi_opts;
+    mi_opts.block_len = mi_block_len;
+    mi_opts.num_blocks = mi_blocks > 0 ? mi_blocks : 1;
+    mi_opts.threads = threads;
+    mi_opts.band_eps = band_eps;
+    mi_opts.batch = mc_batch;
+    apply_adaptive_flags(args, mi_opts);
+    apply_point_tile_flag(args, mi_opts);
+    if (args.values.count("verbose")) {
+        // stderr: stdout is the CSV. Every grid point shares one MC shape,
+        // so one report covers the sweep.
+        info::DriftParams dp;
+        dp.alphabet = 1U << bits;
+        print_lattice_verbose(stderr, mi_opts, dp, grid.size());
+    }
+    // The MI column goes through the points API: without --mc-point-tile it
+    // reproduces the historical independent per-point substreams bit for
+    // bit; with it, tiles of grid points share each block's variate tape
+    // (common random numbers) and ride one per-lane lattice sweep.
+    std::vector<info::MiEstimate> mi;
+    if (mi_blocks > 0) {
+        std::vector<info::CapacityPoint> points;
+        points.reserve(grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            info::DriftParams dp;
+            dp.p_d = grid[i].first;
+            dp.p_i = grid[i].second;
+            dp.alphabet = 1U << bits;
+            points.push_back({dp, util::substream_seed(seed, i)});
+        }
+        mi = info::iid_mutual_information_rate_points(points, mi_opts);
+    }
     std::vector<std::string> rows(grid.size());
     util::parallel_for(
         util::ThreadPool::shared(), grid.size(),
@@ -301,23 +351,8 @@ int cmd_sweep(const Args& args) {
                                     pi, band.lower, band.exact_protocol, band.upper,
                                     core::degraded_capacity(static_cast<double>(bits), p));
             if (mi_blocks > 0) {
-                info::DriftParams dp;
-                dp.p_d = pd;
-                dp.p_i = pi;
-                dp.alphabet = 1U << bits;
-                info::McOptions opts;
-                opts.block_len = mi_block_len;
-                opts.num_blocks = mi_blocks;
-                opts.threads = 1;  // the grid is already parallel
-                opts.band_eps = band_eps;
-                opts.batch = mc_batch;
-                apply_adaptive_flags(args, opts);
-                // Independent substream per grid point: deterministic under
-                // any thread count, like the estimators themselves.
-                util::Rng rng(util::substream_seed(seed, i));
-                const auto est = info::iid_mutual_information_rate(dp, opts, rng);
                 std::snprintf(line + len, sizeof line - static_cast<std::size_t>(len),
-                              ",%.4f\n", est.rate);
+                              ",%.4f\n", mi[i].rate);
             } else {
                 std::snprintf(line + len, sizeof line - static_cast<std::size_t>(len), "\n");
             }
@@ -456,8 +491,9 @@ int cmd_protocol(const Args& args) {
 int cmd_contend(const Args& args) {
     args.reject_unknown({"flows", "load", "ticks", "slices", "domain", "queue-cap",
                          "deadline", "collision-rate", "pd", "pi", "ps", "grid-step",
-                         "mi-block", "mi-blocks", "mc-target-sem", "mc-max-blocks",
-                         "seed", "threads", "simd", "cache", "interp", "verbose"});
+                         "mi-block", "mi-blocks", "mc-point-tile", "mc-target-sem",
+                         "mc-max-blocks", "seed", "threads", "simd", "cache", "interp",
+                         "verbose"});
     apply_simd_flag(args);
 
     info::CapacityCache::Config cc;
@@ -471,6 +507,9 @@ int cmd_contend(const Args& args) {
     cc.mc.block_len = static_cast<std::size_t>(args.count("mi-block", 48));
     cc.mc.num_blocks = static_cast<std::size_t>(args.count("mi-blocks", 8));
     apply_adaptive_flags(args, cc.mc);
+    // CRN point tiling flows through the cache config into every batched
+    // ensure() sweep the contention engine triggers.
+    apply_point_tile_flag(args, cc.mc);
     const std::string cache_flag = args.text("cache", "on");
     if (cache_flag == "on")
         cc.enabled = true;
@@ -547,8 +586,9 @@ void usage() {
         "  simulate  --sent FILE --received FILE [--pd X --pi Y --ps Z --bits N\n"
         "            --len L --seed S]\n"
         "  sweep     [--bits N --threads T --mi-blocks K --mi-block-len L\n"
-        "            --band-eps E --mc-batch B --mc-target-sem S --mc-max-blocks M\n"
-        "            --seed S --simd P --verbose]\n"
+        "            --band-eps E --mc-batch B --mc-point-tile G|auto\n"
+        "            --mc-target-sem S --mc-max-blocks M --seed S --simd P\n"
+        "            --verbose]\n"
         "  mi        [--pd X --pi Y --ps Z --bits N --block L --blocks K\n"
         "            --seed S --threads T --markov-stay Q --band-eps E\n"
         "            --mc-batch B --mc-target-sem S --mc-max-blocks M --simd P\n"
@@ -563,14 +603,19 @@ void usage() {
         "  contend   [--flows F --load R --ticks T --slices S --domain D\n"
         "            --queue-cap Q --deadline A --collision-rate K --pd X --pi Y\n"
         "            --ps Z --grid-step G --mi-block L --mi-blocks K\n"
-        "            --mc-target-sem S --mc-max-blocks M --seed S --threads T\n"
-        "            --simd P --cache on|off --interp on|off --verbose]\n"
+        "            --mc-point-tile G|auto --mc-target-sem S --mc-max-blocks M\n"
+        "            --seed S --threads T --simd P --cache on|off\n"
+        "            --interp on|off --verbose]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
         "results are a slightly looser lower bound); 0 is exact.\n"
         "--mc-batch B advances B Monte-Carlo blocks in lockstep through the\n"
         "batched lattice (0 = auto, 1 = scalar); the estimate is unchanged.\n"
+        "--mc-point-tile G evaluates G grid points per lattice sweep from one\n"
+        "shared variate tape (common random numbers: same per-point law,\n"
+        "positively correlated neighbors; auto = a vector-width multiple).\n"
+        "0 (default) keeps independent per-point streams bit for bit.\n"
         "--mc-target-sem S > 0 makes the Monte-Carlo estimators adaptive:\n"
         "blocks run in rounds until the standard error reaches S or\n"
         "--mc-max-blocks M is spent (0 = 64 rounds). Stopping reads only the\n"

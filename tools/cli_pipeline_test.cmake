@@ -62,6 +62,12 @@ ccap_expect_failure(2 "non-negative integer"
   mi --threads -2)
 ccap_expect_failure(1 "exceeds 1"
   bounds --pd 0.8 --pi 0.6)
+# CRN point tiling: malformed width is a usage error, and the flag only
+# exists on the grid commands (sweep, contend).
+ccap_expect_failure(2 "mc-point-tile expects a non-negative integer or 'auto'"
+  sweep --mi-blocks 2 --mc-point-tile fast)
+ccap_expect_failure(2 "unknown option --mc-point-tile"
+  mi --mc-point-tile 4)
 # Truncated trace fixture: the framed header promises more symbols than
 # the file holds -> typed trace error, exit 1.
 file(WRITE ${WORK_DIR}/cli_truncated.txt
@@ -72,6 +78,24 @@ ccap_expect_failure(1 "trace truncated"
 ccap_expect_failure(1 "trace unreadable"
   analyze --sent ${WORK_DIR}/does_not_exist.txt
           --received ${WORK_DIR}/cli_recv.txt --bits 2)
+
+# CRN sweep smoke: the verbose tile report lands on stderr, the CSV stays
+# on stdout and carries the MI column.
+execute_process(
+  COMMAND ${CCAP_BIN} sweep --mi-blocks 2 --mi-block-len 16 --mc-point-tile auto
+          --threads 2 --verbose
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sweep --mc-point-tile auto failed: ${rc} (${err})")
+endif()
+if(NOT err MATCHES "# mc point tile: [0-9]+ points/sweep \\(crn, requested auto\\)")
+  message(FATAL_ERROR "sweep --verbose printed no point-tile report: ${err}")
+endif()
+if(NOT out MATCHES "p_d,p_i,thm5_lower,exact,thm1_upper,degraded,mc_mi")
+  message(FATAL_ERROR "sweep CSV header missing mc_mi column: ${out}")
+endif()
 
 # Hardened-protocol smoke: lossy-link stop-and-wait must stay reliable and
 # report a predicted rate from the closed form.
