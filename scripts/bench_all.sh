@@ -27,6 +27,7 @@ BENCHES=(
     bench_x13_contention
     bench_x14_adaptive_mc
     bench_x15_point_batch
+    bench_x16_tracker
 )
 cmake --build "$BUILD" -j"$(nproc)" --target "${BENCHES[@]}"
 

@@ -35,7 +35,7 @@ import json
 import os
 import sys
 
-LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack", "sem_ratio")
+LOWER_IS_BETTER = ("_ns", "ns_sym", "seconds", "error", "slack", "sem_ratio", "_mae")
 HIGHER_IS_BETTER = ("speedup", "rate", "identical", "certified", "bits", "per_sec",
                     "saved", "converged", "invariant")
 TIMING_MARKERS = ("_ns", "ns_sym", "seconds", "speedup", "per_sec")
@@ -50,7 +50,12 @@ SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
         "distinct_nodes", "target_sem", "points", "round", "max_blocks",
         "block_len", "blocks_fixed_total", "blocks_adaptive_total", "n_fixed",
         "blocks_indep_total", "blocks_crn_total", "worst_sem_indep",
-        "worst_sem_crn"}
+        "worst_sem_crn",
+        # Tracker bench configuration and deterministic stream observations:
+        # the gated quality figures are tracker_mae / within_bound_rate, not
+        # how many resyncs a given drift profile happens to trigger.
+        "window_len", "smoothing", "pd_step", "stream_windows", "resyncs",
+        "degraded_windows"}
 # Identity fields: records measured under different identities (a different
 # bench, a different fault-profile suite, a different SIMD kernel path, a
 # different adaptive-precision target, or a different point-tiling mode) are
@@ -61,7 +66,10 @@ SKIP = {"name", "git_rev", "threads", "batch", "p_d", "p_i", "p_s", "band_eps",
 # regression (or a spurious variance win). Mismatch is a usage error
 # (exit 2), not a regression. ("cpu" stays informational: the same path on
 # different machines is still the noise bench_compare already tolerates.)
-IDENTITY = ("name", "fault_profile", "simd", "target_sem", "point_tile", "crn")
+IDENTITY = ("name", "fault_profile", "simd", "target_sem", "point_tile", "crn",
+            # Tracker records: error figures at one window framing or EWMA
+            # coefficient never gate figures measured at another.
+            "window_len", "smoothing")
 
 
 def classify(key: str):

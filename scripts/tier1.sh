@@ -80,6 +80,6 @@ cmake -B build-tsan -S . \
     -DCCAP_SANITIZE=thread \
     -DCCAP_BUILD_BENCH=OFF \
     -DCCAP_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target ccap_util_tests ccap_info_tests ccap_core_tests ccap_sched_tests
-(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc|FaultInjectionParallel|ContentionParallel|ShardCache')
+cmake --build build-tsan -j"$(nproc)" --target ccap_util_tests ccap_info_tests ccap_core_tests ccap_sched_tests ccap_estimate_tests
+(cd build-tsan && ctest --output-on-failure -R 'ThreadPool|ParallelFor|ParallelReduce|ParallelMc|FaultInjectionParallel|ContentionParallel|ShardCache|TrackerParallel')
 echo "== tier1: OK =="

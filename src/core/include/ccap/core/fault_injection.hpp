@@ -79,6 +79,18 @@ struct FaultProfile {
                                                std::uint32_t symbol);
 };
 
+/// Canonical parameterizations of the named presets, reachable from the CLI
+/// (`--profile NAME` on `protocol` and `track`) without reading the source:
+///   none    null profile (no faults)
+///   storms  burst deletion blackouts: period 4096 uses, len 256
+///   drift   cosine non-stationary deletion swing: amplitude 0.25, period 8192
+///   stuck   stuck-at-0 substitution windows: period 8192, len 512
+/// Unknown names return false and leave `out` untouched.
+[[nodiscard]] bool named_fault_profile(const std::string& name, FaultProfile& out);
+
+/// One line for usage/help text: every preset name with its parameters.
+[[nodiscard]] const char* fault_profile_presets_help() noexcept;
+
 /// What FaultyChannel did to the underlying outcome stream.
 struct FaultStats {
     std::uint64_t uses = 0;

@@ -57,6 +57,31 @@ FaultProfile FaultProfile::stuck_at(std::uint64_t period, std::uint64_t len,
     return p;
 }
 
+bool named_fault_profile(const std::string& name, FaultProfile& out) {
+    if (name == "none") {
+        out = FaultProfile{};
+        return true;
+    }
+    if (name == "storms") {
+        out = FaultProfile::storms(4096, 256);
+        return true;
+    }
+    if (name == "drift") {
+        out = FaultProfile::drifting(0.25, 8192);
+        return true;
+    }
+    if (name == "stuck") {
+        out = FaultProfile::stuck_at(8192, 512, 0);
+        return true;
+    }
+    return false;
+}
+
+const char* fault_profile_presets_help() noexcept {
+    return "none | storms (blackout 256/4096 uses) | drift (cos P_d swing amp 0.25,"
+           " period 8192) | stuck (stuck-at-0, 512/8192 uses)";
+}
+
 FaultyChannel::FaultyChannel(SymbolChannel& inner, FaultProfile profile, std::uint64_t seed)
     : inner_(&inner),
       profile_(std::move(profile)),

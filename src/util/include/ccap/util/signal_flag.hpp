@@ -1,0 +1,27 @@
+// Async-signal-safe shutdown flag for long-lived CLI modes.
+//
+// `ccap track` runs until its stream ends — possibly forever. A SIGINT or
+// SIGTERM must not kill the process mid-window: the tracker finishes the
+// window in flight, flushes a final report (and checkpoint), and exits 0.
+// The only thing a signal handler can safely do toward that is set a flag;
+// this module owns that flag.
+#pragma once
+
+namespace ccap::util {
+
+/// Install SIGINT/SIGTERM handlers that set the process-wide shutdown
+/// flag. Idempotent. The handlers do nothing but set the flag — the main
+/// loop polls shutdown_requested() at its own safe points.
+void install_shutdown_flag() noexcept;
+
+/// True once a SIGINT/SIGTERM arrived (or request_shutdown() was called).
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Set the flag programmatically — same effect as a signal (tests, and
+/// in-process embedders that want the graceful path).
+void request_shutdown() noexcept;
+
+/// Clear the flag (tests).
+void reset_shutdown_flag() noexcept;
+
+}  // namespace ccap::util

@@ -1,0 +1,31 @@
+#include "ccap/util/signal_flag.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace ccap::util {
+
+namespace {
+
+// Lock-free atomic flag: stores from a signal handler are only defined for
+// lock-free atomics (and volatile sig_atomic_t); reads from the main loop
+// and writes from the handler need no further synchronization.
+std::atomic<bool> g_shutdown{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+extern "C" void ccap_shutdown_handler(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+void install_shutdown_flag() noexcept {
+    std::signal(SIGINT, &ccap_shutdown_handler);
+    std::signal(SIGTERM, &ccap_shutdown_handler);
+}
+
+bool shutdown_requested() noexcept { return g_shutdown.load(std::memory_order_relaxed); }
+
+void request_shutdown() noexcept { g_shutdown.store(true, std::memory_order_relaxed); }
+
+void reset_shutdown_flag() noexcept { g_shutdown.store(false, std::memory_order_relaxed); }
+
+}  // namespace ccap::util

@@ -9,6 +9,8 @@
 //   windows   windowed parameter estimates + changepoint scan
 //   protocol  run a (hardened) feedback protocol under faults and report
 //   contend   multi-tenant contention engine: capacity under offered load
+//   track     long-lived online capacity tracker over a live faulty channel
+//             or a trace pair, with checkpoint/resume and graceful shutdown
 //
 // Parallelism: `--threads N` caps the worker threads used by the
 // Monte-Carlo estimators and the sweep grid (default: one per hardware
@@ -33,6 +35,8 @@
 #include <initializer_list>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -40,14 +44,18 @@
 #include "ccap/core/fault_injection.hpp"
 #include "ccap/core/feedback_protocols.hpp"
 #include "ccap/core/protocol_analysis.hpp"
+#include "ccap/core/stream_source.hpp"
 #include "ccap/estimate/analyzer.hpp"
+#include "ccap/estimate/capacity_tracker.hpp"
 #include "ccap/estimate/report.hpp"
 #include "ccap/estimate/changepoint.hpp"
 #include "ccap/estimate/trace_io.hpp"
 #include "ccap/info/deletion_bounds.hpp"
 #include "ccap/info/lattice_simd.hpp"
 #include "ccap/sched/contention.hpp"
+#include "ccap/util/checkpoint_io.hpp"
 #include "ccap/util/cpu_features.hpp"
+#include "ccap/util/signal_flag.hpp"
 #include "ccap/util/thread_pool.hpp"
 
 namespace {
@@ -407,12 +415,39 @@ int cmd_mi(const Args& args) {
     return 0;
 }
 
+/// `--profile NAME` + explicit knob overrides, shared by `protocol` and
+/// `track`. The preset (core::named_fault_profile) supplies the defaults;
+/// any explicit --storm-*/--drift-*/--stuck-* flag overrides its field.
+core::FaultProfile fault_profile_from(const Args& args) {
+    core::FaultProfile profile;
+    const std::string name = args.text("profile", "none");
+    if (!core::named_fault_profile(name, profile))
+        throw UsageError("unknown --profile '" + name +
+                         "' (presets: " + core::fault_profile_presets_help() + ")");
+    const bool explicit_knobs =
+        args.values.count("storm-period") || args.values.count("storm-len") ||
+        args.values.count("drift-amp") || args.values.count("drift-period") ||
+        args.values.count("stuck-period") || args.values.count("stuck-len") ||
+        args.values.count("stuck-symbol");
+    profile.storm_period = args.count("storm-period", profile.storm_period);
+    profile.storm_len = args.count("storm-len", profile.storm_len);
+    profile.drift_amplitude = args.number("drift-amp", profile.drift_amplitude);
+    profile.drift_period = args.count("drift-period", profile.drift_period);
+    profile.stuck_period = args.count("stuck-period", profile.stuck_period);
+    profile.stuck_len = args.count("stuck-len", profile.stuck_len);
+    profile.stuck_symbol =
+        static_cast<std::uint32_t>(args.count("stuck-symbol", profile.stuck_symbol));
+    if (explicit_knobs) profile.name = profile.is_null() ? "none" : "cli";
+    profile.validate();
+    return profile;
+}
+
 int cmd_protocol(const Args& args) {
     args.reject_unknown({"proto", "pd", "pi", "ps", "bits", "len", "seed", "p-ack-loss",
                          "p-ack-corrupt", "ack-delay", "ack-jitter", "timeout",
-                         "backoff-mult", "backoff-cap", "use-cap", "storm-period",
-                         "storm-len", "drift-amp", "drift-period", "stuck-period",
-                         "stuck-len", "stuck-symbol"});
+                         "backoff-mult", "backoff-cap", "use-cap", "profile",
+                         "storm-period", "storm-len", "drift-amp", "drift-period",
+                         "stuck-period", "stuck-len", "stuck-symbol"});
     const auto p = params_from(args);
     const std::string proto = args.text("proto", "saw");
     const auto len = static_cast<std::size_t>(args.count("len", 2000));
@@ -432,16 +467,7 @@ int cmd_protocol(const Args& args) {
     opt.channel_use_cap = args.count("use-cap", 0);
     opt.validate();
 
-    core::FaultProfile profile;
-    profile.storm_period = args.count("storm-period", 0);
-    profile.storm_len = args.count("storm-len", 0);
-    profile.drift_amplitude = args.number("drift-amp", 0.0);
-    profile.drift_period = args.count("drift-period", 0);
-    profile.stuck_period = args.count("stuck-period", 0);
-    profile.stuck_len = args.count("stuck-len", 0);
-    profile.stuck_symbol = static_cast<std::uint32_t>(args.count("stuck-symbol", 0));
-    profile.name = profile.is_null() ? "none" : "cli";
-    profile.validate();
+    const core::FaultProfile profile = fault_profile_from(args);
 
     util::Rng rng(seed);
     std::vector<std::uint32_t> message(len);
@@ -577,6 +603,123 @@ int cmd_contend(const Args& args) {
     return 0;
 }
 
+/// One tracker status line; flushed immediately (the mode is long-lived and
+/// often watched through a pipe).
+void print_track_line(const estimate::TrackerUpdate& u) {
+    std::printf("window %llu %-8s P_d %.4f P_i %.4f cap %.4f +-%.4f bits/use "
+                "served %.4f slope %+.5f resyncs %llu",
+                static_cast<unsigned long long>(u.window),
+                estimate::tracker_status_name(u.status), u.p_d, u.p_i, u.capacity,
+                u.bound, u.served_rate, u.trend_slope,
+                static_cast<unsigned long long>(u.resyncs));
+    if (u.stale_windows > 0)
+        std::printf(" stale %llu", static_cast<unsigned long long>(u.stale_windows));
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+int cmd_track(const Args& args) {
+    args.reject_unknown({"sent", "received", "pd", "pi", "ps", "bits", "profile",
+                         "storm-period", "storm-len", "drift-amp", "drift-period",
+                         "stuck-period", "stuck-len", "stuck-symbol", "window",
+                         "windows", "seed", "smoothing", "trend-window", "drift-slope",
+                         "drift-sustain", "resync-jump", "ps-tolerance", "warmup",
+                         "aimd-increase",
+                         "aimd-beta", "headroom", "prefetch", "grid-step", "mi-block",
+                         "mi-blocks", "mc-target-sem", "mc-max-blocks", "mc-point-tile",
+                         "threads", "simd", "checkpoint", "checkpoint-every", "resume",
+                         "status-every", "verbose"});
+    apply_simd_flag(args);
+
+    estimate::TrackerConfig tc;
+    tc.window_len = static_cast<std::size_t>(args.count("window", 2000));
+    tc.smoothing = args.number("smoothing", 0.3);
+    tc.trend_window = static_cast<std::size_t>(args.count("trend-window", 8));
+    tc.drift_slope = args.number("drift-slope", 0.004);
+    tc.drift_sustain = static_cast<std::size_t>(args.count("drift-sustain", 3));
+    tc.resync_jump = args.number("resync-jump", 0.05);
+    tc.ps_tolerance = args.number("ps-tolerance", 0.1);
+    tc.warmup_windows = static_cast<std::size_t>(args.count("warmup", 2));
+    tc.aimd_increase = args.number("aimd-increase", 0.02);
+    tc.aimd_beta = args.number("aimd-beta", 0.85);
+    tc.headroom = args.number("headroom", 0.95);
+    tc.prefetch = static_cast<std::size_t>(args.count("prefetch", 0));
+    tc.threads = threads_from(args);
+    const auto bits = static_cast<unsigned>(args.count("bits", 1));
+    tc.cache.base.p_s = args.number("ps", 0.0);
+    tc.cache.base.alphabet = 1U << bits;
+    const double grid_step = args.number("grid-step", 0.02);
+    if (!(grid_step > 0.0)) throw UsageError("option --grid-step expects a value > 0");
+    tc.cache.grid.pd_step = grid_step;
+    tc.cache.grid.pi_step = grid_step;
+    tc.cache.mc.block_len = static_cast<std::size_t>(args.count("mi-block", 48));
+    tc.cache.mc.num_blocks = static_cast<std::size_t>(args.count("mi-blocks", 8));
+    apply_adaptive_flags(args, tc.cache.mc);
+    apply_point_tile_flag(args, tc.cache.mc);
+    if (args.values.count("verbose")) print_lattice_verbose(stderr, tc.cache.mc, tc.cache.base);
+
+    // --resume FILE restores state (typed CheckpointIoError -> exit 1 on a
+    // corrupt/mismatched file); otherwise start fresh.
+    const std::string resume_path = args.text("resume", "");
+    estimate::CapacityTracker tracker =
+        resume_path.empty()
+            ? estimate::CapacityTracker(tc)
+            : estimate::CapacityTracker::resume(tc, util::Checkpoint::read_file(resume_path));
+
+    // Source: a trace pair when --sent/--received are given, otherwise a
+    // live simulated channel under the fault profile.
+    std::unique_ptr<core::ChunkSource> source;
+    if (args.values.count("sent") || args.values.count("received")) {
+        source = std::make_unique<estimate::TraceChunkSource>(
+            estimate::read_trace_file(args.require("sent")),
+            estimate::read_trace_file(args.require("received")), tc.window_len);
+    } else {
+        core::FaultStreamSource::Config sc;
+        sc.params = params_from(args);
+        sc.profile = fault_profile_from(args);
+        sc.window_len = tc.window_len;
+        sc.windows = args.count("windows", 0);
+        sc.seed = args.count("seed", 1);
+        source = std::make_unique<core::FaultStreamSource>(sc);
+    }
+    // A resumed tracker replays (and discards) the windows it has already
+    // ingested, so the live channel/fault clocks line up with the
+    // uninterrupted run and subsequent outputs are bit-identical.
+    for (std::uint64_t i = 0; i < tracker.windows(); ++i)
+        if (!source->next()) break;
+
+    const std::string checkpoint_path = args.text("checkpoint", "");
+    const std::uint64_t checkpoint_every = args.count("checkpoint-every", 16);
+    const std::uint64_t status_every = args.count("status-every", 1);
+
+    // SIGINT/SIGTERM set a flag; the loop finishes the in-flight window,
+    // flushes a final checkpoint + report, and exits 0.
+    util::install_shutdown_flag();
+    bool interrupted = false;
+    while (!(interrupted = util::shutdown_requested())) {
+        const std::optional<core::StreamChunk> chunk = source->next();
+        if (!chunk) break;
+        const estimate::TrackerUpdate u = tracker.ingest(*chunk);
+        if (status_every != 0 && u.window % status_every == 0) print_track_line(u);
+        if (!checkpoint_path.empty() && checkpoint_every != 0 &&
+            tracker.windows() % checkpoint_every == 0)
+            tracker.checkpoint().write_file(checkpoint_path);
+    }
+    if (!checkpoint_path.empty() && tracker.windows() > 0)
+        tracker.checkpoint().write_file(checkpoint_path);
+
+    const estimate::TrackerUpdate& last = tracker.last();
+    std::printf("track %s after %llu windows: capacity %.4f +-%.4f bits/use, "
+                "served %.4f, resyncs %llu, status %s\n",
+                interrupted ? "interrupted (state flushed)" : "finished",
+                static_cast<unsigned long long>(tracker.windows()), last.capacity,
+                last.bound, last.served_rate,
+                static_cast<unsigned long long>(last.resyncs),
+                estimate::tracker_status_name(last.status));
+    std::fflush(stdout);
+    return 0;
+}
+
 void usage() {
     std::fputs(
         "usage: ccap <command> [options]\n"
@@ -606,6 +749,15 @@ void usage() {
         "            --mc-point-tile G|auto --mc-target-sem S --mc-max-blocks M\n"
         "            --seed S --threads T --simd P --cache on|off\n"
         "            --interp on|off --verbose]\n"
+        "  track     [--sent FILE --received FILE | --pd X --pi Y --ps Z\n"
+        "            --profile NAME --windows N --seed S] [--bits N --window W\n"
+        "            --smoothing A --trend-window K --drift-slope D\n"
+        "            --drift-sustain C --resync-jump J --ps-tolerance Z --warmup U\n"
+        "            --aimd-increase I --aimd-beta B --headroom H --prefetch P\n"
+        "            --grid-step G --mi-block L --mi-blocks K --mc-target-sem S\n"
+        "            --mc-max-blocks M --mc-point-tile G|auto --threads T\n"
+        "            --simd P --checkpoint FILE --checkpoint-every N\n"
+        "            --resume FILE --status-every N --verbose]\n"
         "--threads 0 (default) uses every hardware thread; 1 runs serially.\n"
         "Monte-Carlo results are bit-identical for every --threads value.\n"
         "--band-eps > 0 prunes the drift lattice adaptively (certified slack;\n"
@@ -625,15 +777,23 @@ void usage() {
         "the CCAP_SIMD env var; requests clamp down to what the CPU has).\n"
         "All paths are bit-identical at --band-eps 0. --verbose prints the\n"
         "resolved kernel path and Monte-Carlo tile shape before estimating\n"
-        "(sweep prints to stderr; stdout stays CSV).\n",
+        "(sweep prints to stderr; stdout stays CSV).\n"
+        "`track` runs until its stream ends, --windows N are ingested, or\n"
+        "SIGINT/SIGTERM arrives — then flushes a final checkpoint + report\n"
+        "and exits 0. --resume continues bit-identically from a checkpoint.\n",
         stderr);
+    std::fprintf(stderr,
+                 "--profile presets (protocol, track): %s.\n"
+                 "Explicit --storm-*/--drift-*/--stuck-* flags override preset "
+                 "fields.\n",
+                 core::fault_profile_presets_help());
 }
 
 /// One line, for the exit-code-2 paths; the full block above is for `help`.
 void usage_hint() {
     std::fputs(
-        "usage: ccap {bounds|analyze|simulate|sweep|mi|windows|protocol|contend|help} "
-        "[--option value ...]\n",
+        "usage: ccap {bounds|analyze|simulate|sweep|mi|windows|protocol|contend|track|"
+        "help} [--option value ...]\n",
         stderr);
 }
 
@@ -668,6 +828,7 @@ int main(int argc, char** argv) {
         if (command == "windows") return cmd_windows(args);
         if (command == "protocol") return cmd_protocol(args);
         if (command == "contend") return cmd_contend(args);
+        if (command == "track") return cmd_track(args);
         std::fprintf(stderr, "ccap: unknown command '%s'\n", command.c_str());
         usage_hint();
         return 2;
@@ -678,6 +839,10 @@ int main(int argc, char** argv) {
     } catch (const estimate::TraceIoError& e) {
         std::fprintf(stderr, "ccap %s: trace %s: %s\n", command.c_str(),
                      trace_error_kind(e.kind()), e.what());
+        return 1;
+    } catch (const util::CheckpointIoError& e) {
+        std::fprintf(stderr, "ccap %s: checkpoint %s: %s\n", command.c_str(),
+                     util::checkpoint_error_name(e.kind()), e.what());
         return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "ccap %s: %s\n", command.c_str(), e.what());

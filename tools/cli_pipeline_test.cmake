@@ -117,3 +117,85 @@ endif()
 # latency) are a runtime failure, not a hang.
 ccap_expect_failure(1 "timeout"
   protocol --proto saw --ack-delay 9 --timeout 4)
+
+# ---------------------------------------------------------------------------
+# track: online capacity tracker — checkpoint round trip through real files
+# and its rejection paths.
+# ---------------------------------------------------------------------------
+
+# Unknown flag and unknown fault-profile preset are usage errors (exit 2);
+# the help text must list every preset by name.
+ccap_expect_failure(2 "unknown option --checkpont"
+  track --pd 0.2 --windows 2 --checkpont ${WORK_DIR}/x.ckpt)
+ccap_expect_failure(2 "unknown --profile 'hurricane'.*storms.*drift.*stuck"
+  track --pd 0.2 --windows 2 --profile hurricane)
+ccap_expect_failure(2 "unknown --profile"
+  protocol --proto saw --profile hurricane)
+execute_process(COMMAND ${CCAP_BIN} help ERROR_VARIABLE help_text)
+if(NOT help_text MATCHES "--profile presets.*none.*storms.*drift.*stuck")
+  message(FATAL_ERROR "help does not list the fault-profile presets: ${help_text}")
+endif()
+
+# Live run writing a checkpoint, then a bit-identical resume: the resumed
+# run's final report must equal the uninterrupted run's.
+set(track_flags --pd 0.2 --window 800 --grid-step 0.05 --mi-block 16
+    --mi-blocks 4 --seed 3 --status-every 0)
+execute_process(
+  COMMAND ${CCAP_BIN} track ${track_flags} --windows 8
+  OUTPUT_VARIABLE full_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "track full run failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CCAP_BIN} track ${track_flags} --windows 4
+          --checkpoint ${WORK_DIR}/cli_track.ckpt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "track checkpoint run failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${CCAP_BIN} track ${track_flags} --windows 8
+          --resume ${WORK_DIR}/cli_track.ckpt
+  OUTPUT_VARIABLE resumed_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "track resume run failed: ${rc}")
+endif()
+if(NOT full_out MATCHES "track finished after 8 windows: (capacity [^\n]+)")
+  message(FATAL_ERROR "track full run printed no final report: ${full_out}")
+endif()
+set(full_report "${CMAKE_MATCH_1}")
+if(NOT resumed_out MATCHES "track finished after 8 windows: (capacity [^\n]+)")
+  message(FATAL_ERROR "track resume printed no final report: ${resumed_out}")
+endif()
+if(NOT full_report STREQUAL CMAKE_MATCH_1)
+  message(FATAL_ERROR
+    "resumed track diverged from the uninterrupted run:\n${full_out}\nvs\n${resumed_out}")
+endif()
+
+# Corrupt checkpoints: typed errors, exit 1, the kind named on stderr.
+file(WRITE ${WORK_DIR}/cli_track_torn.ckpt
+  "# ccap-track v1 fields=9\nfingerprint 1\n")
+ccap_expect_failure(1 "checkpoint truncated"
+  track --pd 0.2 --windows 2 --resume ${WORK_DIR}/cli_track_torn.ckpt)
+file(WRITE ${WORK_DIR}/cli_track_v9.ckpt "# ccap-track v9 fields=0\n")
+ccap_expect_failure(1 "checkpoint version mismatch"
+  track --pd 0.2 --windows 2 --resume ${WORK_DIR}/cli_track_v9.ckpt)
+ccap_expect_failure(1 "checkpoint unreadable"
+  track --pd 0.2 --windows 2 --resume ${WORK_DIR}/cli_track_missing.ckpt)
+# A checkpoint from another configuration: fingerprint mismatch, malformed.
+ccap_expect_failure(1 "checkpoint malformed.*different tracker configuration"
+  track ${track_flags} --windows 2 --window 999
+        --resume ${WORK_DIR}/cli_track.ckpt)
+
+# Trace mode: the tracker over simulated files ends cleanly.
+execute_process(
+  COMMAND ${CCAP_BIN} track --sent ${WORK_DIR}/cli_sent.txt
+          --received ${WORK_DIR}/cli_recv.txt --bits 2 --window 800
+          --grid-step 0.05 --mi-block 16 --mi-blocks 4 --status-every 2
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "track trace mode failed: ${rc}")
+endif()
+if(NOT out MATCHES "track finished after 5 windows")
+  message(FATAL_ERROR "track trace mode did not ingest 5 windows: ${out}")
+endif()
